@@ -1,0 +1,85 @@
+// Command dsmbench regenerates the paper's evaluation: Table 1 and
+// Figures 1–3, plus the §5.1 platform-calibration microbenchmarks.
+//
+// Usage:
+//
+//	dsmbench -all            # everything (what EXPERIMENTS.md records)
+//	dsmbench -table 1        # sequential times and 8-processor speedups
+//	dsmbench -figure 1       # Barnes/Ilink/TSP/Water breakdowns
+//	dsmbench -figure 2       # size-sensitive apps
+//	dsmbench -figure 3       # false-sharing signatures at 4K and 16K
+//	dsmbench -micro          # simulated platform costs vs the paper's
+//
+// Every cell is verified against the application's sequential reference
+// before its numbers are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate Table N (1)")
+	figure := flag.Int("figure", 0, "regenerate Figure N (1, 2, or 3)")
+	micro := flag.Bool("micro", false, "print the §5.1 platform calibration")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 && !*micro {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *micro || *all {
+		fmt.Println("=== §5.1 platform calibration ===")
+		harness.RenderMicro(os.Stdout)
+		fmt.Println()
+	}
+	if *table == 1 || *all {
+		fmt.Println("=== Table 1: datasets, sequential (simulated) time, 8-processor speedup at 4 KB ===")
+		rows, err := harness.RunTable1(harness.Table1())
+		check(err)
+		harness.RenderTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *figure == 1 || *all {
+		fmt.Println("=== Figure 1: execution time, messages, data (normalized to 4 KB) ===")
+		for _, e := range harness.Figure1() {
+			_, err := harness.RunAndRenderFigure(os.Stdout, e)
+			check(err)
+		}
+	}
+	if *figure == 2 || *all {
+		fmt.Println("=== Figure 2: size-sensitive applications (normalized to 4 KB) ===")
+		for _, e := range harness.Figure2() {
+			_, err := harness.RunAndRenderFigure(os.Stdout, e)
+			check(err)
+		}
+	}
+	if *figure == 3 || *all {
+		fmt.Println("=== Figure 3: false-sharing signatures (4 KB vs 16 KB) ===")
+		for _, e := range harness.Figure3() {
+			cells := map[string]harness.Cell{}
+			for _, label := range []string{"4K", "16K"} {
+				unit := 1
+				if label == "16K" {
+					unit = 4
+				}
+				c, err := harness.Run(e, harness.Config{Label: label, Unit: unit}, harness.Procs)
+				check(err)
+				cells[label] = c
+			}
+			harness.RenderSignature(os.Stdout, e, cells)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Command dsmrun executes one application × dataset × configuration and
+// prints its full communication breakdown — the per-cell view behind
+// dsmbench's figures.
+//
+// Usage:
+//
+//	dsmrun -app MGS -unit 2          # MGS at the 8 KB consistency unit
+//	dsmrun -app Jacobi -dynamic      # dynamic aggregation
+//	dsmrun -list                     # available application/dataset pairs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func experiments() []harness.Experiment {
+	seen := map[string]bool{}
+	var out []harness.Experiment
+	for _, e := range append(harness.Figure1(), harness.Figure2()...) {
+		key := e.App + "/" + e.Dataset
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func main() {
+	app := flag.String("app", "", "application name (see -list)")
+	dataset := flag.String("dataset", "", "dataset (optional; first match wins)")
+	unit := flag.Int("unit", 1, "consistency unit in 4 KB pages (1, 2, 4)")
+	dynamic := flag.Bool("dynamic", false, "use dynamic aggregation")
+	procs := flag.Int("procs", harness.Procs, "number of processors")
+	list := flag.Bool("list", false, "list application/dataset pairs")
+	flag.Parse()
+
+	es := experiments()
+	if *list {
+		for _, e := range es {
+			fmt.Printf("%-8s  %-22s (paper: %s)\n", e.App, e.Dataset, e.Paper)
+		}
+		return
+	}
+	if *app == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, e := range es {
+		if !strings.EqualFold(e.App, *app) {
+			continue
+		}
+		if *dataset != "" && !strings.Contains(e.Dataset, *dataset) {
+			continue
+		}
+		label := fmt.Sprintf("%dK", 4**unit)
+		if *dynamic {
+			label = "Dyn"
+		}
+		cell, err := harness.Run(e,
+			harness.Config{Label: label, Unit: *unit, Dynamic: *dynamic}, *procs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun:", err)
+			os.Exit(1)
+		}
+		st := cell.Stats
+		fmt.Printf("%s %s  [%s, %d procs]  (verified against sequential reference)\n",
+			e.App, e.Dataset, label, *procs)
+		fmt.Printf("  simulated time        %s s\n", fmt.Sprintf("%.3f", cell.Time.Seconds()))
+		fmt.Printf("  messages              %d (%d useful, %d useless)\n",
+			st.Messages.Total(), st.Messages.Useful, st.Messages.Useless)
+		fmt.Printf("  diff data bytes       %d (%d useful, %d useless, %d piggybacked useless)\n",
+			st.TotalDataBytes(), st.UsefulBytes, st.UselessBytes, st.PiggybackedBytes)
+		fmt.Printf("  wire bytes            %d\n", st.TotalWireBytes)
+		fmt.Printf("  faults                %d (%d needed no fetch)\n", st.Faults, st.ZeroFetchFaults)
+		fmt.Printf("  exchanges             %d\n", st.Exchanges)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dsmrun: no experiment matches -app %q -dataset %q\n", *app, *dataset)
+	os.Exit(1)
+}

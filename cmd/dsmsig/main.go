@@ -1,0 +1,76 @@
+// Command dsmsig prints the false-sharing signature — the histogram of
+// concurrent writers seen at access faults (§3) — of one application at
+// one or more consistency-unit sizes, plus the paper's shift verdict.
+//
+// Usage:
+//
+//	dsmsig -app MGS                 # signatures at 4K and 16K + verdict
+//	dsmsig -app Water -units 1,2,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func main() {
+	app := flag.String("app", "", "application name")
+	units := flag.String("units", "1,4", "comma-separated unit sizes in pages")
+	procs := flag.Int("procs", harness.Procs, "number of processors")
+	flag.Parse()
+
+	if *app == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var e *harness.Experiment
+	for _, x := range append(harness.Figure1(), harness.Figure2()...) {
+		if strings.EqualFold(x.App, *app) {
+			e = &x
+			break
+		}
+	}
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "dsmsig: unknown app %q\n", *app)
+		os.Exit(1)
+	}
+
+	var sigs []core.Signature
+	var labels []string
+	for _, us := range strings.Split(*units, ",") {
+		u, err := strconv.Atoi(strings.TrimSpace(us))
+		if err != nil || (u != 1 && u != 2 && u != 4) {
+			fmt.Fprintf(os.Stderr, "dsmsig: bad unit %q (want 1, 2, or 4)\n", us)
+			os.Exit(1)
+		}
+		label := fmt.Sprintf("%dK", 4*u)
+		cell, err := harness.Run(*e, harness.Config{Label: label, Unit: u}, *procs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmsig:", err)
+			os.Exit(1)
+		}
+		sig := core.SignatureOf(cell.Stats)
+		sigs = append(sigs, sig)
+		labels = append(labels, label)
+
+		fmt.Printf("%s %s  [%s]\n", e.App, e.Dataset, label)
+		for _, k := range sig.Buckets() {
+			bar := strings.Repeat("#", int(sig[k]*50+0.5))
+			fmt.Printf("  %d writers  %5.1f%%  %s\n", k, 100*sig[k], bar)
+		}
+		fmt.Printf("  mean concurrent writers: %.2f\n\n", sig.Mean())
+	}
+
+	if len(sigs) >= 2 {
+		shift := core.Shift(sigs[0], sigs[len(sigs)-1])
+		fmt.Printf("signature shift %s → %s: %+.2f writers (%s)\n",
+			labels[0], labels[len(labels)-1], shift, core.Classify(shift))
+		fmt.Println("paper's rule: a sizable rightward shift predicts a performance loss at the larger unit.")
+	}
+}

@@ -1,0 +1,70 @@
+// Package dsm is the public API of this reproduction of "Tradeoffs
+// Between False Sharing and Aggregation in Software Distributed Shared
+// Memory" (Amza, Cox, Rajamani, Zwaenepoel — PPoPP 1997).
+//
+// It exposes a TreadMarks-style software DSM: lazy release consistency,
+// a multiple-writer protocol (twinning + word-granularity diffing),
+// locks and barriers, static consistency units of 1–4 pages, and the
+// paper's dynamic page-group aggregation — all running on a simulated
+// 8-node cluster whose communication costs are calibrated to the paper's
+// platform (see internal/sim).
+//
+// Quick start:
+//
+//	sys := dsm.New(dsm.Config{Procs: 8, SegmentBytes: 1 << 20, Collect: true})
+//	x := sys.Alloc(8) // one shared float64
+//	res := sys.Run(func(p *dsm.Proc) {
+//		if p.ID() == 0 {
+//			p.WriteF64(x, 42)
+//		}
+//		p.Barrier()
+//		_ = p.ReadF64(x)
+//	})
+//	fmt.Println(res.Time, res.Messages, res.Stats.Messages.Useless)
+//
+// The eight applications of the paper's evaluation live under
+// internal/apps; the experiment harness that regenerates every table and
+// figure is cmd/dsmbench.
+package dsm
+
+import (
+	"repro/internal/instrument"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+// Config configures a DSM instance. See tmk.Config for field semantics.
+type Config = tmk.Config
+
+// System is a DSM instance: shared segment, processors, locks, barrier.
+type System = tmk.System
+
+// Proc is one simulated processor's handle, valid inside Run's body.
+type Proc = tmk.Proc
+
+// Result is the outcome of a Run: simulated time, message/byte counts,
+// and (with Config.Collect) the paper's communication classification.
+type Result = tmk.Result
+
+// Stats is the §5.3 communication breakdown.
+type Stats = instrument.Stats
+
+// Addr is a byte offset into the shared segment.
+type Addr = mem.Addr
+
+// Duration is simulated time.
+type Duration = sim.Duration
+
+// Page geometry of the simulated VM (the paper's hardware page).
+const (
+	PageSize = mem.PageSize
+	WordSize = mem.WordSize
+)
+
+// New builds a DSM instance.
+func New(cfg Config) *System { return tmk.NewSystem(cfg) }
+
+// DefaultCostModel returns the communication cost model calibrated to
+// the paper's §5.1 platform measurements.
+func DefaultCostModel() sim.CostModel { return sim.DefaultCostModel() }

@@ -1,0 +1,77 @@
+package dsm
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The public façade: the quick-start program from the package comment.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := New(Config{Procs: 4, SegmentBytes: 1 << 16, Locks: 1, Collect: true})
+	x := sys.Alloc(8)
+	arr := sys.Alloc(256 * WordSize)
+	var seen float64
+	res := sys.Run(func(p *Proc) {
+		p.Lock(0)
+		p.WriteI64(x, p.ReadI64(x)+1)
+		p.Unlock(0)
+		p.Barrier()
+		if p.ID() == 0 {
+			for i := 0; i < 256; i++ {
+				p.WriteF64(arr+WordSize*i, float64(i))
+			}
+		}
+		p.Barrier()
+		if p.ID() == 3 {
+			for i := 0; i < 256; i++ {
+				seen += p.ReadF64(arr + WordSize*i)
+			}
+		}
+	})
+	if seen != 255*256/2 {
+		t.Fatalf("sum = %v", seen)
+	}
+	if res.Time <= 0 || res.Messages == 0 || res.Stats == nil {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+	if res.Stats.Messages.Total() != res.Messages {
+		t.Fatalf("stats/message mismatch: %d vs %d",
+			res.Stats.Messages.Total(), res.Messages)
+	}
+}
+
+func TestPublicConstantsAndCostModel(t *testing.T) {
+	if PageSize != 4096 || WordSize != 8 {
+		t.Fatal("page geometry")
+	}
+	cm := DefaultCostModel()
+	rtt := cm.RoundTrip(1, 0)
+	if rtt < 295*sim.Microsecond || rtt > 297*sim.Microsecond {
+		t.Fatalf("RTT = %v, want ~296µs", rtt)
+	}
+}
+
+func TestPublicAPIDynamicAggregation(t *testing.T) {
+	sys := New(Config{Procs: 2, SegmentBytes: 8 * PageSize, Dynamic: true, Collect: true})
+	res := sys.Run(func(p *Proc) {
+		for round := 0; round < 3; round++ {
+			if p.ID() == 0 {
+				for pg := 0; pg < 4; pg++ {
+					p.WriteF64(pg*PageSize, float64(round+pg+1))
+				}
+			}
+			p.Barrier()
+			if p.ID() == 1 {
+				for pg := 0; pg < 4; pg++ {
+					p.ReadF64(pg * PageSize)
+				}
+			}
+			p.Barrier()
+		}
+	})
+	// Rounds 2 and 3 fetch the learned 4-page group in one exchange.
+	if res.Stats.Exchanges != 4+1+1 {
+		t.Fatalf("exchanges = %d, want 6", res.Stats.Exchanges)
+	}
+}

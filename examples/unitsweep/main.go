@@ -1,0 +1,87 @@
+// unitsweep runs a Jacobi-style stencil at every consistency-unit size
+// and with dynamic aggregation, printing the paper's core trade-off: the
+// aggregation win when granularity cooperates, and where false sharing
+// starts to bite.
+//
+// Run with: go run ./examples/unitsweep
+package main
+
+import (
+	"fmt"
+
+	dsm "repro"
+)
+
+const (
+	rows  = 64
+	cols  = 512 // one page per row
+	iters = 3
+	procs = 8
+)
+
+func run(unit int, dynamic bool) *dsm.Result {
+	sys := dsm.New(dsm.Config{
+		Procs:        procs,
+		SegmentBytes: 2*rows*cols*8 + dsm.PageSize*8,
+		UnitPages:    unit,
+		Dynamic:      dynamic,
+		Collect:      true,
+	})
+	a := sys.Alloc(rows * cols * 8)
+	b := sys.Alloc(rows * cols * 8)
+	at := func(base dsm.Addr, r, c int) dsm.Addr { return base + 8*(r*cols+c) }
+
+	return sys.Run(func(p *dsm.Proc) {
+		per := rows / procs
+		lo, hi := p.ID()*per, (p.ID()+1)*per
+		if p.ID() == 0 {
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					p.WriteF64(at(a, r, c), float64((r+c)%13))
+				}
+			}
+		}
+		p.Barrier()
+		src, dst := a, b
+		for it := 0; it < iters; it++ {
+			for r := lo; r < hi; r++ {
+				if r == 0 || r == rows-1 {
+					continue
+				}
+				for c := 1; c < cols-1; c++ {
+					v := 0.25 * (p.ReadF64(at(src, r-1, c)) + p.ReadF64(at(src, r+1, c)) +
+						p.ReadF64(at(src, r, c-1)) + p.ReadF64(at(src, r, c+1)))
+					p.WriteF64(at(dst, r, c), v)
+				}
+			}
+			p.Barrier()
+			src, dst = dst, src
+		}
+	})
+}
+
+func main() {
+	fmt.Printf("%-18s %10s %10s %12s %14s\n",
+		"configuration", "time (ms)", "messages", "useless msgs", "useless bytes")
+	type cfg struct {
+		name    string
+		unit    int
+		dynamic bool
+	}
+	for _, c := range []cfg{
+		{"4K (1 page)", 1, false},
+		{"8K (2 pages)", 2, false},
+		{"16K (4 pages)", 4, false},
+		{"dynamic groups", 1, true},
+	} {
+		res := run(c.unit, c.dynamic)
+		st := res.Stats
+		fmt.Printf("%-18s %10.2f %10d %12d %14d\n",
+			c.name, float64(res.Time.Microseconds())/1000,
+			st.Messages.Total(), st.Messages.Useless,
+			st.UselessBytes+st.PiggybackedBytes)
+	}
+	fmt.Println("\nRow == one page here, so 8K/16K units drag neighbouring rows along")
+	fmt.Println("(useless bytes grow); dynamic aggregation gets the message savings")
+	fmt.Println("without that cost after one observation interval.")
+}

@@ -1,0 +1,133 @@
+// Package apps defines the workload interface shared by the paper's
+// eight applications and small addressing helpers. Each application
+// lives in its own subpackage and provides both a DSM-parallel
+// implementation (against internal/tmk) and a plain-Go sequential
+// reference used to verify correctness.
+//
+// Dataset sizes are scaled down from the paper's but preserve the
+// granularity-to-page-size ratios that §5.4–5.5 identify as the decisive
+// variable; EXPERIMENTS.md maps each of our datasets to the paper's.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/tmk"
+)
+
+// Workload is one application × dataset instance. The lifecycle is:
+// construct, Prepare (allocates shared memory; single-threaded), Run the
+// system with Body, then Check.
+type Workload interface {
+	// Name is the application name ("Jacobi", "MGS", ...).
+	Name() string
+	// Dataset names the input size, in the paper's nomenclature where
+	// one exists.
+	Dataset() string
+	// SegmentBytes is the shared-segment size the workload needs.
+	SegmentBytes() int
+	// Locks is the number of global locks the workload needs.
+	Locks() int
+	// Prepare allocates shared addresses. Called once, before Run.
+	Prepare(sys *tmk.System)
+	// Body is the per-processor program.
+	Body(p *tmk.Proc)
+	// Check verifies the parallel result against the sequential
+	// reference. Called after Run; must be deterministic.
+	Check() error
+}
+
+// Run executes a workload under the given engine configuration (segment
+// size and lock count are taken from the workload) and verifies the
+// result against the sequential reference.
+func Run(w Workload, cfg tmk.Config) (*tmk.Result, error) {
+	// Slack covers the unit-boundary padding AllocPages may introduce
+	// (up to UnitPages-1 pages per allocation).
+	cfg.SegmentBytes = w.SegmentBytes() + 64*mem.PageSize
+	cfg.Locks = w.Locks()
+	sys := tmk.NewSystem(cfg)
+	w.Prepare(sys)
+	res := sys.Run(w.Body)
+	return res, w.Check()
+}
+
+// Arr addresses a shared array of 64-bit words.
+type Arr struct {
+	Base mem.Addr
+}
+
+// At returns the address of element i.
+func (a Arr) At(i int) mem.Addr { return a.Base + i*mem.WordSize }
+
+// Mem is the memory-access interface satisfied both by *tmk.Proc (DSM
+// run) and LocalMem (sequential reference run), so an application's
+// algorithmic core can be written exactly once and verified bitwise.
+type Mem interface {
+	ReadF64(a mem.Addr) float64
+	WriteF64(a mem.Addr, v float64)
+	ReadI64(a mem.Addr) int64
+	WriteI64(a mem.Addr, v int64)
+	// Compute charges n abstract arithmetic operations to the caller's
+	// virtual clock (no-op in the sequential reference, whose wall
+	// clock is not simulated).
+	Compute(n int)
+}
+
+// LocalMem is a plain local memory with the Mem interface, used by
+// sequential reference implementations.
+type LocalMem struct {
+	rep *mem.Replica
+}
+
+// NewLocalMem returns a zeroed local memory of at least size bytes.
+func NewLocalMem(size int) *LocalMem {
+	return &LocalMem{rep: mem.NewReplica(size)}
+}
+
+// ReadF64 implements Mem.
+func (m *LocalMem) ReadF64(a mem.Addr) float64 { return m.rep.ReadF64(a) }
+
+// WriteF64 implements Mem.
+func (m *LocalMem) WriteF64(a mem.Addr, v float64) { m.rep.WriteF64(a, v) }
+
+// ReadI64 implements Mem.
+func (m *LocalMem) ReadI64(a mem.Addr) int64 { return int64(m.rep.ReadWord(a)) }
+
+// WriteI64 implements Mem.
+func (m *LocalMem) WriteI64(a mem.Addr, v int64) { m.rep.WriteWord(a, uint64(v)) }
+
+// Compute implements Mem (no-op locally).
+func (m *LocalMem) Compute(int) {}
+
+// Band splits n items into nearly equal contiguous chunks and returns
+// the half-open range of chunk p of procs.
+func Band(n, procs, p int) (lo, hi int) {
+	per := n / procs
+	rem := n % procs
+	lo = p*per + min(p, rem)
+	hi = lo + per
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// CheckClose compares two float64s to a relative tolerance.
+func CheckClose(what string, got, want, tol float64) error {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := want
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	if diff > tol*scale {
+		return fmt.Errorf("%s: got %v, want %v (tol %v)", what, got, want, tol)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestBandBalanced(t *testing.T) {
+	// 10 items over 4 procs: 3,3,2,2.
+	want := [][2]int{{0, 3}, {3, 6}, {6, 8}, {8, 10}}
+	for p, w := range want {
+		lo, hi := Band(10, 4, p)
+		if lo != w[0] || hi != w[1] {
+			t.Fatalf("Band(10,4,%d) = [%d,%d), want [%d,%d)", p, lo, hi, w[0], w[1])
+		}
+	}
+}
+
+func TestBandCoversExactly(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 9, 64, 100} {
+		for _, procs := range []int{1, 3, 8} {
+			covered := 0
+			prev := 0
+			for p := 0; p < procs; p++ {
+				lo, hi := Band(n, procs, p)
+				if lo != prev {
+					t.Fatalf("Band(%d,%d,%d): gap at %d", n, procs, p, lo)
+				}
+				if hi < lo {
+					t.Fatalf("Band(%d,%d,%d): negative range", n, procs, p)
+				}
+				covered += hi - lo
+				prev = hi
+			}
+			if covered != n {
+				t.Fatalf("Band(%d,%d): covered %d", n, procs, covered)
+			}
+		}
+	}
+}
+
+func TestCheckClose(t *testing.T) {
+	if err := CheckClose("x", 1.0, 1.0+1e-12, 1e-9); err != nil {
+		t.Fatalf("tight match rejected: %v", err)
+	}
+	if err := CheckClose("x", 1.0, 1.1, 1e-9); err == nil {
+		t.Fatal("gross mismatch accepted")
+	}
+	// Relative scaling: large values tolerate proportionally more.
+	if err := CheckClose("x", 1e12, 1e12+1, 1e-9); err != nil {
+		t.Fatalf("relative tolerance wrong: %v", err)
+	}
+	// Small-magnitude values use an absolute floor of 1.
+	if err := CheckClose("x", 0, 1e-10, 1e-9); err != nil {
+		t.Fatalf("absolute floor wrong: %v", err)
+	}
+}
+
+func TestArrAddressing(t *testing.T) {
+	a := Arr{Base: 4096}
+	if a.At(0) != 4096 || a.At(3) != 4096+24 {
+		t.Fatal("Arr.At")
+	}
+}
+
+func TestLocalMemRoundTrip(t *testing.T) {
+	m := NewLocalMem(mem.PageSize)
+	m.WriteF64(8, 2.5)
+	m.WriteI64(16, -7)
+	if m.ReadF64(8) != 2.5 || m.ReadI64(16) != -7 {
+		t.Fatal("LocalMem round trip")
+	}
+	m.Compute(100) // must be a no-op
+	if m.ReadF64(8) != 2.5 {
+		t.Fatal("Compute must not disturb memory")
+	}
+}

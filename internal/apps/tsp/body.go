@@ -1,0 +1,108 @@
+package tsp
+
+import "repro/internal/tmk"
+
+// Body implements apps.Workload. The master expands the search tree
+// breadth-first down to ForkDepth, writing each prefix into the shared
+// tour pool and publishing it on the queue (the paper's pool of
+// partially evaluated tours). Workers then drain the queue: each takes a
+// prefix (migratory pool data — fetching its record drags in colocated
+// records the worker may never read), prunes it against the global
+// bound, solves it by branch-and-bound DFS, and publishes improvements
+// to the shared shortest path under a lock. The queue only drains, so an
+// empty queue terminates a worker without idle spinning.
+func (a *App) Body(p *tmk.Proc) {
+	// Queue cells: [0] head, [1] tail, [2..2+cap) entries.
+	const (
+		qHead = 0
+		qTail = 1
+	)
+	qEntry := func(i int64) int { return 2 + int(i)%a.cap }
+
+	n := a.cfg.Cities
+	if p.ID() == 0 {
+		p.WriteI64(a.best.At(0), 1<<40) // +inf
+		count := int64(0)
+		var path [maxCities]int64
+		path[0] = 0
+		var gen func(depth int, cost int64)
+		gen = func(depth int, cost int64) {
+			if depth == a.cfg.ForkDepth || depth == n {
+				ci := int(count)
+				if ci >= a.cap {
+					panic("tsp: pool overflow")
+				}
+				p.WriteI64(a.tour(ci, tCost), cost)
+				p.WriteI64(a.tour(ci, tDepth), int64(depth))
+				for d := 0; d < depth; d++ {
+					p.WriteI64(a.tour(ci, tPath0+d), path[d])
+				}
+				p.WriteI64(a.queue.At(qEntry(count)), count)
+				count++
+				return
+			}
+			last := int(path[depth-1])
+			for c := 1; c < n; c++ {
+				visited := false
+				for d := 0; d < depth; d++ {
+					if int(path[d]) == c {
+						visited = true
+						break
+					}
+				}
+				if visited {
+					continue
+				}
+				path[depth] = int64(c)
+				gen(depth+1, cost+a.dist[last][c])
+			}
+		}
+		gen(1, 0)
+		p.WriteI64(a.queue.At(qHead), 0)
+		p.WriteI64(a.queue.At(qTail), count)
+	}
+	p.Barrier()
+
+	var path [maxCities]int64
+	for {
+		// Take one unit of work.
+		p.Lock(lkQueue)
+		head := p.ReadI64(a.queue.At(qHead))
+		tail := p.ReadI64(a.queue.At(qTail))
+		if head == tail {
+			p.Unlock(lkQueue)
+			break // the queue only drains: search complete
+		}
+		idx := p.ReadI64(a.queue.At(qEntry(head)))
+		p.WriteI64(a.queue.At(qHead), head+1)
+		p.Unlock(lkQueue)
+
+		// Read the tour record (migratory data).
+		cost := p.ReadI64(a.tour(int(idx), tCost))
+		depth := int(p.ReadI64(a.tour(int(idx), tDepth)))
+		for d := 0; d < depth; d++ {
+			path[d] = p.ReadI64(a.tour(int(idx), tPath0+d))
+		}
+
+		// Prune against the (possibly stale) global bound.
+		if cost >= p.ReadI64(a.best.At(0)) {
+			continue
+		}
+
+		// Solve by local DFS against the global bound.
+		bound := p.ReadI64(a.best.At(0))
+		got := a.dfs(p, path[:], depth, cost, bound)
+		if got < bound {
+			p.Lock(lkBest)
+			if got < p.ReadI64(a.best.At(0)) {
+				p.WriteI64(a.best.At(0), got)
+			}
+			p.Unlock(lkBest)
+		}
+	}
+
+	p.Barrier()
+	if p.ID() == 0 {
+		a.out = p.ReadI64(a.best.At(0))
+	}
+}

@@ -1,0 +1,180 @@
+// Package core implements the paper's analytical contribution: the §3
+// model of how aggregation changes message counts, and the
+// false-sharing-signature analysis used to predict whether a larger
+// consistency unit helps or hurts.
+//
+// The paper's central formula: the number of message exchanges at a page
+// fault equals the number of concurrent writers seen at the previous
+// synchronization,
+//
+//	messages = access(P) × card(CW(P))
+//
+// and aggregating pages Pa and Pb changes the count by
+//
+//	access(Pa)·card(CW(Pa)) + access(Pb)·card(CW(Pb))
+//	    − access(Pa,Pb)·card(CW(Pa) ∪ CW(Pb))
+//
+// A positive delta means aggregation saves messages; a negative delta
+// means false sharing dominates. The signature analysis generalizes this:
+// a rightward shift of the concurrent-writer histogram predicts a loss.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/instrument"
+)
+
+// PageAccess describes, for one page and one faulting processor at one
+// synchronization epoch, whether the page is accessed and by how many
+// concurrent writers it was written.
+type PageAccess struct {
+	Accessed bool
+	Writers  map[int]bool
+}
+
+// Exchanges returns access(P) × card(CW(P)), the §3 message-exchange
+// count for one page.
+func (a PageAccess) Exchanges() int {
+	if !a.Accessed {
+		return 0
+	}
+	return len(a.Writers)
+}
+
+// Merge returns the access behaviour of the aggregated unit (Pa, Pb, …):
+// accessed if any member is accessed, written by the union of writers.
+func Merge(pages ...PageAccess) PageAccess {
+	out := PageAccess{Writers: make(map[int]bool)}
+	for _, p := range pages {
+		out.Accessed = out.Accessed || p.Accessed
+		for w := range p.Writers {
+			out.Writers[w] = true
+		}
+	}
+	return out
+}
+
+// AggregationDelta returns the §3 message-count change from fusing the
+// given pages into one consistency unit: positive = messages saved by
+// aggregation, negative = messages added by false sharing.
+func AggregationDelta(pages ...PageAccess) int {
+	sep := 0
+	for _, p := range pages {
+		sep += p.Exchanges()
+	}
+	return sep - Merge(pages...).Exchanges()
+}
+
+// Writers builds a writer set from processor ids.
+func Writers(ids ...int) map[int]bool {
+	m := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// Signature is a false-sharing signature: for each concurrent-writer
+// cardinality, the fraction of faults observing it.
+type Signature map[int]float64
+
+// SignatureOf normalizes the instrumentation's signature buckets into
+// fault frequencies.
+func SignatureOf(st *instrument.Stats) Signature {
+	total := 0
+	for _, b := range st.Signature {
+		total += b.Faults
+	}
+	sig := make(Signature, len(st.Signature))
+	if total == 0 {
+		return sig
+	}
+	for k, b := range st.Signature {
+		sig[k] = float64(b.Faults) / float64(total)
+	}
+	return sig
+}
+
+// Mean returns the expected concurrent-writer cardinality.
+func (s Signature) Mean() float64 {
+	var m float64
+	for k, f := range s {
+		m += float64(k) * f
+	}
+	return m
+}
+
+// Shift quantifies how far signature b has moved right of signature a:
+// the difference of their means. The paper's rule: "a sizable shift in
+// false sharing signature towards larger numbers when going to larger
+// consistency units predicts a loss in performance".
+func Shift(a, b Signature) float64 { return b.Mean() - a.Mean() }
+
+// ShiftVerdict classifies a shift per the paper's qualitative rule.
+type ShiftVerdict int
+
+const (
+	// Invariant: the signature barely moved; aggregation should win.
+	Invariant ShiftVerdict = iota
+	// SlightShift: a small move right; aggregation usually still wins.
+	SlightShift
+	// SizableShift: false sharing dominates; expect a loss.
+	SizableShift
+)
+
+func (v ShiftVerdict) String() string {
+	switch v {
+	case Invariant:
+		return "invariant"
+	case SlightShift:
+		return "slight-shift"
+	case SizableShift:
+		return "sizable-shift"
+	default:
+		return fmt.Sprintf("ShiftVerdict(%d)", int(v))
+	}
+}
+
+// Classify applies thresholds to a shift: < 0.15 writers invariant,
+// < 1 writer slight, otherwise sizable.
+func Classify(shift float64) ShiftVerdict {
+	switch {
+	case math.Abs(shift) < 0.15:
+		return Invariant
+	case shift < 1.0:
+		return SlightShift
+	default:
+		return SizableShift
+	}
+}
+
+// Buckets returns the signature's cardinalities in ascending order.
+func (s Signature) Buckets() []int {
+	out := make([]int, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BestUnit picks, from measured execution times per configuration label,
+// the fastest one — used to check the paper's claim that dynamic
+// aggregation is within a few percent of the best static unit.
+func BestUnit(times map[string]float64) (label string, t float64) {
+	t = math.Inf(1)
+	labels := make([]string, 0, len(times))
+	for l := range times {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		if times[l] < t {
+			label, t = l, times[l]
+		}
+	}
+	return label, t
+}

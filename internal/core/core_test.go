@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/instrument"
+)
+
+func TestExchanges(t *testing.T) {
+	if (PageAccess{}).Exchanges() != 0 {
+		t.Fatal("unaccessed page exchanges != 0")
+	}
+	a := PageAccess{Accessed: true, Writers: Writers(1, 2)}
+	if a.Exchanges() != 2 {
+		t.Fatalf("Exchanges = %d", a.Exchanges())
+	}
+	notAccessed := PageAccess{Writers: Writers(1, 2, 3)}
+	if notAccessed.Exchanges() != 0 {
+		t.Fatal("writers without access must cost nothing")
+	}
+}
+
+// The paper's §3 first example: p1 writes two contiguous pages, p2 reads
+// both. Aggregation halves the exchanges (delta +1).
+func TestAggregationDeltaSavesMessages(t *testing.T) {
+	pa := PageAccess{Accessed: true, Writers: Writers(1)}
+	pb := PageAccess{Accessed: true, Writers: Writers(1)}
+	if d := AggregationDelta(pa, pb); d != 1 {
+		t.Fatalf("delta = %d, want +1", d)
+	}
+}
+
+// §3 second example, modified: p1 writes Pa, p2 writes Pb, p3 reads only
+// Pa. Aggregation adds a useless exchange (delta −1).
+func TestAggregationDeltaAddsMessages(t *testing.T) {
+	pa := PageAccess{Accessed: true, Writers: Writers(1)}
+	pb := PageAccess{Accessed: false, Writers: Writers(2)}
+	if d := AggregationDelta(pa, pb); d != -1 {
+		t.Fatalf("delta = %d, want -1", d)
+	}
+}
+
+// §3 second example, unmodified: p1 writes Pa, p2 writes Pb, p3 reads
+// both. Message count unchanged (but parallel fetch still helps).
+func TestAggregationDeltaNeutral(t *testing.T) {
+	pa := PageAccess{Accessed: true, Writers: Writers(1)}
+	pb := PageAccess{Accessed: true, Writers: Writers(2)}
+	if d := AggregationDelta(pa, pb); d != 0 {
+		t.Fatalf("delta = %d, want 0", d)
+	}
+}
+
+func TestMergeUnionsWriters(t *testing.T) {
+	m := Merge(
+		PageAccess{Accessed: true, Writers: Writers(1, 2)},
+		PageAccess{Accessed: false, Writers: Writers(2, 3)},
+	)
+	if !m.Accessed || len(m.Writers) != 3 {
+		t.Fatalf("merge = %+v", m)
+	}
+}
+
+func statsWithSignature(buckets map[int]int) *instrument.Stats {
+	st := &instrument.Stats{Signature: make(map[int]*instrument.SigBucket)}
+	for k, n := range buckets {
+		st.Signature[k] = &instrument.SigBucket{Writers: k, Faults: n}
+	}
+	return st
+}
+
+func TestSignatureOfNormalizes(t *testing.T) {
+	sig := SignatureOf(statsWithSignature(map[int]int{1: 30, 2: 10}))
+	if math.Abs(sig[1]-0.75) > 1e-12 || math.Abs(sig[2]-0.25) > 1e-12 {
+		t.Fatalf("sig = %v", sig)
+	}
+	if got := sig.Mean(); math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+	empty := SignatureOf(statsWithSignature(nil))
+	if len(empty) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty signature")
+	}
+}
+
+func TestShiftAndClassify(t *testing.T) {
+	a := Signature{1: 1.0}
+	b := Signature{1: 0.5, 2: 0.5} // mean 1.5
+	c := Signature{2: 0.2, 7: 0.8} // mean 6
+	if s := Shift(a, a); Classify(s) != Invariant {
+		t.Fatalf("self shift = %v", Classify(s))
+	}
+	if s := Shift(a, b); Classify(s) != SlightShift {
+		t.Fatalf("a→b = %v (shift %v)", Classify(s), s)
+	}
+	if s := Shift(a, c); Classify(s) != SizableShift {
+		t.Fatalf("a→c = %v", Classify(s))
+	}
+}
+
+func TestShiftVerdictString(t *testing.T) {
+	if Invariant.String() != "invariant" || SlightShift.String() != "slight-shift" ||
+		SizableShift.String() != "sizable-shift" {
+		t.Fatal("verdict names")
+	}
+	if ShiftVerdict(9).String() != "ShiftVerdict(9)" {
+		t.Fatal("unknown verdict")
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	s := Signature{7: 0.1, 1: 0.9}
+	b := s.Buckets()
+	if len(b) != 2 || b[0] != 1 || b[1] != 7 {
+		t.Fatalf("buckets = %v", b)
+	}
+}
+
+func TestBestUnit(t *testing.T) {
+	label, tt := BestUnit(map[string]float64{"4K": 10, "8K": 8, "16K": 9, "Dyn": 8.2})
+	if label != "8K" || tt != 8 {
+		t.Fatalf("best = %s %v", label, tt)
+	}
+	// Deterministic tie-break by label order.
+	label, _ = BestUnit(map[string]float64{"b": 1, "a": 1})
+	if label != "a" {
+		t.Fatalf("tie-break = %s", label)
+	}
+}

@@ -1,0 +1,361 @@
+// Package harness defines the paper's experiments — Table 1 and Figures
+// 1–3 plus the §5.1 platform microbenchmarks — and renders their results
+// as text tables. Each experiment is an application × dataset; each is
+// run under the four configurations the paper compares: 4 KB, 8 KB, and
+// 16 KB static consistency units, and dynamic aggregation.
+//
+// Dataset sizes are scaled from the paper's full-size inputs but
+// preserve the granularity-to-page ratios (EXPERIMENTS.md has the
+// mapping), so the figures' *shapes* — who wins, by what factor, where
+// the 8 K→16 K crossovers fall — are the reproduction target, not
+// absolute seconds.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/apps/barnes"
+	"repro/internal/apps/fft3d"
+	"repro/internal/apps/ilink"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/mgs"
+	"repro/internal/apps/shallow"
+	"repro/internal/apps/tsp"
+	"repro/internal/apps/water"
+	"repro/internal/instrument"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+// Procs is the paper's processor count.
+const Procs = 8
+
+// Experiment is one application × dataset.
+type Experiment struct {
+	App     string
+	Dataset string // our scaled dataset
+	Paper   string // the paper's dataset it stands in for
+	Make    func(procs int) apps.Workload
+}
+
+// Config is one engine configuration column.
+type Config struct {
+	Label   string
+	Unit    int // consistency unit in pages
+	Dynamic bool
+}
+
+// Configs are the paper's four configurations, in figure order.
+func Configs() []Config {
+	return []Config{
+		{Label: "4K", Unit: 1},
+		{Label: "8K", Unit: 2},
+		{Label: "16K", Unit: 4},
+		{Label: "Dyn", Unit: 1, Dynamic: true},
+	}
+}
+
+// Cell is the outcome of one experiment under one configuration.
+type Cell struct {
+	Time  sim.Duration
+	Msgs  int
+	Bytes int
+	Stats *instrument.Stats
+}
+
+// Run executes one experiment under one configuration with verification.
+func Run(e Experiment, c Config, procs int) (Cell, error) {
+	w := e.Make(procs)
+	res, err := apps.Run(w, tmk.Config{
+		Procs:     procs,
+		UnitPages: c.Unit,
+		Dynamic:   c.Dynamic,
+		Collect:   true,
+	})
+	if err != nil {
+		return Cell{}, fmt.Errorf("%s %s [%s]: %w", e.App, e.Dataset, c.Label, err)
+	}
+	return Cell{Time: res.Time, Msgs: res.Messages, Bytes: res.Bytes, Stats: res.Stats}, nil
+}
+
+// --- experiment definitions -------------------------------------------------
+
+// Figure1 returns the applications whose false-sharing behaviour is
+// input-size independent: Barnes, Ilink, TSP, Water.
+func Figure1() []Experiment {
+	return []Experiment{
+		{
+			App: "Barnes", Dataset: "512", Paper: "16K bodies",
+			Make: func(p int) apps.Workload {
+				return barnes.New(barnes.Config{Bodies: 512, Steps: 2, Procs: p})
+			},
+		},
+		{
+			App: "Ilink", Dataset: "8x8192", Paper: "CLP 2x4x4x4",
+			Make: func(p int) apps.Workload {
+				return ilink.New(ilink.Config{Genarrays: 8, Len: 8192, Iters: 3, Procs: p})
+			},
+		},
+		{
+			App: "TSP", Dataset: "12-city", Paper: "19-city",
+			Make: func(p int) apps.Workload {
+				return tsp.New(tsp.Config{Cities: 12, ForkDepth: 4, Procs: p})
+			},
+		},
+		{
+			App: "Water", Dataset: "96", Paper: "343 molecules",
+			Make: func(p int) apps.Workload {
+				return water.New(water.Config{Molecules: 96, Steps: 2, Procs: p})
+			},
+		},
+	}
+}
+
+// Figure2 returns the size-sensitive applications, one experiment per
+// dataset, ordered as in the paper's Figure 2.
+func Figure2() []Experiment {
+	return []Experiment{
+		{
+			App: "Jacobi", Dataset: "128x512 (row=1pg)", Paper: "1Kx1K",
+			Make: func(p int) apps.Workload {
+				return jacobi.New(jacobi.Config{Rows: 128, Cols: 512, Iters: 4, Procs: p})
+			},
+		},
+		{
+			App: "Jacobi", Dataset: "64x1024 (row=2pg)", Paper: "2Kx2K",
+			Make: func(p int) apps.Workload {
+				return jacobi.New(jacobi.Config{Rows: 64, Cols: 1024, Iters: 4, Procs: p})
+			},
+		},
+		{
+			App: "3D-FFT", Dataset: "8x8x128 (chunk=1pg)", Paper: "64x64x32",
+			Make: func(p int) apps.Workload {
+				return fft3d.New(fft3d.Config{N1: 8, N2: 8, N3: 128, Iters: 2, Procs: p})
+			},
+		},
+		{
+			App: "3D-FFT", Dataset: "8x8x256 (chunk=2pg)", Paper: "64x64x64",
+			Make: func(p int) apps.Workload {
+				return fft3d.New(fft3d.Config{N1: 8, N2: 8, N3: 256, Iters: 2, Procs: p})
+			},
+		},
+		{
+			App: "3D-FFT", Dataset: "8x8x512 (chunk=4pg)", Paper: "128x128x128",
+			Make: func(p int) apps.Workload {
+				return fft3d.New(fft3d.Config{N1: 8, N2: 8, N3: 512, Iters: 2, Procs: p})
+			},
+		},
+		{
+			App: "MGS", Dataset: "512x32 (vec=1pg)", Paper: "1Kx1K",
+			Make: func(p int) apps.Workload {
+				return mgs.New(mgs.Config{Dim: 512, Vectors: 32, Procs: p})
+			},
+		},
+		{
+			App: "MGS", Dataset: "1024x24 (vec=2pg)", Paper: "2Kx2K",
+			Make: func(p int) apps.Workload {
+				return mgs.New(mgs.Config{Dim: 1024, Vectors: 24, Procs: p})
+			},
+		},
+		{
+			App: "MGS", Dataset: "2048x16 (vec=4pg)", Paper: "1Kx4K",
+			Make: func(p int) apps.Workload {
+				return mgs.New(mgs.Config{Dim: 2048, Vectors: 16, Procs: p})
+			},
+		},
+		{
+			App: "Shallow", Dataset: "512x16 (col=1pg)", Paper: "1Kx0.5K",
+			Make: func(p int) apps.Workload {
+				return shallow.New(shallow.Config{Rows: 512, Cols: 16, Iters: 3, Procs: p})
+			},
+		},
+		{
+			App: "Shallow", Dataset: "1024x16 (col=2pg)", Paper: "2Kx0.5K",
+			Make: func(p int) apps.Workload {
+				return shallow.New(shallow.Config{Rows: 1024, Cols: 16, Iters: 3, Procs: p})
+			},
+		},
+		{
+			App: "Shallow", Dataset: "2048x16 (col=4pg)", Paper: "4Kx0.5K",
+			Make: func(p int) apps.Workload {
+				return shallow.New(shallow.Config{Rows: 2048, Cols: 16, Iters: 3, Procs: p})
+			},
+		},
+	}
+}
+
+// Table1 returns one primary experiment per application.
+func Table1() []Experiment {
+	f1 := Figure1()
+	return []Experiment{
+		f1[0],        // Barnes
+		f1[1],        // Ilink
+		Figure2()[3], // 3D-FFT medium
+		Figure2()[5], // MGS vec=1pg
+		Figure2()[8], // Shallow col=1pg
+		Figure2()[0], // Jacobi row=1pg
+		f1[2],        // TSP
+		f1[3],        // Water
+	}
+}
+
+// Figure3 returns the signature experiments (Barnes, Ilink, Water, MGS).
+func Figure3() []Experiment {
+	f1 := Figure1()
+	return []Experiment{f1[0], f1[1], f1[3], Figure2()[5]}
+}
+
+// --- rendering ---------------------------------------------------------------
+
+func norm(v, base float64) string {
+	if base == 0 {
+		return "   -  "
+	}
+	return fmt.Sprintf("%6.3f", v/base)
+}
+
+// RenderFigure prints one experiment's normalized breakdown rows (the
+// paper's three bar groups: execution time, messages, data) for each
+// configuration, all normalized to the 4 KB column.
+func RenderFigure(w io.Writer, e Experiment, cells map[string]Cell) {
+	cfgs := Configs()
+	base := cells["4K"]
+	fmt.Fprintf(w, "%s %s  (paper: %s)\n", e.App, e.Dataset, e.Paper)
+	fmt.Fprintf(w, "  %-26s", "")
+	for _, c := range cfgs {
+		fmt.Fprintf(w, "%8s", c.Label)
+	}
+	fmt.Fprintln(w)
+
+	row := func(label string, f func(Cell) float64, baseV float64) {
+		fmt.Fprintf(w, "  %-26s", label)
+		for _, c := range cfgs {
+			fmt.Fprintf(w, "%8s", norm(f(cells[c.Label]), baseV))
+		}
+		fmt.Fprintln(w)
+	}
+	row("time", func(c Cell) float64 { return c.Time.Seconds() }, base.Time.Seconds())
+	row("messages", func(c Cell) float64 { return float64(c.Stats.Messages.Total()) },
+		float64(base.Stats.Messages.Total()))
+	row("  useless messages", func(c Cell) float64 { return float64(c.Stats.Messages.Useless) },
+		float64(base.Stats.Messages.Total()))
+	row("data", func(c Cell) float64 { return float64(c.Stats.TotalDataBytes()) },
+		float64(base.Stats.TotalDataBytes()))
+	row("  useless data", func(c Cell) float64 { return float64(c.Stats.UselessBytes) },
+		float64(base.Stats.TotalDataBytes()))
+	row("  piggybacked useless", func(c Cell) float64 { return float64(c.Stats.PiggybackedBytes) },
+		float64(base.Stats.TotalDataBytes()))
+	fmt.Fprintln(w)
+}
+
+// RunAndRenderFigure runs all configurations of an experiment and
+// renders it. Returns the cells for further analysis.
+func RunAndRenderFigure(w io.Writer, e Experiment) (map[string]Cell, error) {
+	cells := make(map[string]Cell)
+	for _, c := range Configs() {
+		cell, err := Run(e, c, Procs)
+		if err != nil {
+			return nil, err
+		}
+		cells[c.Label] = cell
+	}
+	RenderFigure(w, e, cells)
+	return cells, nil
+}
+
+// Table1Row is one line of Table 1.
+type Table1Row struct {
+	App     string
+	Dataset string
+	SeqTime sim.Duration // simulated 1-processor time
+	ParTime sim.Duration // simulated 8-processor time at 4 KB units
+	Speedup float64
+}
+
+// RunTable1 computes Table 1 (sequential simulated time and 8-processor
+// speedup at the 4 KB unit).
+func RunTable1(es []Experiment) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, e := range es {
+		seq, err := Run(e, Config{Label: "seq", Unit: 1}, 1)
+		if err != nil {
+			return nil, err
+		}
+		par, err := Run(e, Config{Label: "4K", Unit: 1}, Procs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			App:     e.App,
+			Dataset: e.Dataset,
+			SeqTime: seq.Time,
+			ParTime: par.Time,
+			Speedup: seq.Time.Seconds() / par.Time.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints Table 1.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-8s  %-22s  %12s  %12s  %8s\n",
+		"Program", "Input Size", "Seq. Time(s)", "8-proc (s)", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s  %-22s  %12s  %12s  %8.2f\n",
+			r.App, r.Dataset, sim.FormatSeconds(r.SeqTime),
+			sim.FormatSeconds(r.ParTime), r.Speedup)
+	}
+}
+
+// RenderSignature prints the false-sharing signature of one experiment
+// at 4 KB and 16 KB units (the paper's Figure 3): per concurrent-writer
+// count, the fraction of faults, split into useful and useless messages.
+func RenderSignature(w io.Writer, e Experiment, cells map[string]Cell) {
+	fmt.Fprintf(w, "%s %s — false sharing signature\n", e.App, e.Dataset)
+	for _, label := range []string{"4K", "16K"} {
+		st := cells[label].Stats
+		total := 0
+		for _, b := range st.Signature {
+			total += b.Faults
+		}
+		fmt.Fprintf(w, "  %-4s", label)
+		if total == 0 {
+			fmt.Fprintln(w, "  (no remote faults)")
+			continue
+		}
+		var ks []int
+		for k := range st.Signature {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
+			b := st.Signature[k]
+			fmt.Fprintf(w, "  [%d: %4.1f%% of faults, msgs %d useful/%d useless]",
+				k, 100*float64(b.Faults)/float64(total), b.UsefulMsgs, b.UselessMsgs)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderMicro prints the §5.1 platform-calibration table: the simulated
+// operation costs next to the paper's measured values.
+func RenderMicro(w io.Writer) {
+	cost := sim.DefaultCostModel()
+	rtt := cost.RoundTrip(1, 0)
+	lock := 3*cost.MessageLeg + cost.LockService + 32*cost.PerByte
+	barrier := 2*cost.MessageLeg + cost.BarrierManager + Procs*cost.RequestService
+	diffLo := cost.PageFault + cost.RoundTrip(24, 512) + cost.RequestService
+	diffHi := cost.PageFault + cost.RoundTrip(24, 3*4096) + cost.RequestService + 3*cost.DiffPerPage
+
+	fmt.Fprintf(w, "%-28s  %14s  %14s\n", "Operation", "Simulated", "Paper (§5.1)")
+	fmt.Fprintf(w, "%-28s  %11.0f µs  %14s\n", "1-byte round trip", us(rtt), "296 µs")
+	fmt.Fprintf(w, "%-28s  %11.0f µs  %14s\n", "lock acquisition", us(lock), "374–574 µs")
+	fmt.Fprintf(w, "%-28s  %11.0f µs  %14s\n", "8-processor barrier", us(barrier), "861 µs")
+	fmt.Fprintf(w, "%-28s  %4.0f–%4.0f µs  %14s\n", "diff fetch", us(diffLo), us(diffHi), "579–1746 µs")
+}
+
+func us(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConfigsMatchPaper(t *testing.T) {
+	cfgs := Configs()
+	if len(cfgs) != 4 {
+		t.Fatalf("configs = %d", len(cfgs))
+	}
+	if cfgs[0].Label != "4K" || cfgs[0].Unit != 1 || cfgs[0].Dynamic {
+		t.Fatalf("cfg0 = %+v", cfgs[0])
+	}
+	if cfgs[2].Label != "16K" || cfgs[2].Unit != 4 {
+		t.Fatalf("cfg2 = %+v", cfgs[2])
+	}
+	if !cfgs[3].Dynamic || cfgs[3].Unit != 1 {
+		t.Fatalf("cfg3 = %+v", cfgs[3])
+	}
+}
+
+func TestExperimentInventory(t *testing.T) {
+	if got := len(Figure1()); got != 4 {
+		t.Fatalf("figure 1 experiments = %d, want 4", got)
+	}
+	if got := len(Figure2()); got != 11 {
+		t.Fatalf("figure 2 experiments = %d, want 11 (2 Jacobi + 3 FFT + 3 MGS + 3 Shallow)", got)
+	}
+	if got := len(Table1()); got != 8 {
+		t.Fatalf("table 1 rows = %d, want 8 applications", got)
+	}
+	if got := len(Figure3()); got != 4 {
+		t.Fatalf("figure 3 experiments = %d, want 4", got)
+	}
+	for _, e := range Figure2() {
+		if e.Paper == "" {
+			t.Fatalf("%s %s missing paper dataset mapping", e.App, e.Dataset)
+		}
+	}
+}
+
+// One full experiment through all four configurations, rendered.
+func TestRunAndRenderFigureSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	e := Figure2()[0] // Jacobi row=1pg: fast
+	cells, err := RunAndRenderFigure(&buf, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Jacobi", "time", "messages", "piggybacked", "4K", "Dyn"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if cells["4K"].Time <= 0 || cells["Dyn"].Stats == nil {
+		t.Fatal("cells incomplete")
+	}
+}
+
+func TestRunTable1Subset(t *testing.T) {
+	rows, err := RunTable1(Table1()[5:6]) // Jacobi only: fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].App != "Jacobi" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Speedup <= 1 {
+		t.Fatalf("speedup = %v, want > 1 on 8 processors", rows[0].Speedup)
+	}
+	var buf bytes.Buffer
+	RenderTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Speedup") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestRenderSignature(t *testing.T) {
+	e := Figure2()[5] // MGS vec=1pg
+	cells := map[string]Cell{}
+	for _, label := range []string{"4K", "16K"} {
+		unit := 1
+		if label == "16K" {
+			unit = 4
+		}
+		c, err := Run(e, Config{Label: label, Unit: unit}, Procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells[label] = c
+	}
+	var buf bytes.Buffer
+	RenderSignature(&buf, e, cells)
+	out := buf.String()
+	if !strings.Contains(out, "4K") || !strings.Contains(out, "16K") {
+		t.Fatalf("signature render:\n%s", out)
+	}
+	// MGS at 16K must show multi-writer buckets.
+	if !strings.Contains(out, "[2:") && !strings.Contains(out, "[3:") && !strings.Contains(out, "[4:") {
+		t.Fatalf("16K MGS signature has no multi-writer bucket:\n%s", out)
+	}
+}
+
+func TestRenderMicroCalibration(t *testing.T) {
+	var buf bytes.Buffer
+	RenderMicro(&buf)
+	out := buf.String()
+	for _, want := range []string{"296", "861", "round trip", "barrier", "diff fetch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("micro table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package instrument implements the paper's §5.3 measurement
+// methodology. It records every read, write, and diff application at word
+// granularity and classifies communication after the run:
+//
+//   - a diffed word applied to a replica is useful if it is read before
+//     being overwritten, useless otherwise (including never touched);
+//   - a data message (diff request/reply exchange) is useless if it
+//     carries no useful word; synchronization messages are always useful;
+//   - useless data carried on useful messages is "piggybacked" useless
+//     data;
+//   - the false-sharing signature is the histogram, over access faults,
+//     of the number of concurrent writers contacted, with each bar split
+//     into the useful and useless messages of those faults.
+package instrument
+
+import (
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/simnet"
+)
+
+// DataMsg tracks one diff request/reply exchange with one writer.
+type DataMsg struct {
+	Req    simnet.MsgID
+	Reply  simnet.MsgID
+	Writer int
+	Reader int
+
+	index      int32 // position in Collector.data
+	totalWords int32
+	useful     int32 // words read before overwritten (owned by Reader's goroutine)
+}
+
+// Useful reports whether the exchange carried at least one useful word.
+// Valid only after the run completes.
+func (m *DataMsg) Useful() bool { return m.useful > 0 }
+
+// TotalWords returns the number of diffed words the exchange carried.
+func (m *DataMsg) TotalWords() int { return int(m.totalWords) }
+
+// UsefulWords returns the number of words read before being overwritten.
+func (m *DataMsg) UsefulWords() int { return int(m.useful) }
+
+// Fault records one access miss that reached the fault handler.
+type Fault struct {
+	Proc    int
+	Page    int
+	Writers int // concurrent writers contacted (0 = no fetch needed)
+	msgs    []int32
+}
+
+// Collector gathers per-word usefulness, per-exchange accounting, and
+// fault events for one run. Tag arrays are per processor and only touched
+// by that processor's goroutine; the data-message list is guarded by a
+// mutex (fault path only, never the access hot path).
+type Collector struct {
+	nprocs int
+	nwords int
+	tags   [][]int32 // [proc][globalWord] -> DataMsg index+1, 0 = none
+
+	mu   sync.Mutex
+	data []*DataMsg
+
+	faults [][]Fault // per proc, appended only by that proc
+}
+
+// NewCollector returns a collector for nprocs processors over a segment
+// of segBytes bytes.
+func NewCollector(nprocs, segBytes int) *Collector {
+	nwords := mem.RoundUpPages(segBytes) / mem.WordSize
+	c := &Collector{
+		nprocs: nprocs,
+		nwords: nwords,
+		tags:   make([][]int32, nprocs),
+		faults: make([][]Fault, nprocs),
+	}
+	for p := range c.tags {
+		c.tags[p] = make([]int32, nwords)
+	}
+	return c
+}
+
+// OnRead records a read of the word at byte address addr by proc. If the
+// word was applied by a diff and not yet overwritten, the carrying
+// exchange is credited with a useful word.
+func (c *Collector) OnRead(proc int, addr mem.Addr) {
+	w := addr >> mem.WordShift
+	if tag := c.tags[proc][w]; tag != 0 {
+		c.data[tag-1].useful++
+		c.tags[proc][w] = 0
+	}
+}
+
+// OnWrite records a write: an applied-but-unread word overwritten locally
+// becomes useless (its tag is dropped without credit).
+func (c *Collector) OnWrite(proc int, addr mem.Addr) {
+	c.tags[proc][addr>>mem.WordShift] = 0
+}
+
+// NewDataMsg registers a diff exchange between reader and writer.
+func (c *Collector) NewDataMsg(req, reply simnet.MsgID, writer, reader int) *DataMsg {
+	m := &DataMsg{Req: req, Reply: reply, Writer: writer, Reader: reader}
+	c.mu.Lock()
+	m.index = int32(len(c.data))
+	c.data = append(c.data, m)
+	c.mu.Unlock()
+	return m
+}
+
+// TagDiff marks every word of d (applied to page in proc's replica) as
+// carried by exchange m. A word already tagged by an earlier exchange is
+// re-tagged; the earlier exchange simply never receives the credit
+// (overwritten before read).
+func (c *Collector) TagDiff(proc, page int, d mem.Diff, m *DataMsg) {
+	base := page << (mem.PageShift - mem.WordShift)
+	tag := m.index + 1
+	t := c.tags[proc]
+	d.ForEachWord(func(w int) {
+		t[base+w] = tag
+	})
+	m.totalWords += int32(d.WordCount())
+}
+
+// OnFault records one access miss by proc on page, contacting the given
+// exchanges (one per concurrent writer).
+func (c *Collector) OnFault(proc, page int, msgs []*DataMsg) {
+	f := Fault{Proc: proc, Page: page, Writers: len(msgs)}
+	for _, m := range msgs {
+		f.msgs = append(f.msgs, m.index)
+	}
+	c.faults[proc] = append(c.faults[proc], f)
+}
+
+// SigBucket is one bar of the false-sharing signature: the faults that
+// contacted exactly Writers concurrent writers, and the useful/useless
+// messages those faults exchanged.
+type SigBucket struct {
+	Writers     int
+	Faults      int
+	UsefulMsgs  int
+	UselessMsgs int
+}
+
+// Breakdown splits message or byte counts per the paper's figures.
+type Breakdown struct {
+	Useful  int
+	Useless int
+}
+
+// Total returns Useful + Useless.
+func (b Breakdown) Total() int { return b.Useful + b.Useless }
+
+// Stats is the per-run communication breakdown of Figures 1–3.
+type Stats struct {
+	// Messages counts every protocol message. Useless = both legs of
+	// data exchanges that carried no useful word; synchronization
+	// messages and useful exchanges are Useful.
+	Messages Breakdown
+	// DataBytes classifies diff payload words (×8 bytes). Piggybacked
+	// is useless data carried on useful messages; UselessBytes rides on
+	// useless messages.
+	UsefulBytes      int
+	UselessBytes     int
+	PiggybackedBytes int
+	// TotalWireBytes is all payload bytes on the network, including
+	// write notices and sync traffic.
+	TotalWireBytes int
+	// Faults counts access misses that reached the fault handler;
+	// ZeroFetchFaults is the subset that needed no remote data (cold
+	// pages, or group members whose updates were prefetched).
+	Faults          int
+	ZeroFetchFaults int
+	// Exchanges counts data request/reply pairs.
+	Exchanges int
+	// Signature maps concurrent-writer cardinality to its bar.
+	Signature map[int]*SigBucket
+}
+
+// TotalDataBytes returns all diff payload bytes.
+func (s *Stats) TotalDataBytes() int {
+	return s.UsefulBytes + s.UselessBytes + s.PiggybackedBytes
+}
+
+// Finalize classifies the run. records must be the network's complete
+// message log. Call only after all processor goroutines have finished.
+func (c *Collector) Finalize(records []simnet.Record) *Stats {
+	s := &Stats{Signature: make(map[int]*SigBucket)}
+
+	// Classify exchanges.
+	usefulByReply := make(map[simnet.MsgID]bool, len(c.data))
+	for _, m := range c.data {
+		u := m.Useful()
+		usefulByReply[m.Reply] = u
+		usefulByReply[m.Req] = u
+		s.Exchanges++
+		if u {
+			s.UsefulBytes += int(m.useful) * mem.WordSize
+			s.PiggybackedBytes += int(m.totalWords-m.useful) * mem.WordSize
+		} else {
+			s.UselessBytes += int(m.totalWords) * mem.WordSize
+		}
+	}
+
+	// Classify messages.
+	for _, r := range records {
+		s.TotalWireBytes += r.Bytes
+		if r.Kind.IsData() {
+			if usefulByReply[r.ID] {
+				s.Messages.Useful++
+			} else {
+				s.Messages.Useless++
+			}
+		} else {
+			s.Messages.Useful++
+		}
+	}
+
+	// Signature.
+	for p := range c.faults {
+		for i := range c.faults[p] {
+			f := &c.faults[p][i]
+			s.Faults++
+			if f.Writers == 0 {
+				s.ZeroFetchFaults++
+				continue
+			}
+			b := s.Signature[f.Writers]
+			if b == nil {
+				b = &SigBucket{Writers: f.Writers}
+				s.Signature[f.Writers] = b
+			}
+			b.Faults++
+			for _, idx := range f.msgs {
+				if c.data[idx].Useful() {
+					b.UsefulMsgs += 2 // request + reply
+				} else {
+					b.UselessMsgs += 2
+				}
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,192 @@
+package instrument
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/simnet"
+)
+
+// diffOfWords builds a diff that sets the given word offsets (page
+// relative) to arbitrary nonzero values.
+func diffOfWords(words ...int) mem.Diff {
+	page := make([]byte, mem.PageSize)
+	tw := mem.MakeTwin(page)
+	for _, w := range words {
+		page[w<<mem.WordShift] = 0xab
+	}
+	return mem.EncodeDiff(tw, page)
+}
+
+func addrOf(page, word int) mem.Addr {
+	return mem.PageBase(page) + word*mem.WordSize
+}
+
+func TestUsefulWordReadBeforeOverwrite(t *testing.T) {
+	c := NewCollector(2, 2*mem.PageSize)
+	m := c.NewDataMsg(1, 2, 1, 0)
+	c.TagDiff(0, 0, diffOfWords(3, 4), m)
+	if m.TotalWords() != 2 {
+		t.Fatalf("TotalWords = %d", m.TotalWords())
+	}
+	c.OnRead(0, addrOf(0, 3))
+	if m.UsefulWords() != 1 || !m.Useful() {
+		t.Fatalf("useful = %d", m.UsefulWords())
+	}
+	// Re-reading the same word must not double-credit.
+	c.OnRead(0, addrOf(0, 3))
+	if m.UsefulWords() != 1 {
+		t.Fatal("double credit on repeated read")
+	}
+}
+
+func TestUselessWordOverwrittenBeforeRead(t *testing.T) {
+	c := NewCollector(1, mem.PageSize)
+	m := c.NewDataMsg(1, 2, 1, 0)
+	c.TagDiff(0, 0, diffOfWords(7), m)
+	c.OnWrite(0, addrOf(0, 7))
+	c.OnRead(0, addrOf(0, 7)) // reads own write, not the diffed value
+	if m.Useful() {
+		t.Fatal("overwritten-before-read word must not be useful")
+	}
+}
+
+func TestUntouchedWordsAreUseless(t *testing.T) {
+	c := NewCollector(1, mem.PageSize)
+	m := c.NewDataMsg(1, 2, 1, 0)
+	c.TagDiff(0, 0, diffOfWords(0, 1, 2), m)
+	st := c.Finalize(nil)
+	if st.UselessBytes != 3*mem.WordSize || st.UsefulBytes != 0 {
+		t.Fatalf("useless=%d useful=%d", st.UselessBytes, st.UsefulBytes)
+	}
+}
+
+func TestPiggybackedUselessData(t *testing.T) {
+	c := NewCollector(1, mem.PageSize)
+	m := c.NewDataMsg(1, 2, 1, 0)
+	c.TagDiff(0, 0, diffOfWords(0, 1, 2, 3), m)
+	c.OnRead(0, addrOf(0, 0)) // one useful word ⇒ message useful
+	st := c.Finalize(nil)
+	if st.UsefulBytes != 1*mem.WordSize {
+		t.Fatalf("useful bytes = %d", st.UsefulBytes)
+	}
+	if st.PiggybackedBytes != 3*mem.WordSize {
+		t.Fatalf("piggybacked bytes = %d", st.PiggybackedBytes)
+	}
+	if st.UselessBytes != 0 {
+		t.Fatalf("useless bytes = %d", st.UselessBytes)
+	}
+}
+
+func TestRetagTransfersCredit(t *testing.T) {
+	// A second exchange re-diffs the same word before it is read: the
+	// first exchange's copy was overwritten before read ⇒ useless; the
+	// read credits only the second exchange.
+	c := NewCollector(1, mem.PageSize)
+	m1 := c.NewDataMsg(1, 2, 1, 0)
+	m2 := c.NewDataMsg(3, 4, 2, 0)
+	c.TagDiff(0, 0, diffOfWords(9), m1)
+	c.TagDiff(0, 0, diffOfWords(9), m2)
+	c.OnRead(0, addrOf(0, 9))
+	if m1.Useful() {
+		t.Fatal("first exchange must be useless")
+	}
+	if !m2.Useful() {
+		t.Fatal("second exchange must be useful")
+	}
+}
+
+func TestMessageClassification(t *testing.T) {
+	c := NewCollector(1, mem.PageSize)
+	mu := c.NewDataMsg(1, 2, 1, 0) // will be useful
+	ml := c.NewDataMsg(3, 4, 2, 0) // will be useless
+	c.TagDiff(0, 0, diffOfWords(0), mu)
+	c.TagDiff(0, 0, diffOfWords(1), ml)
+	c.OnRead(0, addrOf(0, 0))
+
+	records := []simnet.Record{
+		{ID: 1, Kind: simnet.DiffRequest, Bytes: 16},
+		{ID: 2, Kind: simnet.DiffReply, Bytes: 100},
+		{ID: 3, Kind: simnet.DiffRequest, Bytes: 16},
+		{ID: 4, Kind: simnet.DiffReply, Bytes: 100},
+		{ID: 5, Kind: simnet.BarrierArrive, Bytes: 8},
+		{ID: 6, Kind: simnet.BarrierRelease, Bytes: 24},
+	}
+	st := c.Finalize(records)
+	if st.Messages.Useful != 4 { // useful req+reply + 2 sync
+		t.Fatalf("useful msgs = %d", st.Messages.Useful)
+	}
+	if st.Messages.Useless != 2 {
+		t.Fatalf("useless msgs = %d", st.Messages.Useless)
+	}
+	if st.Messages.Total() != 6 {
+		t.Fatalf("total = %d", st.Messages.Total())
+	}
+	if st.TotalWireBytes != 16+100+16+100+8+24 {
+		t.Fatalf("wire bytes = %d", st.TotalWireBytes)
+	}
+	if st.Exchanges != 2 {
+		t.Fatalf("exchanges = %d", st.Exchanges)
+	}
+}
+
+func TestSignatureBuckets(t *testing.T) {
+	c := NewCollector(1, 4*mem.PageSize)
+	// Fault 1: two writers, one useful one useless.
+	a := c.NewDataMsg(1, 2, 1, 0)
+	b := c.NewDataMsg(3, 4, 2, 0)
+	c.TagDiff(0, 0, diffOfWords(0), a)
+	c.TagDiff(0, 0, diffOfWords(1), b)
+	c.OnFault(0, 0, []*DataMsg{a, b})
+	c.OnRead(0, addrOf(0, 0))
+	// Fault 2: one writer, useful.
+	d := c.NewDataMsg(5, 6, 1, 0)
+	c.TagDiff(0, 1, diffOfWords(0), d)
+	c.OnFault(0, 1, []*DataMsg{d})
+	c.OnRead(0, addrOf(1, 0))
+	// Fault 3: prefetched page, no fetch.
+	c.OnFault(0, 2, nil)
+
+	st := c.Finalize(nil)
+	if st.Faults != 3 || st.ZeroFetchFaults != 1 {
+		t.Fatalf("faults = %d, zero-fetch = %d", st.Faults, st.ZeroFetchFaults)
+	}
+	b2 := st.Signature[2]
+	if b2 == nil || b2.Faults != 1 || b2.UsefulMsgs != 2 || b2.UselessMsgs != 2 {
+		t.Fatalf("bucket 2 = %+v", b2)
+	}
+	b1 := st.Signature[1]
+	if b1 == nil || b1.Faults != 1 || b1.UsefulMsgs != 2 || b1.UselessMsgs != 0 {
+		t.Fatalf("bucket 1 = %+v", b1)
+	}
+	if st.Signature[3] != nil {
+		t.Fatal("unexpected bucket 3")
+	}
+}
+
+func TestPerProcTagIsolation(t *testing.T) {
+	// The same global word tagged for proc 0 must not be visible to
+	// proc 1's reads.
+	c := NewCollector(2, mem.PageSize)
+	m := c.NewDataMsg(1, 2, 1, 0)
+	c.TagDiff(0, 0, diffOfWords(5), m)
+	c.OnRead(1, addrOf(0, 5))
+	if m.Useful() {
+		t.Fatal("cross-processor credit")
+	}
+	c.OnRead(0, addrOf(0, 5))
+	if !m.Useful() {
+		t.Fatal("owner read must credit")
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{Useful: 3, Useless: 4}
+	if b.Total() != 7 {
+		t.Fatal("Breakdown.Total")
+	}
+	s := &Stats{UsefulBytes: 8, UselessBytes: 16, PiggybackedBytes: 24}
+	if s.TotalDataBytes() != 48 {
+		t.Fatal("TotalDataBytes")
+	}
+}

@@ -1,0 +1,203 @@
+// Package lrc implements the lazy-release-consistency bookkeeping of the
+// DSM: intervals, write notices, the global interval registry, and the
+// causal ordering used to apply concurrent diffs.
+//
+// In LRC a processor's execution is divided into intervals by its
+// synchronization operations. Closing an interval publishes (a) a write
+// notice per page modified in the interval and (b) — in this engine,
+// eagerly — the word-granularity diff of each such page. On an acquire,
+// the acquirer learns of every interval covered by the releaser's vector
+// time that it has not yet seen, and invalidates the noticed pages; the
+// diffs themselves travel only on demand, at the next access fault.
+package lrc
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/vc"
+)
+
+// PageDiff is the word-granularity diff of one 4 KB page.
+type PageDiff struct {
+	Page int
+	D    mem.Diff
+}
+
+// Interval is one closed interval of one processor.
+//
+// Write detection and invalidation happen at *consistency-unit*
+// granularity (1, 2, or 4 pages, per the experiment), while diffs stay
+// word-granular within 4 KB pages — exactly the combination the paper
+// studies: enlarging the unit enlarges what gets twinned, noticed,
+// invalidated, and fetched, but a diff still carries only the words that
+// actually changed.
+type Interval struct {
+	// ID names the interval (processor + per-processor sequence).
+	ID vc.IntervalID
+	// TS is the processor's vector time at the close of the interval
+	// (including the interval's own tick).
+	TS vc.Time
+	// Units lists the consistency units written during the interval
+	// (each unit appears once). The interval's write notices name
+	// exactly these units.
+	Units []int
+	// Diffs holds the non-empty page diffs of the interval, ordered by
+	// page number.
+	Diffs []PageDiff
+
+	diffByPage map[int]mem.Diff
+}
+
+// Diff returns the interval's diff for the given 4 KB page; ok is false
+// if the page has no modifications in this interval.
+func (iv *Interval) Diff(page int) (mem.Diff, bool) {
+	d, ok := iv.diffByPage[page]
+	return d, ok
+}
+
+// DiffsInUnit returns the interval's page diffs that fall inside
+// consistency unit u, where each unit spans unitPages pages.
+func (iv *Interval) DiffsInUnit(u, unitPages int) []PageDiff {
+	lo, hi := u*unitPages, (u+1)*unitPages
+	var out []PageDiff
+	for _, pd := range iv.Diffs {
+		if pd.Page >= lo && pd.Page < hi {
+			out = append(out, pd)
+		}
+	}
+	return out
+}
+
+// NoticeBytes returns the wire size of the interval's write notices: the
+// interval header (proc, seq, vector time) plus one unit id per notice.
+func (iv *Interval) NoticeBytes() int {
+	return 8 + 4*len(iv.TS) + 4*len(iv.Units)
+}
+
+// CausalKey is a monotone linearization of the happens-before partial
+// order: if a happens before b then a's vector-entry sum is strictly less
+// than b's, so sorting by (sum, proc, seq) is a valid causal application
+// order that is also deterministic for concurrent intervals (whose diffs
+// touch disjoint words in race-free programs).
+func (iv *Interval) CausalKey() (sum int64, proc int, seq int32) {
+	for _, v := range iv.TS {
+		sum += int64(v)
+	}
+	return sum, iv.ID.Proc, iv.ID.Seq
+}
+
+// SortCausally orders intervals by CausalKey, a linear extension of
+// happens-before.
+func SortCausally(ivs []*Interval) {
+	sort.Slice(ivs, func(i, j int) bool {
+		si, pi, qi := ivs[i].CausalKey()
+		sj, pj, qj := ivs[j].CausalKey()
+		if si != sj {
+			return si < sj
+		}
+		if pi != pj {
+			return pi < pj
+		}
+		return qi < qj
+	})
+}
+
+// Store is the global registry of closed intervals. It models the
+// per-node interval and diff storage TreadMarks keeps: a processor can
+// only look up intervals it has provably heard about (covered by a vector
+// time handed to it at a synchronization), so reading through the store
+// never leaks information ahead of the protocol.
+//
+// Garbage collection of old intervals is deliberately omitted (runs are
+// short; TreadMarks GC is orthogonal to the paper's study).
+type Store struct {
+	mu    sync.RWMutex
+	byPid [][]*Interval // byPid[p][seq-1] = interval (p, seq)
+}
+
+// NewStore returns an empty registry for n processors.
+func NewStore(n int) *Store {
+	return &Store{byPid: make([][]*Interval, n)}
+}
+
+// Publish registers a closed interval. The interval's sequence number
+// must be the next one for its processor.
+func (s *Store) Publish(iv *Interval) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := iv.ID.Proc
+	if int(iv.ID.Seq) != len(s.byPid[p])+1 {
+		panic("lrc: out-of-order interval publish")
+	}
+	s.byPid[p] = append(s.byPid[p], iv)
+}
+
+// Get returns interval (p, seq).
+func (s *Store) Get(p int, seq int32) *Interval {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byPid[p][seq-1]
+}
+
+// Delta returns every interval covered by 'to' but not by 'from', i.e.
+// the write notices an acquirer moving from vector time 'from' to 'to'
+// must consume, in causal order.
+func (s *Store) Delta(from, to vc.Time) []*Interval {
+	var out []*Interval
+	s.mu.RLock()
+	for p := range s.byPid {
+		lo, hi := from[p], to[p]
+		for seq := lo + 1; seq <= hi; seq++ {
+			out = append(out, s.byPid[p][seq-1])
+		}
+	}
+	s.mu.RUnlock()
+	SortCausally(out)
+	return out
+}
+
+// MakeInterval builds an interval from the written units and the
+// non-empty page diffs produced at its close.
+func MakeInterval(id vc.IntervalID, ts vc.Time, units []int, diffs []PageDiff) *Interval {
+	iv := &Interval{
+		ID:         id,
+		TS:         ts,
+		Units:      append([]int(nil), units...),
+		Diffs:      append([]PageDiff(nil), diffs...),
+		diffByPage: make(map[int]mem.Diff, len(diffs)),
+	}
+	sort.Slice(iv.Diffs, func(i, j int) bool { return iv.Diffs[i].Page < iv.Diffs[j].Page })
+	for _, pd := range iv.Diffs {
+		if _, dup := iv.diffByPage[pd.Page]; dup {
+			panic("lrc: duplicate page diff in interval")
+		}
+		iv.diffByPage[pd.Page] = pd.D
+	}
+	return iv
+}
+
+// MissingWrite records, at some processor, one unseen remote interval
+// that wrote a given page; the page stays invalid until the diffs of all
+// its missing writes have been fetched and applied.
+type MissingWrite struct {
+	Interval *Interval
+}
+
+// WritersOf returns the distinct writer processors of a missing-write
+// list, in ascending processor order — the "concurrent writers" whose
+// cardinality drives the paper's false-sharing signature.
+func WritersOf(miss []MissingWrite) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, m := range miss {
+		p := m.Interval.ID.Proc
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoalesceDiffsLastWriteWins(t *testing.T) {
+	base := make([]byte, PageSize)
+	a := make([]byte, PageSize)
+	putWordAt(a, 5, 1)
+	putWordAt(a, 6, 1)
+	d1 := EncodeDiff(MakeTwin(base), a)
+	b := make([]byte, PageSize)
+	copy(b, a)
+	putWordAt(b, 6, 2)
+	putWordAt(b, 7, 2)
+	d2 := EncodeDiff(MakeTwin(a), b)
+
+	c := CoalesceDiffs([]Diff{d1, d2})
+	dst := make([]byte, PageSize)
+	c.Apply(dst)
+	if wordAt(dst, 5) != 1 || wordAt(dst, 6) != 2 || wordAt(dst, 7) != 2 {
+		t.Fatalf("coalesced = %d %d %d", wordAt(dst, 5), wordAt(dst, 6), wordAt(dst, 7))
+	}
+	if c.WordCount() != 3 {
+		t.Fatalf("WordCount = %d", c.WordCount())
+	}
+}
+
+func TestCoalesceSingleDiffIsIdentity(t *testing.T) {
+	base := make([]byte, PageSize)
+	a := make([]byte, PageSize)
+	putWordAt(a, 0, 9)
+	d := EncodeDiff(MakeTwin(base), a)
+	if !reflect.DeepEqual(CoalesceDiffs([]Diff{d}), d) {
+		t.Fatal("single-diff coalesce must be the diff itself")
+	}
+}
+
+// Property: applying a chain of diffs in order equals applying the
+// coalesced diff, and the coalesced diff is never larger on the wire.
+func TestPropCoalesceEquivalentToChain(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			cur := make([]byte, PageSize)
+			var chain []Diff
+			for k := 0; k < 1+r.Intn(5); k++ {
+				next := make([]byte, PageSize)
+				copy(next, cur)
+				for i := 0; i < 1+r.Intn(30); i++ {
+					putWordAt(next, r.Intn(WordsPerPage), r.Uint64())
+				}
+				chain = append(chain, EncodeDiff(MakeTwin(cur), next))
+				cur = next
+			}
+			args[0] = reflect.ValueOf(chain)
+		},
+	}
+	f := func(chain []Diff) bool {
+		x := make([]byte, PageSize)
+		for _, d := range chain {
+			d.Apply(x)
+		}
+		y := make([]byte, PageSize)
+		c := CoalesceDiffs(chain)
+		c.Apply(y)
+		if !bytes.Equal(x, y) {
+			return false
+		}
+		sum := 0
+		for _, d := range chain {
+			sum += d.WireBytes()
+		}
+		return c.WireBytes() <= sum
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package mem
+
+import "fmt"
+
+// Twin is the pristine copy of a page taken on the first write in an
+// interval, used later to encode the diff (the record of modifications).
+type Twin []byte
+
+// MakeTwin copies the current contents of a page.
+func MakeTwin(page []byte) Twin {
+	if len(page) != PageSize {
+		panic(fmt.Sprintf("mem: twin of %d-byte page", len(page)))
+	}
+	t := make(Twin, PageSize)
+	copy(t, page)
+	return t
+}
+
+// Run is one maximal contiguous range of modified words in a diff.
+type Run struct {
+	// Off is the word offset of the first modified word within the page.
+	Off uint16
+	// Words holds the new values of the modified words.
+	Words []uint64
+}
+
+// Diff records the word-granularity modifications of one page in one
+// interval, as produced by comparing the page against its twin. A Diff is
+// immutable after encoding; it is published into the owner's diff store
+// and served to remote faulting processors.
+type Diff struct {
+	runs []Run
+}
+
+// Wire-format accounting: TreadMarks sends diffs as (page id, run list);
+// each run carries a 2-byte offset and 2-byte length header.
+const (
+	diffHeaderBytes = 8 // page id + run count + interval stamp
+	runHeaderBytes  = 4 // offset + length
+)
+
+// EncodeDiff compares a page against its twin and returns the diff. Word
+// values are captured at encode time, so the diff remains valid if the
+// page is modified afterwards (next interval).
+func EncodeDiff(twin Twin, page []byte) Diff {
+	if len(twin) != PageSize || len(page) != PageSize {
+		panic("mem: EncodeDiff on non-page-sized input")
+	}
+	var d Diff
+	w := 0
+	for w < WordsPerPage {
+		if wordAt(twin, w) == wordAt(page, w) {
+			w++
+			continue
+		}
+		start := w
+		for w < WordsPerPage && wordAt(twin, w) != wordAt(page, w) {
+			w++
+		}
+		run := Run{Off: uint16(start), Words: make([]uint64, w-start)}
+		for i := start; i < w; i++ {
+			run.Words[i-start] = wordAt(page, i)
+		}
+		d.runs = append(d.runs, run)
+	}
+	return d
+}
+
+func wordAt(b []byte, w int) uint64 {
+	off := w << WordShift
+	return uint64(b[off]) | uint64(b[off+1])<<8 | uint64(b[off+2])<<16 |
+		uint64(b[off+3])<<24 | uint64(b[off+4])<<32 | uint64(b[off+5])<<40 |
+		uint64(b[off+6])<<48 | uint64(b[off+7])<<56
+}
+
+func putWordAt(b []byte, w int, v uint64) {
+	off := w << WordShift
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+	b[off+4] = byte(v >> 32)
+	b[off+5] = byte(v >> 40)
+	b[off+6] = byte(v >> 48)
+	b[off+7] = byte(v >> 56)
+}
+
+// Empty reports whether the diff records no modifications.
+func (d Diff) Empty() bool { return len(d.runs) == 0 }
+
+// Runs returns the diff's run list (callers must not modify it).
+func (d Diff) Runs() []Run { return d.runs }
+
+// WordCount returns the number of modified words the diff carries.
+func (d Diff) WordCount() int {
+	n := 0
+	for _, r := range d.runs {
+		n += len(r.Words)
+	}
+	return n
+}
+
+// WireBytes returns the payload size of the diff on the simulated
+// network, including run headers.
+func (d Diff) WireBytes() int {
+	n := diffHeaderBytes
+	for _, r := range d.runs {
+		n += runHeaderBytes + len(r.Words)*WordSize
+	}
+	return n
+}
+
+// Apply patches the diffed words into dst, which must be a full page.
+// Later-applied diffs overwrite earlier ones; the engine applies diffs in
+// causal (vector-timestamp) order, which for concurrent diffs of a
+// correctly synchronized program touch disjoint words.
+func (d Diff) Apply(dst []byte) {
+	if len(dst) != PageSize {
+		panic("mem: Apply on non-page-sized destination")
+	}
+	for _, r := range d.runs {
+		for i, v := range r.Words {
+			putWordAt(dst, int(r.Off)+i, v)
+		}
+	}
+}
+
+// ForEachWord invokes fn with the page-relative word offset of every word
+// the diff carries, in ascending order. The instrumentation layer uses
+// this to tag applied words with the carrying message.
+func (d Diff) ForEachWord(fn func(wordOff int)) {
+	for _, r := range d.runs {
+		for i := range r.Words {
+			fn(int(r.Off) + i)
+		}
+	}
+}
+
+// CoalesceDiffs merges an ordered sequence of diffs of the same page
+// into one equivalent diff: for each word, the value of the last diff
+// that wrote it. The caller must pass diffs in application order; this is
+// only meaningful for diffs that are totally ordered (e.g. successive
+// intervals of a single writer), where it reproduces TreadMarks' remedy
+// for diff accumulation — a reader that missed many intervals of a
+// one-writer page receives at most one page's worth of data.
+func CoalesceDiffs(ds []Diff) Diff {
+	if len(ds) == 1 {
+		return ds[0]
+	}
+	var vals [WordsPerPage]uint64
+	var set [WordsPerPage]bool
+	for _, d := range ds {
+		for _, r := range d.runs {
+			for i, v := range r.Words {
+				vals[int(r.Off)+i] = v
+				set[int(r.Off)+i] = true
+			}
+		}
+	}
+	var out Diff
+	w := 0
+	for w < WordsPerPage {
+		if !set[w] {
+			w++
+			continue
+		}
+		start := w
+		for w < WordsPerPage && set[w] {
+			w++
+		}
+		run := Run{Off: uint16(start), Words: make([]uint64, w-start)}
+		copy(run.Words, vals[start:w])
+		out.runs = append(out.runs, run)
+	}
+	return out
+}
+
+// OverlapWords returns the number of words modified by both diffs —
+// nonzero only under write-write races within a page region, which a
+// correctly synchronized program avoids for concurrent intervals.
+func (d Diff) OverlapWords(o Diff) int {
+	var mine [WordsPerPage]bool
+	d.ForEachWord(func(w int) { mine[w] = true })
+	n := 0
+	o.ForEachWord(func(w int) {
+		if mine[w] {
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,125 @@
+package mem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeometry(t *testing.T) {
+	if PageSize != 4096 {
+		t.Fatalf("PageSize = %d, want 4096 (paper's hardware page)", PageSize)
+	}
+	if WordsPerPage != 512 {
+		t.Fatalf("WordsPerPage = %d, want 512", WordsPerPage)
+	}
+}
+
+func TestPageOfAndBase(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		page int
+	}{
+		{0, 0}, {4095, 0}, {4096, 1}, {8191, 1}, {8192, 2},
+	}
+	for _, c := range cases {
+		if got := PageOf(c.addr); got != c.page {
+			t.Errorf("PageOf(%d) = %d, want %d", c.addr, got, c.page)
+		}
+	}
+	if PageBase(3) != 3*4096 {
+		t.Errorf("PageBase(3) = %d", PageBase(3))
+	}
+}
+
+func TestWordIndex(t *testing.T) {
+	if WordIndex(0) != 0 {
+		t.Error("WordIndex(0)")
+	}
+	if WordIndex(8) != 1 {
+		t.Error("WordIndex(8)")
+	}
+	if WordIndex(4096+16) != 2 {
+		t.Error("WordIndex in second page")
+	}
+	if WordIndex(4088) != 511 {
+		t.Error("WordIndex last word")
+	}
+}
+
+func TestRoundUpPages(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0}, {1, 4096}, {4096, 4096}, {4097, 8192},
+	}
+	for _, c := range cases {
+		if got := RoundUpPages(c.in); got != c.want {
+			t.Errorf("RoundUpPages(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReplicaWordRoundTrip(t *testing.T) {
+	r := NewReplica(2 * PageSize)
+	if r.Size() != 2*PageSize || r.NumPages() != 2 {
+		t.Fatalf("size/pages = %d/%d", r.Size(), r.NumPages())
+	}
+	r.WriteWord(16, 0xdeadbeefcafef00d)
+	if got := r.ReadWord(16); got != 0xdeadbeefcafef00d {
+		t.Fatalf("ReadWord = %#x", got)
+	}
+	r.WriteF64(PageSize+8, 3.25)
+	if got := r.ReadF64(PageSize + 8); got != 3.25 {
+		t.Fatalf("ReadF64 = %v", got)
+	}
+	if got := r.ReadF64(0); got != 0 {
+		t.Fatalf("zero word as float = %v", got)
+	}
+	// NaN round-trips bit-exactly.
+	nan := math.Float64frombits(0x7ff8000000000001)
+	r.WriteF64(0, nan)
+	if bits := r.ReadWord(0); bits != 0x7ff8000000000001 {
+		t.Fatalf("NaN bits = %#x", bits)
+	}
+}
+
+func TestReplicaPageAliases(t *testing.T) {
+	r := NewReplica(2 * PageSize)
+	p := r.Page(1)
+	if len(p) != PageSize {
+		t.Fatalf("page len = %d", len(p))
+	}
+	p[0] = 0xff
+	if r.Bytes()[PageSize] != 0xff {
+		t.Fatal("Page must alias the replica")
+	}
+}
+
+func TestPageTableTransitions(t *testing.T) {
+	pt := NewPageTable(4)
+	if pt.NumPages() != 4 {
+		t.Fatalf("NumPages = %d", pt.NumPages())
+	}
+	if pt.State(0) != Invalid {
+		t.Fatal("pages must start Invalid")
+	}
+	if pt.CanRead(0) || pt.CanWrite(0) {
+		t.Fatal("Invalid page must fault on both access kinds")
+	}
+	pt.Set(0, ReadOnly)
+	if !pt.CanRead(0) || pt.CanWrite(0) {
+		t.Fatal("ReadOnly must allow reads, fault writes")
+	}
+	pt.Set(0, ReadWrite)
+	if !pt.CanRead(0) || !pt.CanWrite(0) {
+		t.Fatal("ReadWrite must allow both")
+	}
+}
+
+func TestPageStateString(t *testing.T) {
+	if Invalid.String() != "Invalid" || ReadOnly.String() != "ReadOnly" ||
+		ReadWrite.String() != "ReadWrite" {
+		t.Fatal("PageState.String basic values")
+	}
+	if PageState(9).String() != "PageState(9)" {
+		t.Fatal("PageState.String unknown value")
+	}
+}

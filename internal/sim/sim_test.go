@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock = %v, want 0", c.Now())
+	}
+	c.Advance(5 * Microsecond)
+	c.Advance(3 * Microsecond)
+	if got := c.Now(); got != 8*Microsecond {
+		t.Fatalf("Now = %v, want 8µs", got)
+	}
+}
+
+func TestClockAdvanceNegativeIgnored(t *testing.T) {
+	var c Clock
+	c.Advance(10 * Microsecond)
+	c.Advance(-4 * Microsecond)
+	if got := c.Now(); got != 10*Microsecond {
+		t.Fatalf("Now = %v, want 10µs (negative charge must be ignored)", got)
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(10 * Microsecond)
+	c.AdvanceTo(5 * Microsecond) // backward: no-op
+	if got := c.Now(); got != 10*Microsecond {
+		t.Fatalf("AdvanceTo moved clock backward: %v", got)
+	}
+	c.AdvanceTo(25 * Microsecond)
+	if got := c.Now(); got != 25*Microsecond {
+		t.Fatalf("AdvanceTo = %v, want 25µs", got)
+	}
+}
+
+func TestMeet(t *testing.T) {
+	if got := Meet(3*Microsecond, 7*Microsecond); got != 7*Microsecond {
+		t.Fatalf("Meet = %v, want 7µs", got)
+	}
+	if got := Meet(7*Microsecond, 3*Microsecond); got != 7*Microsecond {
+		t.Fatalf("Meet = %v, want 7µs", got)
+	}
+}
+
+func TestMaxClock(t *testing.T) {
+	if got := MaxClock(); got != 0 {
+		t.Fatalf("MaxClock() = %v, want 0", got)
+	}
+	if got := MaxClock(1, 9, 4); got != 9 {
+		t.Fatalf("MaxClock = %v, want 9", got)
+	}
+}
+
+func TestDefaultCostModelMatchesPaperRTT(t *testing.T) {
+	m := DefaultCostModel()
+	// Paper §5.1: 1-byte UDP round trip = 296 µs.
+	rtt := m.RoundTrip(1, 0)
+	lo, hi := 295*Microsecond, 297*Microsecond
+	if rtt < lo || rtt > hi {
+		t.Fatalf("1-byte RTT = %v, want ~296µs", rtt)
+	}
+}
+
+func TestDefaultCostModelBandwidth(t *testing.T) {
+	m := DefaultCostModel()
+	// 100 Mbps = 80 ns per byte.
+	d := m.RoundTrip(0, 4096) - m.RoundTrip(0, 0)
+	want := Duration(4096) * 80 * Nanosecond
+	if d != want {
+		t.Fatalf("4096-byte payload cost = %v, want %v", d, want)
+	}
+}
+
+func TestDefaultCostModelDiffFetchInPaperRange(t *testing.T) {
+	m := DefaultCostModel()
+	// Paper §5.1: diff fetch 579–1746 µs. A diff fetch is
+	// fault + request/reply round trip + remote service + diff encode
+	// (in our engine diffs are pre-encoded, but the cost is charged).
+	small := m.PageFault + m.RoundTrip(64, 512) + m.RequestService
+	large := m.PageFault + m.RoundTrip(64, 3*4096) + m.RequestService + 2*m.DiffPerPage
+	if small < 300*Microsecond || small > 800*Microsecond {
+		t.Errorf("small diff fetch = %v, want within a plausible 300–800µs", small)
+	}
+	if large < 800*Microsecond || large > 2000*Microsecond {
+		t.Errorf("large diff fetch = %v, want within a plausible 0.8–2ms", large)
+	}
+}
+
+func TestRoundTripMonotonicInBytes(t *testing.T) {
+	m := DefaultCostModel()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.RoundTrip(0, x) <= m.RoundTrip(0, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	if got := FormatSeconds(1500 * Millisecond); got != "1.500" {
+		t.Fatalf("FormatSeconds = %q, want %q", got, "1.500")
+	}
+}

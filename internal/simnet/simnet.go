@@ -1,0 +1,153 @@
+// Package simnet is the simulated cluster interconnect: a 100 Mbps
+// switched Ethernet carrying the DSM's protocol messages between the
+// eight simulated processors.
+//
+// Protocol payloads (diffs, write notices, lock grants) travel for real
+// between goroutines; this package gives every message an identity,
+// records its kind/src/dst/size for the paper's communication breakdowns,
+// and computes the virtual-time cost of exchanges from the calibrated
+// sim.CostModel. Delivery itself uses the Go memory model (the engine's
+// synchronous hand-offs), which is the idiomatic substitution for UDP/IP
+// between address spaces: what the paper measures is counts × costs, and
+// both are preserved.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// MsgKind identifies the protocol message types of the TreadMarks-style
+// engine.
+type MsgKind uint8
+
+const (
+	// DiffRequest asks a writer for the diffs of a set of pages.
+	DiffRequest MsgKind = iota
+	// DiffReply returns the requested diffs.
+	DiffReply
+	// LockRequest travels from an acquirer to the lock's manager.
+	LockRequest
+	// LockForward travels from the manager to the current holder.
+	LockForward
+	// LockGrant hands the lock (plus consistency information) to the
+	// acquirer.
+	LockGrant
+	// BarrierArrive carries a processor's new write notices to the
+	// barrier manager.
+	BarrierArrive
+	// BarrierRelease broadcasts merged write notices from the manager.
+	BarrierRelease
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"DiffRequest", "DiffReply", "LockRequest", "LockForward",
+	"LockGrant", "BarrierArrive", "BarrierRelease",
+}
+
+func (k MsgKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint8(k))
+}
+
+// IsData reports whether the kind carries application data (diffs); only
+// data messages can be useless in the paper's sense. Synchronization
+// messages are necessary regardless of the data they carry.
+func (k MsgKind) IsData() bool { return k == DiffRequest || k == DiffReply }
+
+// MsgID identifies one recorded message. Zero is "no message".
+type MsgID int32
+
+// Record is the log entry of one message.
+type Record struct {
+	ID    MsgID
+	Kind  MsgKind
+	Src   int
+	Dst   int
+	Bytes int
+}
+
+// KindCount aggregates the messages of one kind.
+type KindCount struct {
+	Messages int
+	Bytes    int
+}
+
+// Network records every protocol message of a run and prices exchanges.
+// It is safe for concurrent use by all processor goroutines.
+type Network struct {
+	cost sim.CostModel
+
+	mu      sync.Mutex
+	records []Record
+}
+
+// New returns an empty network with the given cost model.
+func New(cost sim.CostModel) *Network {
+	return &Network{cost: cost}
+}
+
+// Cost returns the network's cost model.
+func (n *Network) Cost() sim.CostModel { return n.cost }
+
+// Send records one message and returns its ID.
+func (n *Network) Send(kind MsgKind, src, dst, payloadBytes int) MsgID {
+	n.mu.Lock()
+	id := MsgID(len(n.records) + 1)
+	n.records = append(n.records, Record{
+		ID: id, Kind: kind, Src: src, Dst: dst, Bytes: payloadBytes,
+	})
+	n.mu.Unlock()
+	return id
+}
+
+// Snapshot returns a copy of the message log.
+func (n *Network) Snapshot() []Record {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Record, len(n.records))
+	copy(out, n.records)
+	return out
+}
+
+// Counts returns the total number of messages and payload bytes.
+func (n *Network) Counts() (messages, bytes int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, r := range n.records {
+		messages++
+		bytes += r.Bytes
+	}
+	return messages, bytes
+}
+
+// CountsByKind returns per-kind message and byte totals.
+func (n *Network) CountsByKind() map[MsgKind]KindCount {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[MsgKind]KindCount)
+	for _, r := range n.records {
+		c := out[r.Kind]
+		c.Messages++
+		c.Bytes += r.Bytes
+		out[r.Kind] = c
+	}
+	return out
+}
+
+// ExchangeCost prices one request/reply exchange (excluding the fixed
+// fault cost, which the engine charges separately).
+func (n *Network) ExchangeCost(requestBytes, replyBytes int) sim.Duration {
+	return n.cost.RoundTrip(requestBytes, replyBytes) + n.cost.RequestService
+}
+
+// OneWayCost prices a single message leg with payload.
+func (n *Network) OneWayCost(payloadBytes int) sim.Duration {
+	return n.cost.MessageLeg + sim.Duration(payloadBytes)*n.cost.PerByte
+}

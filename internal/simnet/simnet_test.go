@@ -1,0 +1,107 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSendAssignsSequentialIDs(t *testing.T) {
+	n := New(sim.DefaultCostModel())
+	a := n.Send(DiffRequest, 0, 1, 64)
+	b := n.Send(DiffReply, 1, 0, 1024)
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %d, %d; want 1, 2", a, b)
+	}
+	recs := n.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Kind != DiffRequest || recs[0].Src != 0 || recs[0].Dst != 1 || recs[0].Bytes != 64 {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+}
+
+func TestCounts(t *testing.T) {
+	n := New(sim.DefaultCostModel())
+	n.Send(DiffRequest, 0, 1, 10)
+	n.Send(DiffReply, 1, 0, 20)
+	n.Send(BarrierArrive, 2, 0, 5)
+	msgs, bytes := n.Counts()
+	if msgs != 3 || bytes != 35 {
+		t.Fatalf("Counts = %d msgs, %d bytes", msgs, bytes)
+	}
+	byKind := n.CountsByKind()
+	if byKind[DiffRequest].Messages != 1 || byKind[DiffReply].Bytes != 20 {
+		t.Fatalf("CountsByKind = %v", byKind)
+	}
+}
+
+func TestConcurrentSendsAreAllRecorded(t *testing.T) {
+	n := New(sim.DefaultCostModel())
+	const procs, per = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				n.Send(DiffRequest, p, (p+1)%procs, 8)
+			}
+		}(p)
+	}
+	wg.Wait()
+	msgs, bytes := n.Counts()
+	if msgs != procs*per || bytes != procs*per*8 {
+		t.Fatalf("Counts = %d, %d", msgs, bytes)
+	}
+	// IDs must be unique and dense 1..N.
+	seen := make(map[MsgID]bool)
+	for _, r := range n.Snapshot() {
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestExchangeCost(t *testing.T) {
+	cost := sim.DefaultCostModel()
+	n := New(cost)
+	got := n.ExchangeCost(64, 4096)
+	want := cost.RoundTrip(64, 4096) + cost.RequestService
+	if got != want {
+		t.Fatalf("ExchangeCost = %v, want %v", got, want)
+	}
+	if n.OneWayCost(0) != cost.MessageLeg {
+		t.Fatal("OneWayCost(0) != MessageLeg")
+	}
+}
+
+func TestKindStringAndIsData(t *testing.T) {
+	if DiffRequest.String() != "DiffRequest" || BarrierRelease.String() != "BarrierRelease" {
+		t.Fatal("kind names")
+	}
+	if MsgKind(99).String() != "MsgKind(99)" {
+		t.Fatal("unknown kind name")
+	}
+	if !DiffRequest.IsData() || !DiffReply.IsData() {
+		t.Fatal("diff messages are data")
+	}
+	for _, k := range []MsgKind{LockRequest, LockForward, LockGrant, BarrierArrive, BarrierRelease} {
+		if k.IsData() {
+			t.Fatalf("%v must not be data", k)
+		}
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	n := New(sim.DefaultCostModel())
+	n.Send(DiffRequest, 0, 1, 10)
+	s := n.Snapshot()
+	s[0].Bytes = 999
+	if n.Snapshot()[0].Bytes != 10 {
+		t.Fatal("Snapshot must not alias internal log")
+	}
+}

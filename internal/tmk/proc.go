@@ -1,0 +1,343 @@
+package tmk
+
+import (
+	"sort"
+
+	"repro/internal/aggregate"
+	"repro/internal/instrument"
+	"repro/internal/lrc"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/vc"
+)
+
+// Proc is one simulated processor: a goroutine-private replica of the
+// shared segment, a software page table at consistency-unit granularity,
+// LRC metadata, and a virtual clock. All methods must be called from the
+// processor's own goroutine (inside Run's body).
+type Proc struct {
+	id  int
+	sys *System
+
+	clock sim.Clock
+	rep   *mem.Replica
+	pt    *mem.PageTable // indexed by unit, not page
+	vt    vc.Time
+
+	// Multiple-writer state for the current interval.
+	twins      map[int][]mem.Twin // unit -> one twin per page of the unit
+	writeOrder []int              // units twinned this interval, in order
+
+	// missing[unit] lists unseen remote intervals that wrote the unit;
+	// the unit stays invalid until they are fetched and applied.
+	missing map[int][]lrc.MissingWrite
+
+	// Dynamic aggregation state.
+	tracker *aggregate.Tracker
+	groups  *aggregate.Groups
+
+	// Engine event counters.
+	nFaults    int
+	nTwins     int
+	nDiffs     int
+	nIntervals int
+}
+
+func newProc(s *System, id int) *Proc {
+	p := &Proc{
+		id:      id,
+		sys:     s,
+		rep:     mem.NewReplica(s.segBytes),
+		pt:      mem.NewPageTable(s.numUnits),
+		vt:      vc.New(s.cfg.Procs),
+		twins:   make(map[int][]mem.Twin),
+		missing: make(map[int][]lrc.MissingWrite),
+	}
+	// The segment starts zeroed and identical everywhere: readable.
+	for u := 0; u < s.numUnits; u++ {
+		p.pt.Set(u, mem.ReadOnly)
+	}
+	if s.cfg.Dynamic {
+		p.tracker = aggregate.NewTracker()
+		p.groups = aggregate.New(s.cfg.MaxGroupPages)
+	}
+	return p
+}
+
+// ID returns the processor number (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// NProcs returns the number of processors in the system.
+func (p *Proc) NProcs() int { return p.sys.cfg.Procs }
+
+// Clock returns the processor's current virtual time.
+func (p *Proc) Clock() sim.Duration { return p.clock.Now() }
+
+// Compute charges n abstract compute operations to the processor's
+// clock, standing in for non-memory application work.
+func (p *Proc) Compute(n int) {
+	p.clock.Advance(sim.Duration(n) * p.sys.cost.MemAccess)
+}
+
+func (p *Proc) unitOf(page int) int { return page / p.sys.cfg.UnitPages }
+
+// --- access paths --------------------------------------------------------
+
+// ReadF64 loads the float64 at word-aligned shared address a.
+func (p *Proc) ReadF64(a mem.Addr) float64 {
+	p.clock.Advance(p.sys.cost.MemAccess)
+	if !p.pt.CanRead(p.unitOf(mem.PageOf(a))) {
+		p.readFault(mem.PageOf(a))
+	}
+	if c := p.sys.col; c != nil {
+		c.OnRead(p.id, a)
+	}
+	return p.rep.ReadF64(a)
+}
+
+// WriteF64 stores the float64 at word-aligned shared address a.
+func (p *Proc) WriteF64(a mem.Addr, v float64) {
+	p.clock.Advance(p.sys.cost.MemAccess)
+	if u := p.unitOf(mem.PageOf(a)); !p.pt.CanWrite(u) {
+		p.writeFault(u, mem.PageOf(a))
+	}
+	if c := p.sys.col; c != nil {
+		c.OnWrite(p.id, a)
+	}
+	p.rep.WriteF64(a, v)
+}
+
+// ReadI64 loads the int64 at word-aligned shared address a.
+func (p *Proc) ReadI64(a mem.Addr) int64 {
+	p.clock.Advance(p.sys.cost.MemAccess)
+	if !p.pt.CanRead(p.unitOf(mem.PageOf(a))) {
+		p.readFault(mem.PageOf(a))
+	}
+	if c := p.sys.col; c != nil {
+		c.OnRead(p.id, a)
+	}
+	return int64(p.rep.ReadWord(a))
+}
+
+// WriteI64 stores the int64 at word-aligned shared address a.
+func (p *Proc) WriteI64(a mem.Addr, v int64) {
+	p.clock.Advance(p.sys.cost.MemAccess)
+	if u := p.unitOf(mem.PageOf(a)); !p.pt.CanWrite(u) {
+		p.writeFault(u, mem.PageOf(a))
+	}
+	if c := p.sys.col; c != nil {
+		c.OnWrite(p.id, a)
+	}
+	p.rep.WriteWord(a, uint64(v))
+}
+
+// --- fault handling ------------------------------------------------------
+
+// writeFault models the protection trap on a write to a unit that is not
+// ReadWrite: fetch current contents if invalid, then twin every page of
+// the unit (the multiple-writer protocol's write detection).
+func (p *Proc) writeFault(u, page int) {
+	cost := p.sys.cost
+	if p.pt.CanRead(u) {
+		// Fresh trap; a write to an invalid unit is one trap that both
+		// fetches (readFault below charges it) and twins.
+		p.clock.Advance(cost.PageFault)
+	} else {
+		p.readFault(page)
+	}
+	up := p.sys.cfg.UnitPages
+	tw := make([]mem.Twin, 0, up)
+	for s := 0; s < up; s++ {
+		tw = append(tw, mem.MakeTwin(p.rep.Page(u*up+s)))
+		p.clock.Advance(cost.TwinPerPage)
+		p.nTwins++
+	}
+	p.twins[u] = tw
+	p.writeOrder = append(p.writeOrder, u)
+	p.pt.Set(u, mem.ReadWrite)
+	p.clock.Advance(cost.ProtOp)
+}
+
+// fetchItem is one page diff scheduled for application, keyed for causal
+// ordering by its (latest contributing) source interval and attributed to
+// the carrying exchange.
+type fetchItem struct {
+	page int
+	d    mem.Diff
+	msg  *instrument.DataMsg
+	sum  int64
+	prc  int
+	sq   int32
+}
+
+// readFault models the protection trap on an access to an invalid unit.
+// It determines the consistency unit (static) or page group (dynamic) to
+// bring up to date, fetches the missing diffs — one exchange per
+// concurrent writer, issued in parallel — applies them in causal order,
+// and validates.
+func (p *Proc) readFault(page int) {
+	cost := p.sys.cost
+	p.clock.Advance(cost.PageFault)
+	p.nFaults++
+
+	cfg := p.sys.cfg
+	faultUnit := p.unitOf(page)
+
+	// The set of units to fetch together.
+	var units []int
+	if cfg.Dynamic {
+		// Units are single pages; fetch the page's group.
+		p.tracker.Touch(page)
+		if g := p.groups.GroupOf(page); g != nil {
+			units = g
+		} else {
+			units = []int{page}
+		}
+	} else {
+		units = []int{faultUnit}
+	}
+
+	// Gather missing (interval, unit) pairs per writer across all
+	// fetched units. Each unit's missing list holds a given interval at
+	// most once (in causal order), so pairs are distinct and no diff is
+	// fetched twice. Also count distinct writers per unit: a unit whose
+	// missing intervals all come from one writer is served coalesced
+	// (TreadMarks' single-writer remedy for diff accumulation).
+	type need struct {
+		iv   *lrc.Interval
+		unit int
+	}
+	needs := make(map[int][]need)
+	unitWriters := make(map[int]int)
+	var fetchUnits []int
+	for _, u := range units {
+		miss := p.missing[u]
+		if len(miss) == 0 {
+			continue
+		}
+		fetchUnits = append(fetchUnits, u)
+		seen := make(map[int]bool)
+		for _, mw := range miss {
+			w := mw.Interval.ID.Proc
+			needs[w] = append(needs[w], need{iv: mw.Interval, unit: u})
+			seen[w] = true
+		}
+		unitWriters[u] = len(seen)
+	}
+
+	// One request/reply exchange per concurrent writer, in ascending
+	// writer order for determinism; charged as the max (parallel fetch).
+	writers := make([]int, 0, len(needs))
+	for w := range needs {
+		writers = append(writers, w)
+	}
+	sort.Ints(writers)
+
+	var items []fetchItem
+	var msgs []*instrument.DataMsg
+	var maxCost sim.Duration
+	for _, w := range writers {
+		reqBytes := 16 + 8*len(needs[w])
+		replyBytes := 0
+		var wItems []fetchItem
+		// Per page, the writer's diffs in interval order (needs[w]
+		// preserves causal order, so same-writer diffs are seq-ordered),
+		// each carrying its own interval's causal key.
+		type pageAcc struct {
+			items        []fetchItem
+			coalesceable bool
+		}
+		perPage := make(map[int]*pageAcc)
+		var pageOrder []int
+		for _, n := range needs[w] {
+			for _, pd := range n.iv.DiffsInUnit(n.unit, cfg.UnitPages) {
+				acc := perPage[pd.Page]
+				if acc == nil {
+					acc = &pageAcc{coalesceable: unitWriters[n.unit] == 1}
+					perPage[pd.Page] = acc
+					pageOrder = append(pageOrder, pd.Page)
+				}
+				sum, prc, sq := n.iv.CausalKey()
+				acc.items = append(acc.items, fetchItem{
+					page: pd.Page, d: pd.D, sum: sum, prc: prc, sq: sq,
+				})
+			}
+		}
+		for _, page := range pageOrder {
+			acc := perPage[page]
+			if acc.coalesceable && len(acc.items) > 1 {
+				ds := make([]mem.Diff, len(acc.items))
+				for i, it := range acc.items {
+					ds[i] = it.d
+				}
+				last := acc.items[len(acc.items)-1]
+				last.d = mem.CoalesceDiffs(ds)
+				replyBytes += last.d.WireBytes()
+				wItems = append(wItems, last)
+				continue
+			}
+			for _, it := range acc.items {
+				replyBytes += it.d.WireBytes()
+				wItems = append(wItems, it)
+			}
+		}
+		reqID := p.sys.net.Send(simnet.DiffRequest, p.id, w, reqBytes)
+		repID := p.sys.net.Send(simnet.DiffReply, w, p.id, replyBytes)
+		var dm *instrument.DataMsg
+		if p.sys.col != nil {
+			dm = p.sys.col.NewDataMsg(reqID, repID, w, p.id)
+			msgs = append(msgs, dm)
+		}
+		for i := range wItems {
+			wItems[i].msg = dm
+		}
+		items = append(items, wItems...)
+		if c := p.sys.net.ExchangeCost(reqBytes, replyBytes); c > maxCost {
+			maxCost = c
+		}
+	}
+	p.clock.Advance(maxCost)
+
+	// Apply in causal order (monotone linearization of happens-before).
+	// The sort must be stable: a coalesced item keeps only its writer's
+	// latest key, and same-key items must retain per-writer list order.
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].sum != items[j].sum {
+			return items[i].sum < items[j].sum
+		}
+		if items[i].prc != items[j].prc {
+			return items[i].prc < items[j].prc
+		}
+		if items[i].sq != items[j].sq {
+			return items[i].sq < items[j].sq
+		}
+		return items[i].page < items[j].page
+	})
+	for _, it := range items {
+		it.d.Apply(p.rep.Page(it.page))
+		p.clock.Advance(sim.Duration(it.d.WordCount()) * cost.ApplyPerWord)
+		if p.sys.col != nil && it.msg != nil {
+			p.sys.col.TagDiff(p.id, it.page, it.d, it.msg)
+		}
+	}
+
+	// Validate. Static: the whole unit becomes readable. Dynamic: only
+	// the faulted page is validated; prefetched group members keep
+	// their updates but stay Invalid so the access pattern remains
+	// observable (§4).
+	for _, u := range fetchUnits {
+		delete(p.missing, u)
+	}
+	if cfg.Dynamic {
+		p.pt.Set(page, mem.ReadOnly)
+		p.clock.Advance(cost.ProtOp)
+	} else {
+		p.pt.Set(faultUnit, mem.ReadOnly)
+		p.clock.Advance(cost.ProtOp)
+	}
+
+	if p.sys.col != nil {
+		p.sys.col.OnFault(p.id, page, msgs)
+	}
+}

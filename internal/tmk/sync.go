@@ -1,0 +1,276 @@
+package tmk
+
+import (
+	"sync"
+
+	"repro/internal/lrc"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/vc"
+)
+
+// closeInterval ends the processor's current interval if it wrote
+// anything: every twinned unit is diffed page-by-page against its twin
+// (eager diffing — see DESIGN.md), the interval is published with one
+// write notice per unit, twins are dropped, and the units revert to
+// ReadOnly so the next write re-twins.
+func (p *Proc) closeInterval() {
+	if len(p.writeOrder) == 0 {
+		return
+	}
+	cost := p.sys.cost
+	up := p.sys.cfg.UnitPages
+	seq := p.vt.Tick(p.id)
+
+	units := make([]int, 0, len(p.writeOrder))
+	var diffs []lrc.PageDiff
+	for _, u := range p.writeOrder {
+		tw := p.twins[u]
+		for s := 0; s < up; s++ {
+			page := u*up + s
+			d := mem.EncodeDiff(tw[s], p.rep.Page(page))
+			p.clock.Advance(cost.DiffPerPage)
+			p.nDiffs++
+			if !d.Empty() {
+				diffs = append(diffs, lrc.PageDiff{Page: page, D: d})
+			}
+		}
+		delete(p.twins, u)
+		p.pt.Set(u, mem.ReadOnly)
+		p.clock.Advance(cost.ProtOp)
+		units = append(units, u)
+	}
+	iv := lrc.MakeInterval(vc.IntervalID{Proc: p.id, Seq: seq}, p.vt.Clone(), units, diffs)
+	p.sys.store.Publish(iv)
+	p.nIntervals++
+	p.writeOrder = p.writeOrder[:0]
+}
+
+// applyAcquire consumes the write notices between the processor's vector
+// time and sourceVT: every noticed unit is invalidated (unless the notice
+// is the processor's own) and recorded as missing. It returns the wire
+// size of the consumed notices, which the caller charges as piggybacked
+// consistency information on the grant/release message.
+func (p *Proc) applyAcquire(sourceVT vc.Time) int {
+	if sourceVT == nil {
+		return 0
+	}
+	cost := p.sys.cost
+	delta := p.sys.store.Delta(p.vt, sourceVT)
+	bytes := 0
+	for _, iv := range delta {
+		bytes += iv.NoticeBytes()
+		if iv.ID.Proc == p.id {
+			continue
+		}
+		for _, u := range iv.Units {
+			p.missing[u] = append(p.missing[u], lrc.MissingWrite{Interval: iv})
+			if p.pt.State(u) != mem.Invalid {
+				p.pt.Set(u, mem.Invalid)
+				p.clock.Advance(cost.ProtOp)
+			}
+		}
+	}
+	p.vt.Merge(sourceVT)
+	return bytes
+}
+
+// rebuildGroups recomputes the processor's page groups from the faults
+// of the interval that just ended (§4: "page groups are computed at each
+// synchronization"). An interval with no faults carries no information
+// about the access pattern, so the existing groups are kept; an interval
+// whose faults touch a different page set replaces them (the paper's
+// split/revert behaviour, with one interval of hysteresis).
+func (p *Proc) rebuildGroups() {
+	if p.groups != nil && p.tracker.Len() > 0 {
+		p.groups.Rebuild(p.tracker.Take())
+	}
+}
+
+// --- barrier --------------------------------------------------------------
+
+type barrierGrant struct {
+	vt      vc.Time
+	release sim.Duration
+}
+
+// barrier is the centralized TreadMarks barrier: arrivals carry each
+// processor's new write notices to the manager (processor 0), which
+// merges vector times and broadcasts the union at release.
+type barrier struct {
+	n       int
+	manager int
+
+	mu       sync.Mutex
+	arrived  int
+	vt       vc.Time
+	maxClock sim.Duration
+	waiters  []chan barrierGrant
+}
+
+func newBarrier(n int) *barrier {
+	return &barrier{n: n, vt: vc.New(n)}
+}
+
+// Barrier synchronizes all processors. On departure every processor has
+// invalidated all units written before the barrier by any other
+// processor.
+func (p *Proc) Barrier() {
+	p.closeInterval()
+	b := p.sys.barrier
+	cost := p.sys.cost
+
+	// Arrival message to the manager with this processor's notices
+	// (already published to the store; we charge their size).
+	arriveBytes := 16
+	p.sys.net.Send(simnet.BarrierArrive, p.id, b.manager, arriveBytes)
+	p.clock.Advance(p.sys.net.OneWayCost(arriveBytes))
+
+	ch := make(chan barrierGrant, 1)
+	b.mu.Lock()
+	b.vt.Merge(p.vt)
+	if p.clock.Now() > b.maxClock {
+		b.maxClock = p.clock.Now()
+	}
+	b.waiters = append(b.waiters, ch)
+	b.arrived++
+	if b.arrived == b.n {
+		// Manager cost: per-arrival servicing plus the merge/broadcast.
+		release := b.maxClock + cost.BarrierManager +
+			sim.Duration(b.n)*cost.RequestService
+		g := barrierGrant{vt: b.vt.Clone(), release: release}
+		for _, w := range b.waiters {
+			w <- g
+		}
+		// Reset for the next barrier episode.
+		b.arrived = 0
+		b.waiters = nil
+		b.vt = vc.New(b.n)
+		b.maxClock = 0
+	}
+	b.mu.Unlock()
+
+	g := <-ch
+	p.clock.AdvanceTo(g.release)
+	noticeBytes := p.applyAcquire(g.vt)
+	p.sys.net.Send(simnet.BarrierRelease, b.manager, p.id, 8+noticeBytes)
+	p.clock.Advance(p.sys.net.OneWayCost(8 + noticeBytes))
+	p.rebuildGroups()
+}
+
+// --- locks -----------------------------------------------------------------
+
+type lockGrant struct {
+	vt   vc.Time // releaser's vector time (nil on first acquisition)
+	at   sim.Duration
+	from int // processor the grant message travels from
+}
+
+type lockWaiter struct {
+	ch         chan lockGrant
+	proc       int
+	reqArrival sim.Duration
+}
+
+// lock implements TreadMarks' distributed lock: requests go to a static
+// manager, which forwards to the last holder; the grant carries the
+// releaser's consistency information. Releases are lazy (no message).
+type lock struct {
+	id      int
+	manager int
+
+	mu           sync.Mutex
+	held         bool
+	holder       int
+	lastVT       vc.Time
+	releaseClock sim.Duration
+	queue        []lockWaiter
+}
+
+func newLock(id, manager int) *lock {
+	return &lock{id: id, manager: manager, holder: manager}
+}
+
+// Lock acquires global lock l, blocking until granted, and applies the
+// releaser's write notices (lazy release consistency's acquire step).
+func (p *Proc) Lock(l int) {
+	p.closeInterval()
+	lk := p.sys.locks[l]
+	cost := p.sys.cost
+	net := p.sys.net
+
+	lk.mu.Lock()
+	// Lock caching: if this processor was the last holder and nobody
+	// took the lock since, TreadMarks grants locally — no messages, no
+	// consistency information to apply.
+	if !lk.held && lk.holder == p.id {
+		lk.held = true
+		lk.mu.Unlock()
+		p.clock.Advance(cost.LockService / 4)
+		return
+	}
+	// Request to the manager (+ forward to last holder if different).
+	net.Send(simnet.LockRequest, p.id, lk.manager, 16)
+	legs := sim.Duration(1)
+	if lk.holder != lk.manager || lk.held {
+		net.Send(simnet.LockForward, lk.manager, lk.holder, 16)
+		legs = 2
+	}
+	reqArrival := p.clock.Now() + sim.Duration(legs)*cost.MessageLeg
+
+	if !lk.held {
+		lk.held = true
+		prevHolder := lk.holder
+		lk.holder = p.id
+		vt := lk.lastVT
+		grantAt := sim.Meet(reqArrival, lk.releaseClock) + cost.LockService
+		lk.mu.Unlock()
+		p.finishAcquire(lk, lockGrant{vt: vt, at: grantAt, from: prevHolder})
+		return
+	}
+	ch := make(chan lockGrant, 1)
+	lk.queue = append(lk.queue, lockWaiter{ch: ch, proc: p.id, reqArrival: reqArrival})
+	lk.mu.Unlock()
+	g := <-ch
+	p.finishAcquire(lk, g)
+}
+
+// finishAcquire consumes a lock grant: charges the grant message and its
+// piggybacked notices, then invalidates.
+func (p *Proc) finishAcquire(lk *lock, g lockGrant) {
+	cost := p.sys.cost
+	p.clock.AdvanceTo(g.at)
+	noticeBytes := p.applyAcquire(g.vt)
+	p.sys.net.Send(simnet.LockGrant, g.from, p.id, 16+noticeBytes)
+	p.clock.Advance(cost.MessageLeg + sim.Duration(16+noticeBytes)*cost.PerByte)
+	p.rebuildGroups()
+}
+
+// Unlock releases global lock l. The release itself is lazy: consistency
+// information moves only when the next acquirer's grant is produced.
+func (p *Proc) Unlock(l int) {
+	p.closeInterval()
+	lk := p.sys.locks[l]
+	cost := p.sys.cost
+
+	lk.mu.Lock()
+	if !lk.held || lk.holder != p.id {
+		lk.mu.Unlock()
+		panic("tmk: Unlock by non-holder")
+	}
+	lk.lastVT = p.vt.Clone()
+	lk.releaseClock = p.clock.Now()
+	if len(lk.queue) > 0 {
+		w := lk.queue[0]
+		lk.queue = lk.queue[1:]
+		lk.holder = w.proc
+		grantAt := sim.Meet(lk.releaseClock, w.reqArrival) + cost.LockService
+		vt := lk.lastVT
+		lk.mu.Unlock()
+		w.ch <- lockGrant{vt: vt, at: grantAt, from: p.id}
+		return
+	}
+	lk.held = false
+	lk.mu.Unlock()
+}

@@ -1,0 +1,230 @@
+// Package tmk implements the TreadMarks-style software DSM engine the
+// paper evaluates: lazy release consistency with vector timestamps, an
+// invalidate protocol driven by write notices, a multiple-writer protocol
+// based on twinning and word-granularity diffing, locks and barriers with
+// piggybacked consistency information, static consistency units of 1–n
+// VM pages, and the paper's §4 dynamic page-group aggregation.
+//
+// Processors are goroutines with private replicas and virtual clocks; the
+// protocol messages they exchange are recorded and priced by
+// internal/simnet. See DESIGN.md for the substitution argument.
+package tmk
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/aggregate"
+	"repro/internal/instrument"
+	"repro/internal/lrc"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Config describes one DSM instance.
+type Config struct {
+	// Procs is the number of simulated processors (the paper uses 8).
+	Procs int
+	// SegmentBytes is the shared-segment size; rounded up to a page
+	// multiple and, further, to a unit multiple.
+	SegmentBytes int
+	// UnitPages is the static consistency unit in 4 KB pages: 1, 2, or
+	// 4 in the paper's experiments. Write detection, twinning, write
+	// notices, and invalidation all operate at this granularity.
+	UnitPages int
+	// Dynamic enables the §4 dynamic aggregation algorithm. Requires
+	// UnitPages == 1 (the algorithm aggregates VM pages).
+	Dynamic bool
+	// MaxGroupPages bounds a dynamic page group (default 4 = 16 KB).
+	MaxGroupPages int
+	// Locks is the number of global locks to provision.
+	Locks int
+	// Cost overrides the communication cost model; zero value selects
+	// sim.DefaultCostModel.
+	Cost *sim.CostModel
+	// Collect enables the §5.3 instrumentation (word-level usefulness,
+	// false-sharing signature). Off, the run is faster and Stats only
+	// carries raw message/byte counts.
+	Collect bool
+}
+
+func (c *Config) fill() {
+	if c.Procs <= 0 {
+		c.Procs = 8
+	}
+	if c.UnitPages <= 0 {
+		c.UnitPages = 1
+	}
+	if c.MaxGroupPages <= 0 {
+		c.MaxGroupPages = aggregate.DefaultMaxPages
+	}
+	if c.Dynamic && c.UnitPages != 1 {
+		panic("tmk: dynamic aggregation requires UnitPages == 1")
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = mem.PageSize
+	}
+}
+
+// UnitBytes returns the consistency-unit size in bytes.
+func (c Config) UnitBytes() int { return c.UnitPages * mem.PageSize }
+
+// System is one DSM instance: the shared segment, the processors, the
+// synchronization objects, and the run-wide accounting.
+type System struct {
+	cfg   Config
+	cost  sim.CostModel
+	net   *simnet.Network
+	store *lrc.Store
+	col   *instrument.Collector
+
+	segBytes int
+	numPages int
+	numUnits int
+	allocOff int
+	running  bool
+
+	procs   []*Proc
+	barrier *barrier
+	locks   []*lock
+}
+
+// NewSystem builds a DSM instance. The shared segment starts zeroed and
+// valid (ReadOnly) on every processor, as after TreadMarks startup.
+func NewSystem(cfg Config) *System {
+	cfg.fill()
+	cost := sim.DefaultCostModel()
+	if cfg.Cost != nil {
+		cost = *cfg.Cost
+	}
+	segBytes := mem.RoundUpPages(cfg.SegmentBytes)
+	// Round up to a whole number of units so every unit is full.
+	ub := cfg.UnitPages * mem.PageSize
+	segBytes = (segBytes + ub - 1) / ub * ub
+
+	s := &System{
+		cfg:      cfg,
+		cost:     cost,
+		net:      simnet.New(cost),
+		store:    lrc.NewStore(cfg.Procs),
+		segBytes: segBytes,
+		numPages: segBytes / mem.PageSize,
+	}
+	s.numUnits = s.numPages / cfg.UnitPages
+	if cfg.Collect {
+		s.col = instrument.NewCollector(cfg.Procs, segBytes)
+	}
+	s.barrier = newBarrier(cfg.Procs)
+	s.locks = make([]*lock, cfg.Locks)
+	for i := range s.locks {
+		s.locks[i] = newLock(i, i%cfg.Procs)
+	}
+	s.procs = make([]*Proc, cfg.Procs)
+	for p := range s.procs {
+		s.procs[p] = newProc(s, p)
+	}
+	return s
+}
+
+// Config returns the (filled-in) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// SegmentBytes returns the rounded shared-segment size.
+func (s *System) SegmentBytes() int { return s.segBytes }
+
+// NumPages returns the number of 4 KB pages in the segment.
+func (s *System) NumPages() int { return s.numPages }
+
+// NumUnits returns the number of consistency units in the segment.
+func (s *System) NumUnits() int { return s.numUnits }
+
+// Alloc reserves n bytes of shared memory (8-byte aligned) and returns
+// the base address. Allocation is a pre-run, single-threaded operation,
+// mirroring TreadMarks' Tmk_malloc performed before the parallel phase.
+func (s *System) Alloc(n int) mem.Addr {
+	if s.running {
+		panic("tmk: Alloc during Run")
+	}
+	base := (s.allocOff + mem.WordSize - 1) &^ (mem.WordSize - 1)
+	if base+n > s.segBytes {
+		panic(fmt.Sprintf("tmk: out of shared memory (%d + %d > %d)", base, n, s.segBytes))
+	}
+	s.allocOff = base + n
+	return base
+}
+
+// AllocPages reserves n whole pages aligned to a unit boundary and
+// returns the base address. Applications use this to control the layout
+// effects the paper studies.
+func (s *System) AllocPages(n int) mem.Addr {
+	if s.running {
+		panic("tmk: AllocPages during Run")
+	}
+	ub := s.cfg.UnitBytes()
+	base := (s.allocOff + ub - 1) / ub * ub
+	if base+n*mem.PageSize > s.segBytes {
+		panic(fmt.Sprintf("tmk: out of shared memory (%d pages)", n))
+	}
+	s.allocOff = base + n*mem.PageSize
+	return base
+}
+
+// Proc returns processor p's handle (valid only inside Run's body on
+// that processor's goroutine).
+func (s *System) Proc(p int) *Proc { return s.procs[p] }
+
+// Result is the outcome of one Run.
+type Result struct {
+	// Time is the simulated execution time: the maximum processor
+	// clock at the end of the run.
+	Time sim.Duration
+	// ProcTimes are the per-processor final clocks.
+	ProcTimes []sim.Duration
+	// Messages and Bytes are raw network totals.
+	Messages int
+	Bytes    int
+	// Stats carries the §5.3 classification; nil unless Config.Collect.
+	Stats *instrument.Stats
+	// Faults, Twins, DiffsEncoded, Intervals aggregate engine events.
+	Faults       int
+	Twins        int
+	DiffsEncoded int
+	Intervals    int
+}
+
+// Run executes body once per processor, concurrently, and returns the
+// run's accounting. It may be called once per System.
+func (s *System) Run(body func(p *Proc)) *Result {
+	if s.running {
+		panic("tmk: Run reentered")
+	}
+	s.running = true
+	var wg sync.WaitGroup
+	for _, p := range s.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			body(p)
+			// Close any open interval so final writes are published
+			// (no one fetches them, but accounting stays honest).
+			p.closeInterval()
+		}(p)
+	}
+	wg.Wait()
+
+	res := &Result{ProcTimes: make([]sim.Duration, len(s.procs))}
+	for i, p := range s.procs {
+		res.ProcTimes[i] = p.clock.Now()
+		res.Faults += p.nFaults
+		res.Twins += p.nTwins
+		res.DiffsEncoded += p.nDiffs
+		res.Intervals += p.nIntervals
+	}
+	res.Time = sim.MaxClock(res.ProcTimes...)
+	res.Messages, res.Bytes = s.net.Counts()
+	if s.col != nil {
+		res.Stats = s.col.Finalize(s.net.Snapshot())
+	}
+	return res
+}
