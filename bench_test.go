@@ -19,11 +19,21 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/harness"
-	"repro/internal/mem"
 	"repro/internal/tmk"
 )
+
+// mustNew builds a façade System for the micro benchmarks.
+func mustNew(b *testing.B, opts ...Option) *System {
+	b.Helper()
+	sys, err := New(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
 
 func benchCell(b *testing.B, e harness.Experiment, c harness.Config) {
 	b.Helper()
@@ -115,7 +125,7 @@ func BenchmarkFigure3(b *testing.B) {
 // transfer path (cf. the paper's 296 µs RTT and 861 µs barrier).
 func BenchmarkMicroMessagePassing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys := New(Config{Procs: 2, SegmentBytes: PageSize, Collect: true})
+		sys := mustNew(b, WithProcs(2), WithSegmentBytes(PageSize), WithCollection(true))
 		res := sys.Run(func(p *Proc) {
 			if p.ID() == 0 {
 				for w := 0; w < 512; w++ {
@@ -139,7 +149,7 @@ func BenchmarkMicroMessagePassing(b *testing.B) {
 // paper's 374–574 µs lock acquisition).
 func BenchmarkMicroLockTransfer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys := New(Config{Procs: 4, SegmentBytes: PageSize, Locks: 1, Collect: true})
+		sys := mustNew(b, WithProcs(4), WithSegmentBytes(PageSize), WithLocks(1), WithCollection(true))
 		res := sys.Run(func(p *Proc) {
 			for k := 0; k < 8; k++ {
 				p.Lock(0)
@@ -157,7 +167,7 @@ func BenchmarkMicroLockTransfer(b *testing.B) {
 // the paper's platform).
 func BenchmarkMicroBarrier(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys := New(Config{Procs: 8, SegmentBytes: PageSize})
+		sys := mustNew(b, WithProcs(8), WithSegmentBytes(PageSize))
 		res := sys.Run(func(p *Proc) {
 			for k := 0; k < 10; k++ {
 				p.Barrier()
@@ -181,7 +191,7 @@ func BenchmarkAblationGroupSize(b *testing.B) {
 		b.Run(fmt.Sprintf("maxGroup=%d", maxPages), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				w := e.Make(harness.Procs)
-				res, err := runWorkload(w, tmk.Config{
+				res, err := apps.Run(w, tmk.Config{
 					Procs: harness.Procs, Dynamic: true,
 					MaxGroupPages: maxPages, Collect: true,
 				})
@@ -206,7 +216,7 @@ func BenchmarkAblationInstrumentation(b *testing.B) {
 		b.Run(fmt.Sprintf("collect=%v", collect), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				w := e.Make(harness.Procs)
-				if _, err := runWorkload(w, tmk.Config{
+				if _, err := apps.Run(w, tmk.Config{
 					Procs: harness.Procs, Collect: collect,
 				}); err != nil {
 					b.Fatal(err)
@@ -220,7 +230,7 @@ func BenchmarkAblationInstrumentation(b *testing.B) {
 // simulator (fault-free reads), the figure that bounds how large a
 // dataset the reproduction can afford.
 func BenchmarkEngineAccessPath(b *testing.B) {
-	sys := New(Config{Procs: 1, SegmentBytes: 1 << 20, Collect: true})
+	sys := mustNew(b, WithProcs(1), WithSegmentBytes(1<<20), WithCollection(true))
 	b.ResetTimer()
 	var sink float64
 	sys.Run(func(p *Proc) {
@@ -229,19 +239,4 @@ func BenchmarkEngineAccessPath(b *testing.B) {
 		}
 	})
 	_ = sink
-}
-
-func runWorkload(w interface {
-	SegmentBytes() int
-	Locks() int
-	Prepare(*tmk.System)
-	Body(*tmk.Proc)
-	Check() error
-}, cfg tmk.Config) (*tmk.Result, error) {
-	cfg.SegmentBytes = w.SegmentBytes() + 64*mem.PageSize
-	cfg.Locks = w.Locks()
-	sys := tmk.NewSystem(cfg)
-	w.Prepare(sys)
-	res := sys.Run(w.Body)
-	return res, w.Check()
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	dsmbench -all            # everything (what EXPERIMENTS.md records)
+//	dsmbench -all -json      # the same, as one machine-readable document
 //	dsmbench -table 1        # sequential times and 8-processor speedups
 //	dsmbench -figure 1       # Barnes/Ilink/TSP/Water breakdowns
 //	dsmbench -figure 2       # size-sensitive apps
@@ -11,70 +12,138 @@
 //	dsmbench -micro          # simulated platform costs vs the paper's
 //
 // Every cell is verified against the application's sequential reference
-// before its numbers are printed.
+// before its numbers are printed. With -json the text tables are
+// replaced by a single JSON document (the §5.1 calibration table is
+// text-only and skipped).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/harness"
 )
 
+// document is the -json output: only the requested sections are set.
+type document struct {
+	Table1  []harness.Table1RowJSON  `json:"table1,omitempty"`
+	Figure1 []harness.ExperimentJSON `json:"figure1,omitempty"`
+	Figure2 []harness.ExperimentJSON `json:"figure2,omitempty"`
+	Figure3 []harness.ExperimentJSON `json:"figure3,omitempty"`
+}
+
 func main() {
 	table := flag.Int("table", 0, "regenerate Table N (1)")
 	figure := flag.Int("figure", 0, "regenerate Figure N (1, 2, or 3)")
-	micro := flag.Bool("micro", false, "print the §5.1 platform calibration")
+	micro := flag.Bool("micro", false, "print the §5.1 platform calibration (text only)")
 	all := flag.Bool("all", false, "regenerate everything")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document")
 	flag.Parse()
 
 	if !*all && *table == 0 && *figure == 0 && !*micro {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *table != 0 && *table != 1 {
+		check(fmt.Errorf("unknown table %d (only Table 1 exists)", *table))
+	}
+	if *figure < 0 || *figure > 3 {
+		check(fmt.Errorf("unknown figure %d (want 1, 2, or 3)", *figure))
+	}
+	var doc document
+	text := !*jsonOut
+
 	if *micro || *all {
-		fmt.Println("=== §5.1 platform calibration ===")
-		harness.RenderMicro(os.Stdout)
-		fmt.Println()
+		if text {
+			fmt.Println("=== §5.1 platform calibration ===")
+			harness.RenderMicro(os.Stdout)
+			fmt.Println()
+		} else if *micro {
+			fmt.Fprintln(os.Stderr, "dsmbench: the §5.1 calibration table is text-only; omitted from -json output")
+		}
 	}
 	if *table == 1 || *all {
-		fmt.Println("=== Table 1: datasets, sequential (simulated) time, 8-processor speedup at 4 KB ===")
 		rows, err := harness.RunTable1(harness.Table1())
 		check(err)
-		harness.RenderTable1(os.Stdout, rows)
-		fmt.Println()
+		if text {
+			fmt.Println("=== Table 1: datasets, sequential (simulated) time, 8-processor speedup at 4 KB ===")
+			harness.RenderTable1(os.Stdout, rows)
+			fmt.Println()
+		} else {
+			for _, r := range rows {
+				doc.Table1 = append(doc.Table1, harness.Table1RowJSON{
+					App:        r.App,
+					Dataset:    r.Dataset,
+					SeqSeconds: r.SeqTime.Seconds(),
+					ParSeconds: r.ParTime.Seconds(),
+					Speedup:    r.Speedup,
+				})
+			}
+		}
 	}
 	if *figure == 1 || *all {
-		fmt.Println("=== Figure 1: execution time, messages, data (normalized to 4 KB) ===")
-		for _, e := range harness.Figure1() {
-			_, err := harness.RunAndRenderFigure(os.Stdout, e)
-			check(err)
+		if text {
+			fmt.Println("=== Figure 1: execution time, messages, data (normalized to 4 KB) ===")
 		}
+		doc.Figure1 = runFigure(harness.Figure1(), configLabels(), text, harness.RenderFigure)
 	}
 	if *figure == 2 || *all {
-		fmt.Println("=== Figure 2: size-sensitive applications (normalized to 4 KB) ===")
-		for _, e := range harness.Figure2() {
-			_, err := harness.RunAndRenderFigure(os.Stdout, e)
-			check(err)
+		if text {
+			fmt.Println("=== Figure 2: size-sensitive applications (normalized to 4 KB) ===")
 		}
+		doc.Figure2 = runFigure(harness.Figure2(), configLabels(), text, harness.RenderFigure)
 	}
 	if *figure == 3 || *all {
-		fmt.Println("=== Figure 3: false-sharing signatures (4 KB vs 16 KB) ===")
-		for _, e := range harness.Figure3() {
-			cells := map[string]harness.Cell{}
-			for _, label := range []string{"4K", "16K"} {
-				unit := 1
-				if label == "16K" {
-					unit = 4
-				}
-				c, err := harness.Run(e, harness.Config{Label: label, Unit: unit}, harness.Procs)
-				check(err)
-				cells[label] = c
+		if text {
+			fmt.Println("=== Figure 3: false-sharing signatures (4 KB vs 16 KB) ===")
+		}
+		doc.Figure3 = runFigure(harness.Figure3(), []string{"4K", "16K"}, text, harness.RenderSignature)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(doc))
+	}
+}
+
+// configLabels returns the labels of the paper's four configurations.
+func configLabels() []string {
+	var out []string
+	for _, c := range harness.Configs() {
+		out = append(out, c.Label)
+	}
+	return out
+}
+
+// runFigure executes each experiment under the configurations named by
+// the labels, rendering (text mode) or collecting cells (JSON mode).
+func runFigure(es []harness.Experiment, labels []string,
+	text bool, render func(io.Writer, harness.Experiment, map[string]harness.Cell)) []harness.ExperimentJSON {
+	var out []harness.ExperimentJSON
+	for _, e := range es {
+		cells := make(map[string]harness.Cell, len(labels))
+		ej := harness.ExperimentJSON{App: e.App, Dataset: e.Dataset, Paper: e.Paper}
+		for _, label := range labels {
+			c, ok := harness.ConfigByLabel(label)
+			if !ok {
+				check(fmt.Errorf("unknown configuration label %q", label))
 			}
-			harness.RenderSignature(os.Stdout, e, cells)
+			cell, err := harness.Run(e, c, harness.Procs)
+			check(err)
+			cells[label] = cell
+			ej.Cells = append(ej.Cells, harness.CellReport(e, label, harness.Procs, cell))
+		}
+		if text {
+			render(os.Stdout, e, cells)
+		} else {
+			out = append(out, ej)
 		}
 	}
+	return out
 }
 
 func check(err error) {

@@ -1,49 +1,47 @@
-// Command dsmrun executes one application × dataset × configuration and
-// prints its full communication breakdown — the per-cell view behind
-// dsmbench's figures.
+// Command dsmrun executes any application × dataset × configuration ×
+// trials combination from the workload registry and prints the full
+// communication breakdown — the per-cell view behind dsmbench's
+// figures. Every run is verified against the application's sequential
+// reference.
 //
 // Usage:
 //
-//	dsmrun -app MGS -unit 2          # MGS at the 8 KB consistency unit
-//	dsmrun -app Jacobi -dynamic      # dynamic aggregation
-//	dsmrun -list                     # available application/dataset pairs
+//	dsmrun -app MGS -unit 2                       # MGS at the 8 KB unit
+//	dsmrun -app Jacobi -dynamic                   # dynamic aggregation
+//	dsmrun -app jacobi -dataset 1024 -unit 2 -trials 3 -json
+//	dsmrun -list                                  # registered workloads
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/harness"
+	"repro/internal/tmk"
 )
-
-func experiments() []harness.Experiment {
-	seen := map[string]bool{}
-	var out []harness.Experiment
-	for _, e := range append(harness.Figure1(), harness.Figure2()...) {
-		key := e.App + "/" + e.Dataset
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, e)
-		}
-	}
-	return out
-}
 
 func main() {
 	app := flag.String("app", "", "application name (see -list)")
-	dataset := flag.String("dataset", "", "dataset (optional; first match wins)")
-	unit := flag.Int("unit", 1, "consistency unit in 4 KB pages (1, 2, 4)")
+	dataset := flag.String("dataset", "", "dataset: exact name, substring, or small/medium/large (empty = app default)")
+	unit := flag.Int("unit", 1, "consistency unit in 4 KB pages (paper: 1, 2, 4)")
 	dynamic := flag.Bool("dynamic", false, "use dynamic aggregation")
 	procs := flag.Int("procs", harness.Procs, "number of processors")
-	list := flag.Bool("list", false, "list application/dataset pairs")
+	trials := flag.Int("trials", 1, "independent trials on one reused system")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	list := flag.Bool("list", false, "list registered application/dataset pairs")
 	flag.Parse()
 
-	es := experiments()
 	if *list {
-		for _, e := range es {
-			fmt.Printf("%-8s  %-22s (paper: %s)\n", e.App, e.Dataset, e.Paper)
+		for _, e := range apps.Entries() {
+			paper := ""
+			if e.Paper != "" {
+				paper = fmt.Sprintf(" (paper: %s)", e.Paper)
+			}
+			fmt.Printf("%-8s  %-22s%s\n", e.App, e.Dataset, paper)
 		}
 		return
 	}
@@ -51,36 +49,49 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	for _, e := range es {
-		if !strings.EqualFold(e.App, *app) {
-			continue
+	if *procs <= 0 {
+		fail(fmt.Errorf("-procs must be positive (got %d)", *procs))
+	}
+	if *unit <= 0 {
+		fail(fmt.Errorf("-unit must be at least 1 page (got %d)", *unit))
+	}
+	e, ok := apps.Lookup(*app, *dataset)
+	if !ok {
+		fail(fmt.Errorf("no registered workload matches -app %q -dataset %q (try -list)", *app, *dataset))
+	}
+
+	cfg := tmk.Config{Procs: *procs, UnitPages: *unit, Dynamic: *dynamic, Collect: true}
+	ts, err := apps.RunTrials(e.Make(*procs), cfg, *trials)
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(harness.TrialsReport(e.App, e.Dataset, e.Paper, cfg, ts)); err != nil {
+			fail(err)
 		}
-		if *dataset != "" && !strings.Contains(e.Dataset, *dataset) {
-			continue
-		}
-		label := fmt.Sprintf("%dK", 4**unit)
-		if *dynamic {
-			label = "Dyn"
-		}
-		cell, err := harness.Run(e,
-			harness.Config{Label: label, Unit: *unit, Dynamic: *dynamic}, *procs)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dsmrun:", err)
-			os.Exit(1)
-		}
-		st := cell.Stats
-		fmt.Printf("%s %s  [%s, %d procs]  (verified against sequential reference)\n",
-			e.App, e.Dataset, label, *procs)
-		fmt.Printf("  simulated time        %s s\n", fmt.Sprintf("%.3f", cell.Time.Seconds()))
-		fmt.Printf("  messages              %d (%d useful, %d useless)\n",
-			st.Messages.Total(), st.Messages.Useful, st.Messages.Useless)
-		fmt.Printf("  diff data bytes       %d (%d useful, %d useless, %d piggybacked useless)\n",
-			st.TotalDataBytes(), st.UsefulBytes, st.UselessBytes, st.PiggybackedBytes)
-		fmt.Printf("  wire bytes            %d\n", st.TotalWireBytes)
-		fmt.Printf("  faults                %d (%d needed no fetch)\n", st.Faults, st.ZeroFetchFaults)
-		fmt.Printf("  exchanges             %d\n", st.Exchanges)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "dsmrun: no experiment matches -app %q -dataset %q\n", *app, *dataset)
+
+	label := harness.LabelFor(*unit, *dynamic)
+	last := ts.Trials[len(ts.Trials)-1]
+	st := last.Stats
+	fmt.Printf("%s %s  [%s, %d procs, %d trial(s)]  (verified against sequential reference)\n",
+		e.App, e.Dataset, label, *procs, len(ts.Trials))
+	fmt.Printf("  simulated time        %.3f s (min %.3f, mean %.3f, max %.3f)\n",
+		last.Time.Seconds(), ts.MinTime.Seconds(), ts.MeanTime.Seconds(), ts.MaxTime.Seconds())
+	fmt.Printf("  messages              %d (%d useful, %d useless)\n",
+		st.Messages.Total(), st.Messages.Useful, st.Messages.Useless)
+	fmt.Printf("  diff data bytes       %d (%d useful, %d useless, %d piggybacked useless)\n",
+		st.TotalDataBytes(), st.UsefulBytes, st.UselessBytes, st.PiggybackedBytes)
+	fmt.Printf("  wire bytes            %d\n", st.TotalWireBytes)
+	fmt.Printf("  faults                %d (%d needed no fetch)\n", st.Faults, st.ZeroFetchFaults)
+	fmt.Printf("  exchanges             %d\n", st.Exchanges)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dsmrun:", err)
 	os.Exit(1)
 }

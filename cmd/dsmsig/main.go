@@ -6,6 +6,7 @@
 //
 //	dsmsig -app MGS                 # signatures at 4K and 16K + verdict
 //	dsmsig -app Water -units 1,2,4
+//	dsmsig -app jacobi -dataset 1024
 package main
 
 import (
@@ -15,12 +16,15 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/core"
 	"repro/internal/harness"
 )
 
 func main() {
 	app := flag.String("app", "", "application name")
+	dataset := flag.String("dataset", "", "dataset (exact or substring; empty = app default)")
 	units := flag.String("units", "1,4", "comma-separated unit sizes in pages")
 	procs := flag.Int("procs", harness.Procs, "number of processors")
 	flag.Parse()
@@ -29,17 +33,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var e *harness.Experiment
-	for _, x := range append(harness.Figure1(), harness.Figure2()...) {
-		if strings.EqualFold(x.App, *app) {
-			e = &x
-			break
-		}
-	}
-	if e == nil {
-		fmt.Fprintf(os.Stderr, "dsmsig: unknown app %q\n", *app)
+	entry, ok := apps.Lookup(*app, *dataset)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dsmsig: no registered workload matches -app %q -dataset %q\n", *app, *dataset)
 		os.Exit(1)
 	}
+	e := &harness.Experiment{App: entry.App, Dataset: entry.Dataset, Paper: entry.Paper, Make: entry.Make}
 
 	var sigs []core.Signature
 	var labels []string

@@ -9,10 +9,16 @@
 // 8-node cluster whose communication costs are calibrated to the paper's
 // platform (see internal/sim).
 //
-// Quick start:
+// A System is built with functional options and validated up front —
+// misconfiguration is an error, never a panic:
 //
-//	sys := dsm.New(dsm.Config{Procs: 8, SegmentBytes: 1 << 20, Collect: true})
-//	x := sys.Alloc(8) // one shared float64
+//	sys, err := dsm.New(
+//		dsm.WithProcs(8),
+//		dsm.WithSegmentBytes(1<<20),
+//		dsm.WithCollection(true),
+//	)
+//	if err != nil { ... }
+//	x, err := sys.Alloc(8) // one shared float64
 //	res := sys.Run(func(p *dsm.Proc) {
 //		if p.ID() == 0 {
 //			p.WriteF64(x, 42)
@@ -22,30 +28,41 @@
 //	})
 //	fmt.Println(res.Time, res.Messages, res.Stats.Messages.Useless)
 //
-// The eight applications of the paper's evaluation live under
-// internal/apps; the experiment harness that regenerates every table and
-// figure is cmd/dsmbench.
+// A System is reusable: Run may be called repeatedly (state is reset
+// between runs, allocations survive), and RunTrials executes N
+// independent trials and aggregates their results — the shape real
+// benchmarking needs.
+//
+// The eight applications of the paper's evaluation are registered by
+// name in internal/apps (see apps.Names); the experiment harness that
+// regenerates every table and figure is cmd/dsmbench, and any
+// app × dataset × configuration × trials combination is runnable from
+// cmd/dsmrun.
 package dsm
 
 import (
+	"fmt"
+
 	"repro/internal/instrument"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/tmk"
 )
 
-// Config configures a DSM instance. See tmk.Config for field semantics.
-type Config = tmk.Config
-
-// System is a DSM instance: shared segment, processors, locks, barrier.
-type System = tmk.System
-
 // Proc is one simulated processor's handle, valid inside Run's body.
 type Proc = tmk.Proc
 
 // Result is the outcome of a Run: simulated time, message/byte counts,
-// and (with Config.Collect) the paper's communication classification.
+// and (with WithCollection) the paper's communication classification.
 type Result = tmk.Result
+
+// Trials is the outcome of RunTrials: per-trial Results plus
+// min/mean/max aggregates.
+type Trials = tmk.TrialSummary
+
+// Config is the resolved engine configuration, readable via
+// System.Config.
+type Config = tmk.Config
 
 // Stats is the §5.3 communication breakdown.
 type Stats = instrument.Stats
@@ -56,15 +73,175 @@ type Addr = mem.Addr
 // Duration is simulated time.
 type Duration = sim.Duration
 
+// CostModel holds the calibrated communication costs of the simulated
+// platform.
+type CostModel = sim.CostModel
+
 // Page geometry of the simulated VM (the paper's hardware page).
 const (
 	PageSize = mem.PageSize
 	WordSize = mem.WordSize
 )
 
-// New builds a DSM instance.
-func New(cfg Config) *System { return tmk.NewSystem(cfg) }
-
 // DefaultCostModel returns the communication cost model calibrated to
 // the paper's §5.1 platform measurements.
-func DefaultCostModel() sim.CostModel { return sim.DefaultCostModel() }
+func DefaultCostModel() CostModel { return sim.DefaultCostModel() }
+
+// Option configures a System under construction. Options validate
+// their arguments and report bad values as errors from New.
+type Option func(*Config) error
+
+// WithProcs sets the number of simulated processors (default 8, the
+// paper's cluster size).
+func WithProcs(n int) Option {
+	return func(c *Config) error {
+		if n <= 0 {
+			return fmt.Errorf("dsm: WithProcs(%d): processor count must be positive", n)
+		}
+		c.Procs = n
+		return nil
+	}
+}
+
+// WithSegmentBytes sets the shared-segment size (default one page);
+// it is rounded up to a whole number of consistency units.
+func WithSegmentBytes(n int) Option {
+	return func(c *Config) error {
+		if n <= 0 {
+			return fmt.Errorf("dsm: WithSegmentBytes(%d): segment size must be positive", n)
+		}
+		c.SegmentBytes = n
+		return nil
+	}
+}
+
+// WithUnitPages sets the static consistency unit in 4 KB pages. The
+// paper evaluates 1, 2, and 4; any positive size is accepted.
+// Incompatible with WithDynamicAggregation unless n == 1.
+func WithUnitPages(n int) Option {
+	return func(c *Config) error {
+		if n <= 0 {
+			return fmt.Errorf("dsm: WithUnitPages(%d): unit must be at least one page", n)
+		}
+		c.UnitPages = n
+		return nil
+	}
+}
+
+// WithDynamicAggregation enables the paper's §4 dynamic page-group
+// aggregation. It requires the 1-page unit (the algorithm aggregates
+// VM pages); combining it with WithUnitPages(n > 1) is an error from
+// New.
+func WithDynamicAggregation() Option {
+	return func(c *Config) error {
+		c.Dynamic = true
+		return nil
+	}
+}
+
+// WithMaxGroupPages bounds a dynamic page group (default 4 pages =
+// 16 KB, the largest static unit the paper evaluates).
+func WithMaxGroupPages(n int) Option {
+	return func(c *Config) error {
+		if n <= 0 {
+			return fmt.Errorf("dsm: WithMaxGroupPages(%d): bound must be positive", n)
+		}
+		c.MaxGroupPages = n
+		return nil
+	}
+}
+
+// WithLocks provisions n global locks (default 0).
+func WithLocks(n int) Option {
+	return func(c *Config) error {
+		if n < 0 {
+			return fmt.Errorf("dsm: WithLocks(%d): lock count cannot be negative", n)
+		}
+		c.Locks = n
+		return nil
+	}
+}
+
+// WithCostModel overrides the communication cost model (default: the
+// paper's §5.1 calibration, DefaultCostModel).
+func WithCostModel(cm CostModel) Option {
+	return func(c *Config) error {
+		cmCopy := cm
+		c.Cost = &cmCopy
+		return nil
+	}
+}
+
+// WithCollection toggles the §5.3 instrumentation (word-level
+// usefulness, false-sharing signature). Off, runs are faster and
+// Result.Stats is nil.
+func WithCollection(on bool) Option {
+	return func(c *Config) error {
+		c.Collect = on
+		return nil
+	}
+}
+
+// System is a DSM instance: shared segment, processors, locks,
+// barrier. It is reusable — Run and RunTrials reset protocol state
+// between executions while the shared-memory layout persists.
+type System struct {
+	eng *tmk.System
+}
+
+// New builds a DSM instance from the given options. Invalid options
+// and invalid combinations (dynamic aggregation with multi-page units)
+// are reported as errors.
+func New(opts ...Option) (*System, error) {
+	var cfg Config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	eng, err := tmk.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng}, nil
+}
+
+// Alloc reserves n bytes of shared memory (8-byte aligned) and returns
+// the base address, or an error when the segment is exhausted.
+// Allocation is a pre-run, single-threaded operation, mirroring
+// TreadMarks' Tmk_malloc; allocations survive Reset and repeated Runs.
+func (s *System) Alloc(n int) (Addr, error) { return s.eng.TryAlloc(n) }
+
+// AllocPages reserves n whole pages aligned to a unit boundary.
+// Applications use this to control the layout effects the paper
+// studies.
+func (s *System) AllocPages(n int) (Addr, error) { return s.eng.TryAllocPages(n) }
+
+// Run executes body once per processor, concurrently, and returns the
+// run's accounting. Calling Run again first resets protocol state, so
+// every call is an independent trial over the same memory layout.
+func (s *System) Run(body func(p *Proc)) *Result { return s.eng.Run(body) }
+
+// RunTrials executes body as n independent trials, resetting between
+// them, and returns per-trial and aggregate (min/mean/max) results. For
+// barrier-synchronized programs the simulation is deterministic, so
+// all trials report bit-identical times.
+func (s *System) RunTrials(n int, body func(p *Proc)) (*Trials, error) {
+	return s.eng.RunTrials(n, body)
+}
+
+// Reset returns the system to its freshly built state (zeroed memory,
+// empty protocol metadata, zeroed counters) while keeping allocations.
+func (s *System) Reset() { s.eng.Reset() }
+
+// Config returns the resolved (defaults filled) configuration.
+func (s *System) Config() Config { return s.eng.Config() }
+
+// SegmentBytes returns the rounded shared-segment size.
+func (s *System) SegmentBytes() int { return s.eng.SegmentBytes() }
+
+// NumPages returns the number of 4 KB pages in the segment.
+func (s *System) NumPages() int { return s.eng.NumPages() }
+
+// NumUnits returns the number of consistency units in the segment.
+func (s *System) NumUnits() int { return s.eng.NumUnits() }

@@ -1,6 +1,7 @@
 package dsm
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -8,9 +9,23 @@ import (
 
 // The public façade: the quick-start program from the package comment.
 func TestPublicAPIQuickstart(t *testing.T) {
-	sys := New(Config{Procs: 4, SegmentBytes: 1 << 16, Locks: 1, Collect: true})
-	x := sys.Alloc(8)
-	arr := sys.Alloc(256 * WordSize)
+	sys, err := New(
+		WithProcs(4),
+		WithSegmentBytes(1<<16),
+		WithLocks(1),
+		WithCollection(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sys.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := sys.Alloc(256 * WordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var seen float64
 	res := sys.Run(func(p *Proc) {
 		p.Lock(0)
@@ -41,6 +56,117 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 }
 
+// Every invalid option or combination must surface as an error from
+// New — the public path never panics.
+func TestOptionValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"zero procs", []Option{WithProcs(0)}, "WithProcs"},
+		{"negative procs", []Option{WithProcs(-3)}, "WithProcs"},
+		{"zero segment", []Option{WithSegmentBytes(0)}, "WithSegmentBytes"},
+		{"zero unit", []Option{WithUnitPages(0)}, "WithUnitPages"},
+		{"negative locks", []Option{WithLocks(-1)}, "WithLocks"},
+		{"zero group bound", []Option{WithMaxGroupPages(0)}, "WithMaxGroupPages"},
+		{
+			"dynamic with multi-page unit",
+			[]Option{WithDynamicAggregation(), WithUnitPages(2)},
+			"dynamic aggregation requires UnitPages == 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, err := New(tc.opts...)
+			if err == nil {
+				t.Fatalf("New(%s) succeeded (%+v), want error", tc.name, sys.Config())
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sys.Config()
+	if cfg.Procs != 8 || cfg.UnitPages != 1 || cfg.MaxGroupPages != 4 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if sys.SegmentBytes() != PageSize || sys.NumPages() != 1 || sys.NumUnits() != 1 {
+		t.Fatalf("segment geometry: %d bytes, %d pages, %d units",
+			sys.SegmentBytes(), sys.NumPages(), sys.NumUnits())
+	}
+}
+
+// Exhausting the shared segment is an error from Alloc, not a panic.
+func TestAllocOutOfMemoryError(t *testing.T) {
+	sys, err := New(WithSegmentBytes(PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Alloc(2 * PageSize); err == nil {
+		t.Fatal("expected out-of-memory error")
+	}
+	if _, err := sys.AllocPages(2); err == nil {
+		t.Fatal("expected out-of-memory error from AllocPages")
+	}
+	// The segment is still usable after a failed allocation.
+	if a, err := sys.Alloc(PageSize); err != nil || a != 0 {
+		t.Fatalf("Alloc after failure = %d, %v", a, err)
+	}
+}
+
+// One System executes N independent trials with bit-identical
+// simulated times (barrier programs are deterministic).
+func TestRunTrialsDeterministic(t *testing.T) {
+	sys, err := New(WithProcs(4), WithSegmentBytes(4*PageSize), WithCollection(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := func(p *Proc) {
+		for r := 0; r < 3; r++ {
+			if p.ID() == r%4 {
+				for w := 0; w < 64; w++ {
+					p.WriteF64(p.ID()*PageSize+8*w, float64(r))
+				}
+			}
+			p.Barrier()
+			for w := 0; w < 64; w++ {
+				p.ReadF64((r%4)*PageSize + 8*w)
+			}
+			p.Barrier()
+		}
+	}
+	ts, err := sys.RunTrials(3, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Trials) != 3 {
+		t.Fatalf("trials = %d, want 3", len(ts.Trials))
+	}
+	for i, r := range ts.Trials {
+		if r.Time != ts.Trials[0].Time {
+			t.Fatalf("trial %d time %v != trial 0 time %v", i, r.Time, ts.Trials[0].Time)
+		}
+		if r.Messages != ts.Trials[0].Messages {
+			t.Fatalf("trial %d messages %d != trial 0 messages %d",
+				i, r.Messages, ts.Trials[0].Messages)
+		}
+	}
+	if ts.MinTime != ts.MaxTime || ts.MeanTime != ts.MinTime {
+		t.Fatalf("aggregates differ on deterministic program: %+v", ts)
+	}
+	if _, err := sys.RunTrials(0, body); err == nil {
+		t.Fatal("RunTrials(0) must error")
+	}
+}
+
 func TestPublicConstantsAndCostModel(t *testing.T) {
 	if PageSize != 4096 || WordSize != 8 {
 		t.Fatal("page geometry")
@@ -52,8 +178,33 @@ func TestPublicConstantsAndCostModel(t *testing.T) {
 	}
 }
 
+func TestWithCostModelOverride(t *testing.T) {
+	cm := DefaultCostModel()
+	cm.MessageLeg *= 10
+	slow, err := New(WithProcs(2), WithCostModel(cm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := New(WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := func(p *Proc) { p.Barrier() }
+	if st, ft := slow.Run(body).Time, fast.Run(body).Time; st <= ft {
+		t.Fatalf("inflated cost model not applied: slow=%v fast=%v", st, ft)
+	}
+}
+
 func TestPublicAPIDynamicAggregation(t *testing.T) {
-	sys := New(Config{Procs: 2, SegmentBytes: 8 * PageSize, Dynamic: true, Collect: true})
+	sys, err := New(
+		WithProcs(2),
+		WithSegmentBytes(8*PageSize),
+		WithDynamicAggregation(),
+		WithCollection(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res := sys.Run(func(p *Proc) {
 		for round := 0; round < 3; round++ {
 			if p.ID() == 0 {

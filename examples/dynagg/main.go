@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	dsm "repro"
 )
@@ -20,12 +21,18 @@ const pages = 16
 var scattered = []int{1, 5, 9, 13}
 
 func run(dynamic bool, rounds int) (exchanges int, timeMs float64) {
-	sys := dsm.New(dsm.Config{
-		Procs:        2,
-		SegmentBytes: pages * dsm.PageSize,
-		Dynamic:      dynamic,
-		Collect:      true,
-	})
+	opts := []dsm.Option{
+		dsm.WithProcs(2),
+		dsm.WithSegmentBytes(pages * dsm.PageSize),
+		dsm.WithCollection(true),
+	}
+	if dynamic {
+		opts = append(opts, dsm.WithDynamicAggregation())
+	}
+	sys, err := dsm.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	res := sys.Run(func(p *dsm.Proc) {
 		for round := 0; round < rounds; round++ {
 			if p.ID() == 0 {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	dsm "repro"
 )
@@ -19,12 +20,23 @@ func breakdown(title string, res *dsm.Result) {
 		st.TotalDataBytes(), st.PiggybackedBytes, st.UselessBytes)
 }
 
+func newSystem(procs int) *dsm.System {
+	sys, err := dsm.New(
+		dsm.WithProcs(procs),
+		dsm.WithSegmentBytes(dsm.PageSize),
+		dsm.WithCollection(true),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
 func main() {
 	// Case 1 — §2's useless-message example: p0 writes the top half of a
 	// page, p1 the bottom half; p2 reads only the top half. The exchange
 	// with p1 is pure false-sharing cost: two useless messages.
-	sys := dsm.New(dsm.Config{Procs: 3, SegmentBytes: dsm.PageSize, Collect: true})
-	res := sys.Run(func(p *dsm.Proc) {
+	res := newSystem(3).Run(func(p *dsm.Proc) {
 		half := dsm.PageSize / dsm.WordSize / 2
 		switch p.ID() {
 		case 0:
@@ -49,8 +61,7 @@ func main() {
 	// Case 2 — §2's useless-data example: p0 writes the whole page, p1
 	// reads half. The message is necessary (true sharing), but half the
 	// diff is piggybacked useless data.
-	sys = dsm.New(dsm.Config{Procs: 2, SegmentBytes: dsm.PageSize, Collect: true})
-	res = sys.Run(func(p *dsm.Proc) {
+	res = newSystem(2).Run(func(p *dsm.Proc) {
 		words := dsm.PageSize / dsm.WordSize
 		if p.ID() == 0 {
 			for w := 0; w < words; w++ {

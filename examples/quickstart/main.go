@@ -6,21 +6,31 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	dsm "repro"
 )
 
 func main() {
-	sys := dsm.New(dsm.Config{
-		Procs:        4,
-		SegmentBytes: 1 << 20,
-		Locks:        1,
-		Collect:      true,
-	})
+	sys, err := dsm.New(
+		dsm.WithProcs(4),
+		dsm.WithSegmentBytes(1<<20),
+		dsm.WithLocks(1),
+		dsm.WithCollection(true),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// One shared counter and one shared array of 1024 float64.
-	counter := sys.Alloc(8)
-	array := sys.Alloc(1024 * 8)
+	counter, err := sys.Alloc(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	array, err := sys.Alloc(1024 * 8)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	res := sys.Run(func(p *dsm.Proc) {
 		// Every processor increments the counter under the lock.

@@ -1,37 +1,53 @@
 // unitsweep runs a Jacobi-style stencil at every consistency-unit size
 // and with dynamic aggregation, printing the paper's core trade-off: the
 // aggregation win when granularity cooperates, and where false sharing
-// starts to bite.
+// starts to bite. Each configuration runs as three trials on one
+// reusable System — bit-identical for this barrier program, as the
+// min==mean column shows.
 //
 // Run with: go run ./examples/unitsweep
 package main
 
 import (
 	"fmt"
+	"log"
 
 	dsm "repro"
 )
 
 const (
-	rows  = 64
-	cols  = 512 // one page per row
-	iters = 3
-	procs = 8
+	rows   = 64
+	cols   = 512 // one page per row
+	iters  = 3
+	procs  = 8
+	trials = 3
 )
 
-func run(unit int, dynamic bool) *dsm.Result {
-	sys := dsm.New(dsm.Config{
-		Procs:        procs,
-		SegmentBytes: 2*rows*cols*8 + dsm.PageSize*8,
-		UnitPages:    unit,
-		Dynamic:      dynamic,
-		Collect:      true,
-	})
-	a := sys.Alloc(rows * cols * 8)
-	b := sys.Alloc(rows * cols * 8)
+func run(unit int, dynamic bool) *dsm.Trials {
+	opts := []dsm.Option{
+		dsm.WithProcs(procs),
+		dsm.WithSegmentBytes(2*rows*cols*8 + dsm.PageSize*8),
+		dsm.WithUnitPages(unit),
+		dsm.WithCollection(true),
+	}
+	if dynamic {
+		opts = append(opts, dsm.WithDynamicAggregation())
+	}
+	sys, err := dsm.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := sys.Alloc(rows * cols * 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := sys.Alloc(rows * cols * 8)
+	if err != nil {
+		log.Fatal(err)
+	}
 	at := func(base dsm.Addr, r, c int) dsm.Addr { return base + 8*(r*cols+c) }
 
-	return sys.Run(func(p *dsm.Proc) {
+	ts, err := sys.RunTrials(trials, func(p *dsm.Proc) {
 		per := rows / procs
 		lo, hi := p.ID()*per, (p.ID()+1)*per
 		if p.ID() == 0 {
@@ -58,11 +74,15 @@ func run(unit int, dynamic bool) *dsm.Result {
 			src, dst = dst, src
 		}
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ts
 }
 
 func main() {
-	fmt.Printf("%-18s %10s %10s %12s %14s\n",
-		"configuration", "time (ms)", "messages", "useless msgs", "useless bytes")
+	fmt.Printf("%-18s %10s %10s %10s %12s %14s\n",
+		"configuration", "min (ms)", "mean (ms)", "messages", "useless msgs", "useless bytes")
 	type cfg struct {
 		name    string
 		unit    int
@@ -74,10 +94,12 @@ func main() {
 		{"16K (4 pages)", 4, false},
 		{"dynamic groups", 1, true},
 	} {
-		res := run(c.unit, c.dynamic)
-		st := res.Stats
-		fmt.Printf("%-18s %10.2f %10d %12d %14d\n",
-			c.name, float64(res.Time.Microseconds())/1000,
+		ts := run(c.unit, c.dynamic)
+		st := ts.Trials[0].Stats
+		fmt.Printf("%-18s %10.2f %10.2f %10d %12d %14d\n",
+			c.name,
+			float64(ts.MinTime.Microseconds())/1000,
+			float64(ts.MeanTime.Microseconds())/1000,
 			st.Messages.Total(), st.Messages.Useless,
 			st.UselessBytes+st.PiggybackedBytes)
 	}

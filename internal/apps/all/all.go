@@ -1,0 +1,16 @@
+// Package all registers every application of the paper's evaluation in
+// the workload registry (apps.Register). Import it for side effects
+// wherever the full workload catalog must be available — the harness,
+// the CLI tools, and registry tests.
+package all
+
+import (
+	_ "repro/internal/apps/barnes"
+	_ "repro/internal/apps/fft3d"
+	_ "repro/internal/apps/ilink"
+	_ "repro/internal/apps/jacobi"
+	_ "repro/internal/apps/mgs"
+	_ "repro/internal/apps/shallow"
+	_ "repro/internal/apps/tsp"
+	_ "repro/internal/apps/water"
+)

@@ -1,8 +1,10 @@
 // Package apps defines the workload interface shared by the paper's
-// eight applications and small addressing helpers. Each application
-// lives in its own subpackage and provides both a DSM-parallel
-// implementation (against internal/tmk) and a plain-Go sequential
-// reference used to verify correctness.
+// eight applications, the named workload registry, and small
+// addressing helpers. Each application lives in its own subpackage,
+// provides both a DSM-parallel implementation (against internal/tmk)
+// and a plain-Go sequential reference used to verify correctness, and
+// self-registers its datasets (Register) so workloads are runnable by
+// name; import repro/internal/apps/all to populate the registry.
 //
 // Dataset sizes are scaled down from the paper's but preserve the
 // granularity-to-page-size ratios that §5.4–5.5 identify as the decisive
@@ -38,18 +40,52 @@ type Workload interface {
 	Check() error
 }
 
-// Run executes a workload under the given engine configuration (segment
-// size and lock count are taken from the workload) and verifies the
-// result against the sequential reference.
-func Run(w Workload, cfg tmk.Config) (*tmk.Result, error) {
+// NewSystem builds a prepared DSM instance for a workload: segment
+// size and lock count are taken from the workload, and Prepare has
+// allocated its shared addresses.
+func NewSystem(w Workload, cfg tmk.Config) (*tmk.System, error) {
 	// Slack covers the unit-boundary padding AllocPages may introduce
 	// (up to UnitPages-1 pages per allocation).
 	cfg.SegmentBytes = w.SegmentBytes() + 64*mem.PageSize
 	cfg.Locks = w.Locks()
-	sys := tmk.NewSystem(cfg)
+	sys, err := tmk.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
 	w.Prepare(sys)
+	return sys, nil
+}
+
+// Run executes a workload under the given engine configuration and
+// verifies the result against the sequential reference.
+func Run(w Workload, cfg tmk.Config) (*tmk.Result, error) {
+	sys, err := NewSystem(w, cfg)
+	if err != nil {
+		return nil, err
+	}
 	res := sys.Run(w.Body)
 	return res, w.Check()
+}
+
+// RunTrials executes a workload n times on one reused System (reset
+// between trials), verifying every trial against the sequential
+// reference, and returns the per-trial and aggregate results.
+func RunTrials(w Workload, cfg tmk.Config, n int) (*tmk.TrialSummary, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("apps: trial count must be positive (got %d)", n)
+	}
+	sys, err := NewSystem(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	trials := make([]*tmk.Result, 0, n)
+	for i := 0; i < n; i++ {
+		trials = append(trials, sys.Run(w.Body))
+		if err := w.Check(); err != nil {
+			return nil, fmt.Errorf("trial %d/%d: %w", i+1, n, err)
+		}
+	}
+	return tmk.Summarize(trials), nil
 }
 
 // Arr addresses a shared array of 64-bit words.

@@ -1,0 +1,25 @@
+package fft3d
+
+import "repro/internal/apps"
+
+// The paper datasets (the §5.5 4 KB/8 KB/16 KB chunk ladder) and a
+// small/medium/large sweep. N1 and N2 stay 8 so every processor count
+// dividing 8 is valid.
+func init() {
+	reg := func(dataset, paper string, cfg Config) {
+		apps.Register(apps.Entry{
+			App: "3D-FFT", Dataset: dataset, Paper: paper,
+			Make: func(procs int) apps.Workload {
+				c := cfg
+				c.Procs = procs
+				return New(c)
+			},
+		})
+	}
+	reg("8x8x128 (chunk=1pg)", "64x64x32", Config{N1: 8, N2: 8, N3: 128, Iters: 2})
+	reg("8x8x256 (chunk=2pg)", "64x64x64", Config{N1: 8, N2: 8, N3: 256, Iters: 2})
+	reg("8x8x512 (chunk=4pg)", "128x128x128", Config{N1: 8, N2: 8, N3: 512, Iters: 2})
+	reg("small", "", Config{N1: 8, N2: 8, N3: 64, Iters: 2})
+	reg("medium", "", Config{N1: 8, N2: 8, N3: 256, Iters: 2})
+	reg("large", "", Config{N1: 8, N2: 8, N3: 512, Iters: 3})
+}

@@ -1,0 +1,25 @@
+package mgs
+
+import "repro/internal/apps"
+
+// The paper datasets (Figure 2's vector-size ladder) and a
+// small/medium/large sweep. Vectors stays >= 16 so every processor
+// count up to 16 is valid.
+func init() {
+	reg := func(dataset, paper string, cfg Config) {
+		apps.Register(apps.Entry{
+			App: "MGS", Dataset: dataset, Paper: paper,
+			Make: func(procs int) apps.Workload {
+				c := cfg
+				c.Procs = procs
+				return New(c)
+			},
+		})
+	}
+	reg("512x32 (vec=1pg)", "1Kx1K", Config{Dim: 512, Vectors: 32})
+	reg("1024x24 (vec=2pg)", "2Kx2K", Config{Dim: 1024, Vectors: 24})
+	reg("2048x16 (vec=4pg)", "1Kx4K", Config{Dim: 2048, Vectors: 16})
+	reg("small", "", Config{Dim: 256, Vectors: 16})
+	reg("medium", "", Config{Dim: 512, Vectors: 32})
+	reg("large", "", Config{Dim: 2048, Vectors: 16})
+}

@@ -1,0 +1,119 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Entry is one registered application × dataset workload factory. The
+// app subpackages self-register their paper datasets plus a
+// small/medium/large sweep from init, so any workload is constructible
+// by name — the foundation the CLI tools and the harness build on.
+type Entry struct {
+	// App is the application's display name ("Jacobi", "3D-FFT", ...).
+	App string
+	// Dataset names the input size. Paper datasets use the descriptive
+	// harness nomenclature ("128x512 (row=1pg)"); every app also
+	// registers "small", "medium", and "large".
+	Dataset string
+	// Paper is the paper dataset this one stands in for; empty for
+	// sweep sizes that have no paper counterpart.
+	Paper string
+	// Make builds the workload for the given processor count.
+	Make func(procs int) Workload
+}
+
+var (
+	regMu      sync.RWMutex
+	regEntries []Entry
+)
+
+// Register adds a workload factory to the registry. It is called from
+// the app subpackages' init functions; an incomplete entry or a
+// duplicate app/dataset pair panics (a programming error caught at
+// process start, never on a user path).
+func Register(e Entry) {
+	if e.App == "" || e.Dataset == "" || e.Make == nil {
+		panic(fmt.Sprintf("apps: incomplete registration %q/%q", e.App, e.Dataset))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, x := range regEntries {
+		if strings.EqualFold(x.App, e.App) && strings.EqualFold(x.Dataset, e.Dataset) {
+			panic(fmt.Sprintf("apps: duplicate registration %s/%s", e.App, e.Dataset))
+		}
+	}
+	regEntries = append(regEntries, e)
+}
+
+// sortedEntries returns a copy of the registry ordered by app name
+// (case-insensitive), keeping each app's registration order — the
+// first entry of an app is its default (primary paper) dataset.
+func sortedEntries() []Entry {
+	out := make([]Entry, len(regEntries))
+	copy(out, regEntries)
+	sort.SliceStable(out, func(i, j int) bool {
+		return strings.ToLower(out[i].App) < strings.ToLower(out[j].App)
+	})
+	return out
+}
+
+// Entries returns every registered workload, ordered by app name with
+// each app's entries in registration order.
+func Entries() []Entry {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return sortedEntries()
+}
+
+// Names returns the "app/dataset" name of every registered workload,
+// in Entries order.
+func Names() []string {
+	es := Entries()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.App + "/" + e.Dataset
+	}
+	return out
+}
+
+// Apps returns the distinct registered application names, sorted
+// case-insensitively.
+func Apps() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, e := range Entries() {
+		if k := strings.ToLower(e.App); !seen[k] {
+			seen[k] = true
+			out = append(out, e.App)
+		}
+	}
+	return out
+}
+
+// Lookup resolves an application (case-insensitive) and dataset to a
+// registered entry. An empty dataset selects the app's default (its
+// first-registered, primary paper dataset). A non-empty dataset
+// matches exactly (case-insensitive) first, then as a substring —
+// "1024" finds Jacobi's "64x1024 (row=2pg)".
+func Lookup(app, dataset string) (Entry, bool) {
+	var fallback *Entry
+	for _, e := range Entries() {
+		if !strings.EqualFold(e.App, app) {
+			continue
+		}
+		if dataset == "" || strings.EqualFold(e.Dataset, dataset) {
+			return e, true
+		}
+		if fallback == nil && strings.Contains(strings.ToLower(e.Dataset), strings.ToLower(dataset)) {
+			e := e
+			fallback = &e
+		}
+	}
+	if fallback != nil {
+		return *fallback, true
+	}
+	return Entry{}, false
+}

@@ -1,0 +1,133 @@
+package apps_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/tmk"
+)
+
+// Every application must register its paper dataset(s) plus the
+// small/medium/large sweep.
+func TestRegistryInventory(t *testing.T) {
+	appNames := apps.Apps()
+	if len(appNames) != 8 {
+		t.Fatalf("apps = %v, want the paper's 8", appNames)
+	}
+	for _, app := range appNames {
+		for _, size := range []string{"small", "medium", "large"} {
+			if _, ok := apps.Lookup(app, size); !ok {
+				t.Errorf("%s has no %q dataset", app, size)
+			}
+		}
+		e, ok := apps.Lookup(app, "")
+		if !ok {
+			t.Fatalf("%s has no default dataset", app)
+		}
+		if e.Paper == "" {
+			t.Errorf("%s default dataset %q is not a paper dataset", app, e.Dataset)
+		}
+	}
+}
+
+// Round-trip: every Names() entry resolves back through Lookup to the
+// same entry, and its factory builds a workload whose self-description
+// matches the registration.
+func TestRegistryRoundTrip(t *testing.T) {
+	names := apps.Names()
+	if len(names) == 0 {
+		t.Fatal("empty registry")
+	}
+	for _, name := range names {
+		app, dataset, ok := strings.Cut(name, "/")
+		if !ok {
+			t.Fatalf("malformed name %q", name)
+		}
+		e, ok := apps.Lookup(app, dataset)
+		if !ok {
+			t.Fatalf("Lookup(%q, %q) failed for listed name", app, dataset)
+		}
+		if e.App != app || e.Dataset != dataset {
+			t.Fatalf("Lookup(%q, %q) returned %s/%s", app, dataset, e.App, e.Dataset)
+		}
+		w := e.Make(8)
+		if w == nil {
+			t.Fatalf("%s: nil workload", name)
+		}
+		if !strings.EqualFold(w.Name(), e.App) {
+			t.Errorf("%s: workload names itself %q", name, w.Name())
+		}
+		if w.SegmentBytes() <= 0 {
+			t.Errorf("%s: segment bytes = %d", name, w.SegmentBytes())
+		}
+	}
+}
+
+// Lookup semantics: case-insensitive app, default dataset, substring
+// dataset match.
+func TestRegistryLookupMatching(t *testing.T) {
+	if _, ok := apps.Lookup("jAcObI", ""); !ok {
+		t.Fatal("app lookup must be case-insensitive")
+	}
+	e, ok := apps.Lookup("jacobi", "1024")
+	if !ok || !strings.Contains(e.Dataset, "1024") {
+		t.Fatalf("substring dataset match failed: %+v ok=%v", e, ok)
+	}
+	if _, ok := apps.Lookup("nonesuch", ""); ok {
+		t.Fatal("unknown app must not resolve")
+	}
+	if _, ok := apps.Lookup("jacobi", "nonesuch"); ok {
+		t.Fatal("unknown dataset must not resolve")
+	}
+}
+
+// Every app's small dataset runs and checks under the default engine
+// configuration — the registry's factories produce working workloads,
+// not just names.
+func TestRegistrySmallDatasetsRunAndCheck(t *testing.T) {
+	for _, app := range apps.Apps() {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			e, ok := apps.Lookup(app, "small")
+			if !ok {
+				t.Fatalf("%s: no small dataset", app)
+			}
+			const procs = 4
+			res, err := apps.Run(e.Make(procs), tmk.Config{Procs: procs, Collect: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Time <= 0 || res.Stats == nil {
+				t.Fatalf("incomplete result: %+v", res)
+			}
+		})
+	}
+}
+
+// Multi-trial execution through the registry: one reused system, every
+// trial verified, deterministic aggregate for barrier programs.
+func TestRegistryRunTrials(t *testing.T) {
+	e, ok := apps.Lookup("Jacobi", "small")
+	if !ok {
+		t.Fatal("jacobi/small not registered")
+	}
+	ts, err := apps.RunTrials(e.Make(4), tmk.Config{Procs: 4, Collect: true}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Trials) != 3 {
+		t.Fatalf("trials = %d", len(ts.Trials))
+	}
+	for i, r := range ts.Trials {
+		if r.Time != ts.Trials[0].Time {
+			t.Fatalf("trial %d time %v != trial 0 %v (Jacobi is barrier-deterministic)",
+				i, r.Time, ts.Trials[0].Time)
+		}
+	}
+	if ts.MinTime != ts.MaxTime {
+		t.Fatalf("min %v != max %v", ts.MinTime, ts.MaxTime)
+	}
+}

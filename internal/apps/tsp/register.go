@@ -1,0 +1,23 @@
+package tsp
+
+import "repro/internal/apps"
+
+// The paper dataset (input-size independent, Figure 1) and a
+// small/medium/large sweep. City counts stay <= 14 (the branch-bound
+// solver's table limit).
+func init() {
+	reg := func(dataset, paper string, cfg Config) {
+		apps.Register(apps.Entry{
+			App: "TSP", Dataset: dataset, Paper: paper,
+			Make: func(procs int) apps.Workload {
+				c := cfg
+				c.Procs = procs
+				return New(c)
+			},
+		})
+	}
+	reg("12-city", "19-city", Config{Cities: 12, ForkDepth: 4})
+	reg("small", "", Config{Cities: 10, ForkDepth: 3})
+	reg("medium", "", Config{Cities: 12, ForkDepth: 4})
+	reg("large", "", Config{Cities: 13, ForkDepth: 4})
+}

@@ -1,0 +1,22 @@
+package water
+
+import "repro/internal/apps"
+
+// The paper dataset (input-size independent, Figure 1) and a
+// small/medium/large sweep.
+func init() {
+	reg := func(dataset, paper string, cfg Config) {
+		apps.Register(apps.Entry{
+			App: "Water", Dataset: dataset, Paper: paper,
+			Make: func(procs int) apps.Workload {
+				c := cfg
+				c.Procs = procs
+				return New(c)
+			},
+		})
+	}
+	reg("96", "343 molecules", Config{Molecules: 96, Steps: 2})
+	reg("small", "", Config{Molecules: 48, Steps: 2})
+	reg("medium", "", Config{Molecules: 96, Steps: 2})
+	reg("large", "", Config{Molecules: 192, Steps: 2})
+}

@@ -15,16 +15,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/apps/barnes"
-	"repro/internal/apps/fft3d"
-	"repro/internal/apps/ilink"
-	"repro/internal/apps/jacobi"
-	"repro/internal/apps/mgs"
-	"repro/internal/apps/shallow"
-	"repro/internal/apps/tsp"
-	"repro/internal/apps/water"
+	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/instrument"
 	"repro/internal/sim"
 	"repro/internal/tmk"
@@ -58,6 +52,26 @@ func Configs() []Config {
 	}
 }
 
+// ConfigByLabel resolves one of the paper's configuration labels
+// ("4K", "8K", "16K", "Dyn"; case-insensitive).
+func ConfigByLabel(label string) (Config, bool) {
+	for _, c := range Configs() {
+		if strings.EqualFold(c.Label, label) {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
+// LabelFor names the configuration with the given unit size and
+// aggregation mode in the paper's nomenclature.
+func LabelFor(unit int, dynamic bool) string {
+	if dynamic {
+		return "Dyn"
+	}
+	return fmt.Sprintf("%dK", 4*unit)
+}
+
 // Cell is the outcome of one experiment under one configuration.
 type Cell struct {
 	Time  sim.Duration
@@ -83,34 +97,28 @@ func Run(e Experiment, c Config, procs int) (Cell, error) {
 
 // --- experiment definitions -------------------------------------------------
 
+// exp is a view over one registry entry. Every figure/table experiment
+// is defined in its app package's registration; the harness only
+// selects and orders them. A missing entry is a programming error
+// (figures name only registered datasets), so it panics when the
+// figure is requested — the harness tests exercise every figure, so
+// a renamed registration fails the suite immediately.
+func exp(app, dataset string) Experiment {
+	e, ok := apps.Lookup(app, dataset)
+	if !ok {
+		panic(fmt.Sprintf("harness: workload %s/%s is not registered", app, dataset))
+	}
+	return Experiment{App: e.App, Dataset: e.Dataset, Paper: e.Paper, Make: e.Make}
+}
+
 // Figure1 returns the applications whose false-sharing behaviour is
 // input-size independent: Barnes, Ilink, TSP, Water.
 func Figure1() []Experiment {
 	return []Experiment{
-		{
-			App: "Barnes", Dataset: "512", Paper: "16K bodies",
-			Make: func(p int) apps.Workload {
-				return barnes.New(barnes.Config{Bodies: 512, Steps: 2, Procs: p})
-			},
-		},
-		{
-			App: "Ilink", Dataset: "8x8192", Paper: "CLP 2x4x4x4",
-			Make: func(p int) apps.Workload {
-				return ilink.New(ilink.Config{Genarrays: 8, Len: 8192, Iters: 3, Procs: p})
-			},
-		},
-		{
-			App: "TSP", Dataset: "12-city", Paper: "19-city",
-			Make: func(p int) apps.Workload {
-				return tsp.New(tsp.Config{Cities: 12, ForkDepth: 4, Procs: p})
-			},
-		},
-		{
-			App: "Water", Dataset: "96", Paper: "343 molecules",
-			Make: func(p int) apps.Workload {
-				return water.New(water.Config{Molecules: 96, Steps: 2, Procs: p})
-			},
-		},
+		exp("Barnes", "512"),
+		exp("Ilink", "8x8192"),
+		exp("TSP", "12-city"),
+		exp("Water", "96"),
 	}
 }
 
@@ -118,72 +126,17 @@ func Figure1() []Experiment {
 // dataset, ordered as in the paper's Figure 2.
 func Figure2() []Experiment {
 	return []Experiment{
-		{
-			App: "Jacobi", Dataset: "128x512 (row=1pg)", Paper: "1Kx1K",
-			Make: func(p int) apps.Workload {
-				return jacobi.New(jacobi.Config{Rows: 128, Cols: 512, Iters: 4, Procs: p})
-			},
-		},
-		{
-			App: "Jacobi", Dataset: "64x1024 (row=2pg)", Paper: "2Kx2K",
-			Make: func(p int) apps.Workload {
-				return jacobi.New(jacobi.Config{Rows: 64, Cols: 1024, Iters: 4, Procs: p})
-			},
-		},
-		{
-			App: "3D-FFT", Dataset: "8x8x128 (chunk=1pg)", Paper: "64x64x32",
-			Make: func(p int) apps.Workload {
-				return fft3d.New(fft3d.Config{N1: 8, N2: 8, N3: 128, Iters: 2, Procs: p})
-			},
-		},
-		{
-			App: "3D-FFT", Dataset: "8x8x256 (chunk=2pg)", Paper: "64x64x64",
-			Make: func(p int) apps.Workload {
-				return fft3d.New(fft3d.Config{N1: 8, N2: 8, N3: 256, Iters: 2, Procs: p})
-			},
-		},
-		{
-			App: "3D-FFT", Dataset: "8x8x512 (chunk=4pg)", Paper: "128x128x128",
-			Make: func(p int) apps.Workload {
-				return fft3d.New(fft3d.Config{N1: 8, N2: 8, N3: 512, Iters: 2, Procs: p})
-			},
-		},
-		{
-			App: "MGS", Dataset: "512x32 (vec=1pg)", Paper: "1Kx1K",
-			Make: func(p int) apps.Workload {
-				return mgs.New(mgs.Config{Dim: 512, Vectors: 32, Procs: p})
-			},
-		},
-		{
-			App: "MGS", Dataset: "1024x24 (vec=2pg)", Paper: "2Kx2K",
-			Make: func(p int) apps.Workload {
-				return mgs.New(mgs.Config{Dim: 1024, Vectors: 24, Procs: p})
-			},
-		},
-		{
-			App: "MGS", Dataset: "2048x16 (vec=4pg)", Paper: "1Kx4K",
-			Make: func(p int) apps.Workload {
-				return mgs.New(mgs.Config{Dim: 2048, Vectors: 16, Procs: p})
-			},
-		},
-		{
-			App: "Shallow", Dataset: "512x16 (col=1pg)", Paper: "1Kx0.5K",
-			Make: func(p int) apps.Workload {
-				return shallow.New(shallow.Config{Rows: 512, Cols: 16, Iters: 3, Procs: p})
-			},
-		},
-		{
-			App: "Shallow", Dataset: "1024x16 (col=2pg)", Paper: "2Kx0.5K",
-			Make: func(p int) apps.Workload {
-				return shallow.New(shallow.Config{Rows: 1024, Cols: 16, Iters: 3, Procs: p})
-			},
-		},
-		{
-			App: "Shallow", Dataset: "2048x16 (col=4pg)", Paper: "4Kx0.5K",
-			Make: func(p int) apps.Workload {
-				return shallow.New(shallow.Config{Rows: 2048, Cols: 16, Iters: 3, Procs: p})
-			},
-		},
+		exp("Jacobi", "128x512 (row=1pg)"),
+		exp("Jacobi", "64x1024 (row=2pg)"),
+		exp("3D-FFT", "8x8x128 (chunk=1pg)"),
+		exp("3D-FFT", "8x8x256 (chunk=2pg)"),
+		exp("3D-FFT", "8x8x512 (chunk=4pg)"),
+		exp("MGS", "512x32 (vec=1pg)"),
+		exp("MGS", "1024x24 (vec=2pg)"),
+		exp("MGS", "2048x16 (vec=4pg)"),
+		exp("Shallow", "512x16 (col=1pg)"),
+		exp("Shallow", "1024x16 (col=2pg)"),
+		exp("Shallow", "2048x16 (col=4pg)"),
 	}
 }
 

@@ -22,6 +22,25 @@ func TestConfigsMatchPaper(t *testing.T) {
 	}
 }
 
+func TestConfigByLabelAndLabelFor(t *testing.T) {
+	for _, c := range Configs() {
+		got, ok := ConfigByLabel(c.Label)
+		if !ok || got != c {
+			t.Fatalf("ConfigByLabel(%q) = %+v, %v", c.Label, got, ok)
+		}
+		if LabelFor(c.Unit, c.Dynamic) != c.Label {
+			t.Fatalf("LabelFor(%d, %v) = %q, want %q",
+				c.Unit, c.Dynamic, LabelFor(c.Unit, c.Dynamic), c.Label)
+		}
+	}
+	if got, ok := ConfigByLabel("dyn"); !ok || !got.Dynamic {
+		t.Fatalf("ConfigByLabel is not case-insensitive: %+v, %v", got, ok)
+	}
+	if _, ok := ConfigByLabel("32K"); ok {
+		t.Fatal("unknown label must not resolve")
+	}
+}
+
 func TestExperimentInventory(t *testing.T) {
 	if got := len(Figure1()); got != 4 {
 		t.Fatalf("figure 1 experiments = %d, want 4", got)

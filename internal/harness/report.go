@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"repro/internal/instrument"
+	"repro/internal/tmk"
+)
+
+// The JSON report types are the machine-readable counterpart of the
+// render functions: cmd/dsmbench and cmd/dsmrun emit them under -json
+// so benchmark trajectories can be recorded without scraping tables.
+
+// ResultJSON is one run's accounting.
+type ResultJSON struct {
+	TimeSeconds float64           `json:"time_seconds"`
+	Messages    int               `json:"messages"`
+	Bytes       int               `json:"bytes"`
+	Faults      int               `json:"faults"`
+	Stats       *instrument.Stats `json:"stats,omitempty"`
+}
+
+// ResultReport converts an engine Result.
+func ResultReport(r *tmk.Result) ResultJSON {
+	return ResultJSON{
+		TimeSeconds: r.Time.Seconds(),
+		Messages:    r.Messages,
+		Bytes:       r.Bytes,
+		Faults:      r.Faults,
+		Stats:       r.Stats,
+	}
+}
+
+// CellJSON is one experiment × configuration cell.
+type CellJSON struct {
+	App         string            `json:"app"`
+	Dataset     string            `json:"dataset"`
+	Paper       string            `json:"paper,omitempty"`
+	Config      string            `json:"config"`
+	Procs       int               `json:"procs"`
+	TimeSeconds float64           `json:"time_seconds"`
+	Messages    int               `json:"messages"`
+	Bytes       int               `json:"bytes"`
+	Stats       *instrument.Stats `json:"stats,omitempty"`
+}
+
+// CellReport converts one harness cell.
+func CellReport(e Experiment, label string, procs int, c Cell) CellJSON {
+	return CellJSON{
+		App:         e.App,
+		Dataset:     e.Dataset,
+		Paper:       e.Paper,
+		Config:      label,
+		Procs:       procs,
+		TimeSeconds: c.Time.Seconds(),
+		Messages:    c.Msgs,
+		Bytes:       c.Bytes,
+		Stats:       c.Stats,
+	}
+}
+
+// ExperimentJSON is one experiment with its cells across configurations.
+type ExperimentJSON struct {
+	App     string     `json:"app"`
+	Dataset string     `json:"dataset"`
+	Paper   string     `json:"paper,omitempty"`
+	Cells   []CellJSON `json:"cells"`
+}
+
+// Table1RowJSON is one line of Table 1.
+type Table1RowJSON struct {
+	App        string  `json:"app"`
+	Dataset    string  `json:"dataset"`
+	SeqSeconds float64 `json:"seq_seconds"`
+	ParSeconds float64 `json:"par_seconds"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// TrialsJSON is a multi-trial run of one workload under one
+// configuration: per-trial results plus the min/mean/max aggregate.
+type TrialsJSON struct {
+	App             string       `json:"app"`
+	Dataset         string       `json:"dataset"`
+	Paper           string       `json:"paper,omitempty"`
+	Config          string       `json:"config"`
+	Procs           int          `json:"procs"`
+	UnitPages       int          `json:"unit_pages"`
+	Dynamic         bool         `json:"dynamic"`
+	Trials          []ResultJSON `json:"trials"`
+	MinTimeSeconds  float64      `json:"min_time_seconds"`
+	MeanTimeSeconds float64      `json:"mean_time_seconds"`
+	MaxTimeSeconds  float64      `json:"max_time_seconds"`
+	MeanMessages    float64      `json:"mean_messages"`
+	MeanBytes       float64      `json:"mean_bytes"`
+}
+
+// TrialsReport converts a trial summary of workload e under the given
+// configuration.
+func TrialsReport(app, dataset, paper string, cfg tmk.Config, ts *tmk.TrialSummary) TrialsJSON {
+	out := TrialsJSON{
+		App:             app,
+		Dataset:         dataset,
+		Paper:           paper,
+		Config:          LabelFor(cfg.UnitPages, cfg.Dynamic),
+		Procs:           cfg.Procs,
+		UnitPages:       cfg.UnitPages,
+		Dynamic:         cfg.Dynamic,
+		MinTimeSeconds:  ts.MinTime.Seconds(),
+		MeanTimeSeconds: ts.MeanTime.Seconds(),
+		MaxTimeSeconds:  ts.MaxTime.Seconds(),
+		MeanMessages:    ts.MeanMessages,
+		MeanBytes:       ts.MeanBytes,
+	}
+	for _, r := range ts.Trials {
+		out.Trials = append(out.Trials, ResultReport(r))
+	}
+	return out
+}

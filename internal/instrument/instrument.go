@@ -134,47 +134,49 @@ func (c *Collector) OnFault(proc, page int, msgs []*DataMsg) {
 
 // SigBucket is one bar of the false-sharing signature: the faults that
 // contacted exactly Writers concurrent writers, and the useful/useless
-// messages those faults exchanged.
+// messages those faults exchanged. The json tags define the -json CLI
+// schema (snake_case, like the report layer).
 type SigBucket struct {
-	Writers     int
-	Faults      int
-	UsefulMsgs  int
-	UselessMsgs int
+	Writers     int `json:"writers"`
+	Faults      int `json:"faults"`
+	UsefulMsgs  int `json:"useful_msgs"`
+	UselessMsgs int `json:"useless_msgs"`
 }
 
 // Breakdown splits message or byte counts per the paper's figures.
 type Breakdown struct {
-	Useful  int
-	Useless int
+	Useful  int `json:"useful"`
+	Useless int `json:"useless"`
 }
 
 // Total returns Useful + Useless.
 func (b Breakdown) Total() int { return b.Useful + b.Useless }
 
-// Stats is the per-run communication breakdown of Figures 1–3.
+// Stats is the per-run communication breakdown of Figures 1–3. The
+// json tags define the -json CLI schema.
 type Stats struct {
 	// Messages counts every protocol message. Useless = both legs of
 	// data exchanges that carried no useful word; synchronization
 	// messages and useful exchanges are Useful.
-	Messages Breakdown
+	Messages Breakdown `json:"messages"`
 	// DataBytes classifies diff payload words (×8 bytes). Piggybacked
 	// is useless data carried on useful messages; UselessBytes rides on
 	// useless messages.
-	UsefulBytes      int
-	UselessBytes     int
-	PiggybackedBytes int
+	UsefulBytes      int `json:"useful_bytes"`
+	UselessBytes     int `json:"useless_bytes"`
+	PiggybackedBytes int `json:"piggybacked_bytes"`
 	// TotalWireBytes is all payload bytes on the network, including
 	// write notices and sync traffic.
-	TotalWireBytes int
+	TotalWireBytes int `json:"total_wire_bytes"`
 	// Faults counts access misses that reached the fault handler;
 	// ZeroFetchFaults is the subset that needed no remote data (cold
 	// pages, or group members whose updates were prefetched).
-	Faults          int
-	ZeroFetchFaults int
+	Faults          int `json:"faults"`
+	ZeroFetchFaults int `json:"zero_fetch_faults"`
 	// Exchanges counts data request/reply pairs.
-	Exchanges int
+	Exchanges int `json:"exchanges"`
 	// Signature maps concurrent-writer cardinality to its bar.
-	Signature map[int]*SigBucket
+	Signature map[int]*SigBucket `json:"signature,omitempty"`
 }
 
 // TotalDataBytes returns all diff payload bytes.

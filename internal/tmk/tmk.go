@@ -49,7 +49,7 @@ type Config struct {
 	Collect bool
 }
 
-func (c *Config) fill() {
+func (c *Config) fill() error {
 	if c.Procs <= 0 {
 		c.Procs = 8
 	}
@@ -60,11 +60,12 @@ func (c *Config) fill() {
 		c.MaxGroupPages = aggregate.DefaultMaxPages
 	}
 	if c.Dynamic && c.UnitPages != 1 {
-		panic("tmk: dynamic aggregation requires UnitPages == 1")
+		return fmt.Errorf("tmk: dynamic aggregation requires UnitPages == 1 (got %d)", c.UnitPages)
 	}
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = mem.PageSize
 	}
+	return nil
 }
 
 // UnitBytes returns the consistency-unit size in bytes.
@@ -84,6 +85,7 @@ type System struct {
 	numUnits int
 	allocOff int
 	running  bool
+	ran      bool
 
 	procs   []*Proc
 	barrier *barrier
@@ -92,8 +94,12 @@ type System struct {
 
 // NewSystem builds a DSM instance. The shared segment starts zeroed and
 // valid (ReadOnly) on every processor, as after TreadMarks startup.
-func NewSystem(cfg Config) *System {
-	cfg.fill()
+// An invalid configuration (dynamic aggregation with multi-page units)
+// is reported as an error, never a panic.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	cost := sim.DefaultCostModel()
 	if cfg.Cost != nil {
 		cost = *cfg.Cost
@@ -124,7 +130,32 @@ func NewSystem(cfg Config) *System {
 	for p := range s.procs {
 		s.procs[p] = newProc(s, p)
 	}
-	return s
+	return s, nil
+}
+
+// Reset returns the system to its post-NewSystem state — zeroed
+// replicas, ReadOnly page tables, fresh vector clocks, empty interval
+// store, zeroed network counters, and a fresh instrument collector —
+// while keeping the shared-memory layout (allocations survive). It is
+// the foundation of multi-trial benchmarking: Prepare once, then Run
+// independent trials on one instance.
+func (s *System) Reset() {
+	if s.running {
+		panic("tmk: Reset during Run")
+	}
+	s.net = simnet.New(s.cost)
+	s.store = lrc.NewStore(s.cfg.Procs)
+	if s.cfg.Collect {
+		s.col = instrument.NewCollector(s.cfg.Procs, s.segBytes)
+	}
+	s.barrier = newBarrier(s.cfg.Procs)
+	for i := range s.locks {
+		s.locks[i] = newLock(i, i%s.cfg.Procs)
+	}
+	for p := range s.procs {
+		s.procs[p] = newProc(s, p)
+	}
+	s.ran = false
 }
 
 // Config returns the (filled-in) configuration.
@@ -139,35 +170,61 @@ func (s *System) NumPages() int { return s.numPages }
 // NumUnits returns the number of consistency units in the segment.
 func (s *System) NumUnits() int { return s.numUnits }
 
-// Alloc reserves n bytes of shared memory (8-byte aligned) and returns
-// the base address. Allocation is a pre-run, single-threaded operation,
-// mirroring TreadMarks' Tmk_malloc performed before the parallel phase.
-func (s *System) Alloc(n int) mem.Addr {
+// TryAlloc reserves n bytes of shared memory (8-byte aligned) and
+// returns the base address. Allocation is a pre-run, single-threaded
+// operation, mirroring TreadMarks' Tmk_malloc performed before the
+// parallel phase. Exhausting the segment is reported as an error.
+func (s *System) TryAlloc(n int) (mem.Addr, error) {
 	if s.running {
-		panic("tmk: Alloc during Run")
+		return 0, fmt.Errorf("tmk: Alloc during Run")
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("tmk: Alloc of negative size %d", n)
 	}
 	base := (s.allocOff + mem.WordSize - 1) &^ (mem.WordSize - 1)
 	if base+n > s.segBytes {
-		panic(fmt.Sprintf("tmk: out of shared memory (%d + %d > %d)", base, n, s.segBytes))
+		return 0, fmt.Errorf("tmk: out of shared memory (%d + %d > segment %d)", base, n, s.segBytes)
 	}
 	s.allocOff = base + n
-	return base
+	return base, nil
 }
 
-// AllocPages reserves n whole pages aligned to a unit boundary and
+// Alloc is TryAlloc for pre-validated callers; it panics on exhaustion.
+func (s *System) Alloc(n int) mem.Addr {
+	a, err := s.TryAlloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// TryAllocPages reserves n whole pages aligned to a unit boundary and
 // returns the base address. Applications use this to control the layout
 // effects the paper studies.
-func (s *System) AllocPages(n int) mem.Addr {
+func (s *System) TryAllocPages(n int) (mem.Addr, error) {
 	if s.running {
-		panic("tmk: AllocPages during Run")
+		return 0, fmt.Errorf("tmk: AllocPages during Run")
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("tmk: AllocPages of negative count %d", n)
 	}
 	ub := s.cfg.UnitBytes()
 	base := (s.allocOff + ub - 1) / ub * ub
 	if base+n*mem.PageSize > s.segBytes {
-		panic(fmt.Sprintf("tmk: out of shared memory (%d pages)", n))
+		return 0, fmt.Errorf("tmk: out of shared memory (%d pages over segment %d)", n, s.segBytes)
 	}
 	s.allocOff = base + n*mem.PageSize
-	return base
+	return base, nil
+}
+
+// AllocPages is TryAllocPages for pre-validated callers; it panics on
+// exhaustion.
+func (s *System) AllocPages(n int) mem.Addr {
+	a, err := s.TryAllocPages(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // Proc returns processor p's handle (valid only inside Run's body on
@@ -194,10 +251,15 @@ type Result struct {
 }
 
 // Run executes body once per processor, concurrently, and returns the
-// run's accounting. It may be called once per System.
+// run's accounting. A System is reusable: calling Run again first
+// Resets it, so every call is an independent trial over the same
+// shared-memory layout.
 func (s *System) Run(body func(p *Proc)) *Result {
 	if s.running {
 		panic("tmk: Run reentered")
+	}
+	if s.ran {
+		s.Reset()
 	}
 	s.running = true
 	var wg sync.WaitGroup
@@ -226,5 +288,61 @@ func (s *System) Run(body func(p *Proc)) *Result {
 	if s.col != nil {
 		res.Stats = s.col.Finalize(s.net.Snapshot())
 	}
+	s.running = false
+	s.ran = true
 	return res
+}
+
+// TrialSummary aggregates the Results of repeated independent Runs of
+// one body on one System.
+type TrialSummary struct {
+	// Trials holds each trial's full Result, in execution order.
+	Trials []*Result
+	// MinTime, MeanTime, MaxTime aggregate the trials' simulated times.
+	// The simulation is deterministic for barrier-synchronized programs,
+	// so Min == Mean == Max there; lock-based programs may vary with
+	// goroutine scheduling.
+	MinTime  sim.Duration
+	MeanTime sim.Duration
+	MaxTime  sim.Duration
+	// MeanMessages and MeanBytes aggregate the trials' network totals.
+	MeanMessages float64
+	MeanBytes    float64
+}
+
+// Summarize computes the aggregate view of a non-empty trial list.
+func Summarize(trials []*Result) *TrialSummary {
+	ts := &TrialSummary{Trials: trials}
+	var sumTime sim.Duration
+	for i, r := range trials {
+		if i == 0 || r.Time < ts.MinTime {
+			ts.MinTime = r.Time
+		}
+		if r.Time > ts.MaxTime {
+			ts.MaxTime = r.Time
+		}
+		sumTime += r.Time
+		ts.MeanMessages += float64(r.Messages)
+		ts.MeanBytes += float64(r.Bytes)
+	}
+	if n := len(trials); n > 0 {
+		ts.MeanTime = sumTime / sim.Duration(n)
+		ts.MeanMessages /= float64(n)
+		ts.MeanBytes /= float64(n)
+	}
+	return ts
+}
+
+// RunTrials executes body as n independent trials on this System,
+// resetting between trials, and returns the per-trial Results plus the
+// min/mean/max aggregate.
+func (s *System) RunTrials(n int, body func(p *Proc)) (*TrialSummary, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tmk: RunTrials needs a positive trial count (got %d)", n)
+	}
+	trials := make([]*Result, 0, n)
+	for i := 0; i < n; i++ {
+		trials = append(trials, s.Run(body))
+	}
+	return Summarize(trials), nil
 }

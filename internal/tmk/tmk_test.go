@@ -7,12 +7,21 @@ import (
 	"repro/internal/simnet"
 )
 
+// mustSystem builds a system from a config that must be valid.
+func mustSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem(%+v): %v", cfg, err)
+	}
+	return s
+}
+
 // run builds a system and executes body on every processor.
 func run(t *testing.T, cfg Config, body func(p *Proc)) *Result {
 	t.Helper()
 	cfg.Collect = true
-	s := NewSystem(cfg)
-	return s.Run(body)
+	return mustSystem(t, cfg).Run(body)
 }
 
 func wordAddr(page, word int) mem.Addr {
@@ -20,7 +29,7 @@ func wordAddr(page, word int) mem.Addr {
 }
 
 func TestConfigDefaults(t *testing.T) {
-	s := NewSystem(Config{SegmentBytes: 100})
+	s := mustSystem(t, Config{SegmentBytes: 100})
 	cfg := s.Config()
 	if cfg.Procs != 8 || cfg.UnitPages != 1 {
 		t.Fatalf("defaults: %+v", cfg)
@@ -31,23 +40,20 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestDynamicRequiresUnitOne(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewSystem(Config{Dynamic: true, UnitPages: 2})
+	if _, err := NewSystem(Config{Dynamic: true, UnitPages: 2}); err == nil {
+		t.Fatal("expected error for dynamic aggregation with UnitPages > 1")
+	}
 }
 
 func TestSegmentRoundsToUnitMultiple(t *testing.T) {
-	s := NewSystem(Config{SegmentBytes: 3 * mem.PageSize, UnitPages: 2})
+	s := mustSystem(t, Config{SegmentBytes: 3 * mem.PageSize, UnitPages: 2})
 	if s.NumPages() != 4 || s.NumUnits() != 2 {
 		t.Fatalf("pages=%d units=%d", s.NumPages(), s.NumUnits())
 	}
 }
 
 func TestAlloc(t *testing.T) {
-	s := NewSystem(Config{SegmentBytes: 4 * mem.PageSize})
+	s := mustSystem(t, Config{SegmentBytes: 4 * mem.PageSize})
 	a := s.Alloc(10)
 	b := s.Alloc(8)
 	if a != 0 || b != 16 {
@@ -60,13 +66,30 @@ func TestAlloc(t *testing.T) {
 }
 
 func TestAllocOverflowPanics(t *testing.T) {
-	s := NewSystem(Config{SegmentBytes: mem.PageSize})
+	s := mustSystem(t, Config{SegmentBytes: mem.PageSize})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
 	s.Alloc(2 * mem.PageSize)
+}
+
+func TestTryAllocErrors(t *testing.T) {
+	s := mustSystem(t, Config{SegmentBytes: mem.PageSize})
+	if _, err := s.TryAlloc(2 * mem.PageSize); err == nil {
+		t.Fatal("expected out-of-memory error")
+	}
+	if _, err := s.TryAlloc(-1); err == nil {
+		t.Fatal("expected negative-size error")
+	}
+	if _, err := s.TryAllocPages(2); err == nil {
+		t.Fatal("expected out-of-memory error from TryAllocPages")
+	}
+	// A failed allocation must not consume segment space.
+	if a, err := s.TryAlloc(mem.PageSize); err != nil || a != 0 {
+		t.Fatalf("TryAlloc after failures = %d, %v", a, err)
+	}
 }
 
 // --- LRC litmus tests -----------------------------------------------------
@@ -381,7 +404,7 @@ func TestDynamicAggregationLearnsGroups(t *testing.T) {
 	exchangesPerRound := make([]int, 0, 3)
 	var prev int
 	cfg := Config{Procs: 2, SegmentBytes: pages * mem.PageSize, Dynamic: true, Collect: true}
-	s := NewSystem(cfg)
+	s := mustSystem(t, cfg)
 	res := s.Run(func(p *Proc) {
 		for round := 0; round < 3; round++ {
 			if p.ID() == 0 {
@@ -429,7 +452,7 @@ func TestDynamicAggregationLearnsGroups(t *testing.T) {
 func TestDynamicAggregationAdaptsToPatternChange(t *testing.T) {
 	const pages = 4
 	cfg := Config{Procs: 2, SegmentBytes: pages * mem.PageSize, Dynamic: true, Collect: true}
-	s := NewSystem(cfg)
+	s := mustSystem(t, cfg)
 	res := s.Run(func(p *Proc) {
 		// Phase 1: consumer reads all 4 pages (twice, to form groups).
 		for round := 0; round < 2; round++ {
@@ -517,7 +540,7 @@ func TestBarrierProgramDeterministic(t *testing.T) {
 // --- misc -------------------------------------------------------------------
 
 func TestUnlockByNonHolderPanics(t *testing.T) {
-	s := NewSystem(Config{Procs: 2, SegmentBytes: mem.PageSize, Locks: 1})
+	s := mustSystem(t, Config{Procs: 2, SegmentBytes: mem.PageSize, Locks: 1})
 	panicked := make(chan bool, 2)
 	s.Run(func(p *Proc) {
 		if p.ID() == 1 {
@@ -547,8 +570,94 @@ func TestResultCounters(t *testing.T) {
 		t.Fatalf("times = %v", res.ProcTimes)
 	}
 	kinds := map[simnet.MsgKind]bool{}
-	for _, r := range NewSystem(Config{Procs: 1}).net.Snapshot() {
+	for _, r := range mustSystem(t, Config{Procs: 1}).net.Snapshot() {
 		kinds[r.Kind] = true
 	}
 	_ = kinds
+}
+
+// --- reuse and trials --------------------------------------------------------
+
+// barrierBody is a deterministic producer/consumer program used by the
+// reuse tests.
+func barrierBody(p *Proc) {
+	if p.ID() == 0 {
+		for w := 0; w < 128; w++ {
+			p.WriteF64(wordAddr(0, w), float64(w))
+		}
+	}
+	p.Barrier()
+	if p.ID() == 1 {
+		for w := 0; w < 128; w++ {
+			p.ReadF64(wordAddr(0, w))
+		}
+	}
+	p.Barrier()
+}
+
+func TestSystemReusableAcrossRuns(t *testing.T) {
+	s := mustSystem(t, Config{Procs: 2, SegmentBytes: mem.PageSize, Collect: true})
+	a := s.Run(barrierBody)
+	b := s.Run(barrierBody)
+	if a.Time != b.Time || a.Messages != b.Messages || a.Bytes != b.Bytes {
+		t.Fatalf("trials differ: %v/%d/%d vs %v/%d/%d",
+			a.Time, a.Messages, a.Bytes, b.Time, b.Messages, b.Bytes)
+	}
+	if a.Stats.Messages != b.Stats.Messages {
+		t.Fatal("stats differ across reused runs")
+	}
+}
+
+func TestResetKeepsAllocations(t *testing.T) {
+	s := mustSystem(t, Config{Procs: 2, SegmentBytes: 2 * mem.PageSize})
+	x := s.Alloc(8)
+	s.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.WriteF64(x, 7)
+		}
+		p.Barrier()
+	})
+	s.Reset()
+	// The allocation cursor must survive Reset: the next Alloc may not
+	// overlap x.
+	if y := s.Alloc(8); y == x {
+		t.Fatalf("Reset leaked the allocator: got %d twice", y)
+	}
+	// Memory content must not survive Reset.
+	res := s.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			if got := p.ReadF64(x); got != 0 {
+				t.Errorf("replica not zeroed after Reset: %v", got)
+			}
+		}
+		p.Barrier()
+	})
+	if res.Messages != 4 {
+		t.Fatalf("fresh run messages = %d, want 4 (one barrier, no diffs)", res.Messages)
+	}
+}
+
+func TestRunTrialsDeterministic(t *testing.T) {
+	s := mustSystem(t, Config{Procs: 2, SegmentBytes: mem.PageSize, Collect: true})
+	ts, err := s.RunTrials(3, barrierBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Trials) != 3 {
+		t.Fatalf("trials = %d", len(ts.Trials))
+	}
+	for i, r := range ts.Trials {
+		if r.Time != ts.Trials[0].Time {
+			t.Fatalf("trial %d time %v != trial 0 time %v", i, r.Time, ts.Trials[0].Time)
+		}
+	}
+	if ts.MinTime != ts.MeanTime || ts.MeanTime != ts.MaxTime {
+		t.Fatalf("aggregate mismatch: min=%v mean=%v max=%v", ts.MinTime, ts.MeanTime, ts.MaxTime)
+	}
+	if ts.MeanMessages != float64(ts.Trials[0].Messages) {
+		t.Fatalf("mean messages = %v, want %d", ts.MeanMessages, ts.Trials[0].Messages)
+	}
+	if _, err := s.RunTrials(0, barrierBody); err == nil {
+		t.Fatal("RunTrials(0) must error")
+	}
 }
