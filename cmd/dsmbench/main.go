@@ -10,6 +10,8 @@
 //	dsmbench -figure 2       # size-sensitive apps
 //	dsmbench -figure 3       # false-sharing signatures at 4K and 16K
 //	dsmbench -micro          # simulated platform costs vs the paper's
+//	dsmbench -protocols      # homeless vs home-based LRC, per application
+//	dsmbench -all -protocol home   # regenerate everything on home-based LRC
 //
 // Every cell is verified against the application's sequential reference
 // before its numbers are printed. With -json the text tables are
@@ -23,29 +25,39 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/tmk"
 )
 
 // document is the -json output: only the requested sections are set.
 type document struct {
-	Table1  []harness.Table1RowJSON  `json:"table1,omitempty"`
-	Figure1 []harness.ExperimentJSON `json:"figure1,omitempty"`
-	Figure2 []harness.ExperimentJSON `json:"figure2,omitempty"`
-	Figure3 []harness.ExperimentJSON `json:"figure3,omitempty"`
+	Table1    []harness.Table1RowJSON          `json:"table1,omitempty"`
+	Figure1   []harness.ExperimentJSON         `json:"figure1,omitempty"`
+	Figure2   []harness.ExperimentJSON         `json:"figure2,omitempty"`
+	Figure3   []harness.ExperimentJSON         `json:"figure3,omitempty"`
+	Protocols []harness.ProtocolComparisonJSON `json:"protocols,omitempty"`
 }
 
 func main() {
 	table := flag.Int("table", 0, "regenerate Table N (1)")
 	figure := flag.Int("figure", 0, "regenerate Figure N (1, 2, or 3)")
 	micro := flag.Bool("micro", false, "print the §5.1 platform calibration (text only)")
+	protocols := flag.Bool("protocols", false, "compare coherence protocols per application (4 KB units)")
+	protocol := flag.String("protocol", tmk.DefaultProtocol,
+		"coherence protocol for tables/figures: "+strings.Join(tmk.ProtocolNames(), " or "))
 	all := flag.Bool("all", false, "regenerate everything")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document")
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*micro {
+	if !*all && *table == 0 && *figure == 0 && !*micro && !*protocols {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if !tmk.KnownProtocol(*protocol) {
+		check(fmt.Errorf("unknown protocol %q (known: %s)",
+			*protocol, strings.Join(tmk.ProtocolNames(), ", ")))
 	}
 	if *table != 0 && *table != 1 {
 		check(fmt.Errorf("unknown table %d (only Table 1 exists)", *table))
@@ -66,7 +78,7 @@ func main() {
 		}
 	}
 	if *table == 1 || *all {
-		rows, err := harness.RunTable1(harness.Table1())
+		rows, err := harness.RunTable1(harness.Table1(), *protocol)
 		check(err)
 		if text {
 			fmt.Println("=== Table 1: datasets, sequential (simulated) time, 8-processor speedup at 4 KB ===")
@@ -88,19 +100,32 @@ func main() {
 		if text {
 			fmt.Println("=== Figure 1: execution time, messages, data (normalized to 4 KB) ===")
 		}
-		doc.Figure1 = runFigure(harness.Figure1(), configLabels(), text, harness.RenderFigure)
+		doc.Figure1 = runFigure(harness.Figure1(), configLabels(), *protocol, text, harness.RenderFigure)
 	}
 	if *figure == 2 || *all {
 		if text {
 			fmt.Println("=== Figure 2: size-sensitive applications (normalized to 4 KB) ===")
 		}
-		doc.Figure2 = runFigure(harness.Figure2(), configLabels(), text, harness.RenderFigure)
+		doc.Figure2 = runFigure(harness.Figure2(), configLabels(), *protocol, text, harness.RenderFigure)
 	}
 	if *figure == 3 || *all {
 		if text {
 			fmt.Println("=== Figure 3: false-sharing signatures (4 KB vs 16 KB) ===")
 		}
-		doc.Figure3 = runFigure(harness.Figure3(), []string{"4K", "16K"}, text, harness.RenderSignature)
+		doc.Figure3 = runFigure(harness.Figure3(), []string{"4K", "16K"}, *protocol, text, harness.RenderSignature)
+	}
+	if *protocols || *all {
+		pcs, err := harness.RunProtocolComparison(harness.Table1(), harness.Procs)
+		check(err)
+		if text {
+			fmt.Println("=== Protocol comparison: homeless vs home-based LRC (4 KB units) ===")
+			harness.RenderProtocolComparison(os.Stdout, pcs)
+			fmt.Println()
+		} else {
+			for _, pc := range pcs {
+				doc.Protocols = append(doc.Protocols, harness.ProtocolComparisonReport(pc))
+			}
+		}
 	}
 
 	if *jsonOut {
@@ -120,8 +145,9 @@ func configLabels() []string {
 }
 
 // runFigure executes each experiment under the configurations named by
-// the labels, rendering (text mode) or collecting cells (JSON mode).
-func runFigure(es []harness.Experiment, labels []string,
+// the labels on the given coherence protocol, rendering (text mode) or
+// collecting cells (JSON mode).
+func runFigure(es []harness.Experiment, labels []string, protocol string,
 	text bool, render func(io.Writer, harness.Experiment, map[string]harness.Cell)) []harness.ExperimentJSON {
 	var out []harness.ExperimentJSON
 	for _, e := range es {
@@ -132,10 +158,11 @@ func runFigure(es []harness.Experiment, labels []string,
 			if !ok {
 				check(fmt.Errorf("unknown configuration label %q", label))
 			}
+			c.Protocol = protocol
 			cell, err := harness.Run(e, c, harness.Procs)
 			check(err)
 			cells[label] = cell
-			ej.Cells = append(ej.Cells, harness.CellReport(e, label, harness.Procs, cell))
+			ej.Cells = append(ej.Cells, harness.CellReport(e, c, harness.Procs, cell))
 		}
 		if text {
 			render(os.Stdout, e, cells)

@@ -9,7 +9,8 @@
 //	dsmrun -app MGS -unit 2                       # MGS at the 8 KB unit
 //	dsmrun -app Jacobi -dynamic                   # dynamic aggregation
 //	dsmrun -app jacobi -dataset 1024 -unit 2 -trials 3 -json
-//	dsmrun -list                                  # registered workloads
+//	dsmrun -app jacobi -protocol home             # home-based LRC engine
+//	dsmrun -list                                  # registered workloads + protocols
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/apps"
 	_ "repro/internal/apps/all" // populate the workload registry
@@ -29,6 +31,8 @@ func main() {
 	dataset := flag.String("dataset", "", "dataset: exact name, substring, or small/medium/large (empty = app default)")
 	unit := flag.Int("unit", 1, "consistency unit in 4 KB pages (paper: 1, 2, 4)")
 	dynamic := flag.Bool("dynamic", false, "use dynamic aggregation")
+	protocol := flag.String("protocol", tmk.DefaultProtocol,
+		"coherence protocol: "+strings.Join(tmk.ProtocolNames(), " or "))
 	procs := flag.Int("procs", harness.Procs, "number of processors")
 	trials := flag.Int("trials", 1, "independent trials on one reused system")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
@@ -43,6 +47,8 @@ func main() {
 			}
 			fmt.Printf("%-8s  %-22s%s\n", e.App, e.Dataset, paper)
 		}
+		fmt.Printf("\nprotocols: %s (default %s)\n",
+			strings.Join(tmk.ProtocolNames(), ", "), tmk.DefaultProtocol)
 		return
 	}
 	if *app == "" {
@@ -60,7 +66,7 @@ func main() {
 		fail(fmt.Errorf("no registered workload matches -app %q -dataset %q (try -list)", *app, *dataset))
 	}
 
-	cfg := tmk.Config{Procs: *procs, UnitPages: *unit, Dynamic: *dynamic, Collect: true}
+	cfg := tmk.Config{Procs: *procs, UnitPages: *unit, Dynamic: *dynamic, Protocol: *protocol, Collect: true}
 	ts, err := apps.RunTrials(e.Make(*procs), cfg, *trials)
 	if err != nil {
 		fail(err)
@@ -78,8 +84,8 @@ func main() {
 	label := harness.LabelFor(*unit, *dynamic)
 	last := ts.Trials[len(ts.Trials)-1]
 	st := last.Stats
-	fmt.Printf("%s %s  [%s, %d procs, %d trial(s)]  (verified against sequential reference)\n",
-		e.App, e.Dataset, label, *procs, len(ts.Trials))
+	fmt.Printf("%s %s  [%s, %s, %d procs, %d trial(s)]  (verified against sequential reference)\n",
+		e.App, e.Dataset, label, cfg.ProtocolName(), *procs, len(ts.Trials))
 	fmt.Printf("  simulated time        %.3f s (min %.3f, mean %.3f, max %.3f)\n",
 		last.Time.Seconds(), ts.MinTime.Seconds(), ts.MeanTime.Seconds(), ts.MaxTime.Seconds())
 	fmt.Printf("  messages              %d (%d useful, %d useless)\n",

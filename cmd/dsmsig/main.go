@@ -20,6 +20,7 @@ import (
 	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/tmk"
 )
 
 func main() {
@@ -27,6 +28,8 @@ func main() {
 	dataset := flag.String("dataset", "", "dataset (exact or substring; empty = app default)")
 	units := flag.String("units", "1,4", "comma-separated unit sizes in pages")
 	procs := flag.Int("procs", harness.Procs, "number of processors")
+	protocol := flag.String("protocol", tmk.DefaultProtocol,
+		"coherence protocol: "+strings.Join(tmk.ProtocolNames(), " or "))
 	flag.Parse()
 
 	if *app == "" {
@@ -49,7 +52,7 @@ func main() {
 			os.Exit(1)
 		}
 		label := fmt.Sprintf("%dK", 4*u)
-		cell, err := harness.Run(*e, harness.Config{Label: label, Unit: u}, *procs)
+		cell, err := harness.Run(*e, harness.Config{Label: label, Unit: u, Protocol: *protocol}, *procs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dsmsig:", err)
 			os.Exit(1)

@@ -2,12 +2,16 @@
 // Between False Sharing and Aggregation in Software Distributed Shared
 // Memory" (Amza, Cox, Rajamani, Zwaenepoel — PPoPP 1997).
 //
-// It exposes a TreadMarks-style software DSM: lazy release consistency,
-// a multiple-writer protocol (twinning + word-granularity diffing),
-// locks and barriers, static consistency units of 1–4 pages, and the
-// paper's dynamic page-group aggregation — all running on a simulated
-// 8-node cluster whose communication costs are calibrated to the paper's
-// platform (see internal/sim).
+// It exposes a software DSM with a pluggable coherence layer: lazy
+// release consistency with a multiple-writer protocol (twinning +
+// word-granularity diffing), locks and barriers, static consistency
+// units of 1–4 pages, and the paper's dynamic page-group aggregation —
+// all running on a simulated 8-node cluster whose communication costs
+// are calibrated to the paper's platform (see internal/sim). Two
+// coherence protocols are built in and selected with WithProtocol:
+// "homeless" (TreadMarks-style, the paper's protocol and the default)
+// and "home" (home-based LRC — fewer messages, more bytes); see
+// DESIGN.md §5.
 //
 // A System is built with functional options and validated up front —
 // misconfiguration is an error, never a panic:
@@ -42,6 +46,9 @@ package dsm
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
+	"sync"
 
 	"repro/internal/instrument"
 	"repro/internal/mem"
@@ -86,6 +93,13 @@ const (
 // DefaultCostModel returns the communication cost model calibrated to
 // the paper's §5.1 platform measurements.
 func DefaultCostModel() CostModel { return sim.DefaultCostModel() }
+
+// Protocols returns the names of the registered coherence protocols,
+// sorted: currently "home" (home-based LRC: diffs flushed to a static
+// home at release, misses fetch the whole unit from the home) and
+// "homeless" (the paper's TreadMarks protocol: diffs stay with their
+// writers, misses fetch from every concurrent writer).
+func Protocols() []string { return tmk.ProtocolNames() }
 
 // Option configures a System under construction. Options validate
 // their arguments and report bad values as errors from New.
@@ -162,6 +176,21 @@ func WithLocks(n int) Option {
 	}
 }
 
+// WithProtocol selects the coherence protocol by name
+// (case-insensitive): "homeless" — the paper's TreadMarks protocol and
+// the default — or "home" — home-based LRC. An unknown name is an
+// error from New listing the registered protocols (Protocols).
+func WithProtocol(name string) Option {
+	return func(c *Config) error {
+		if !tmk.KnownProtocol(name) {
+			return fmt.Errorf("dsm: WithProtocol(%q): unknown protocol (known: %s)",
+				name, strings.Join(tmk.ProtocolNames(), ", "))
+		}
+		c.Protocol = name
+		return nil
+	}
+}
+
 // WithCostModel overrides the communication cost model (default: the
 // paper's §5.1 calibration, DefaultCostModel).
 func WithCostModel(cm CostModel) Option {
@@ -222,12 +251,48 @@ func (s *System) AllocPages(n int) (Addr, error) { return s.eng.TryAllocPages(n)
 // every call is an independent trial over the same memory layout.
 func (s *System) Run(body func(p *Proc)) *Result { return s.eng.Run(body) }
 
-// RunTrials executes body as n independent trials, resetting between
-// them, and returns per-trial and aggregate (min/mean/max) results. For
-// barrier-synchronized programs the simulation is deterministic, so
-// all trials report bit-identical times.
+// RunTrials executes body as n independent trials and returns per-trial
+// and aggregate (min/mean/max) results. Trials are independent by
+// construction — each runs on its own engine built from this System's
+// configuration — so they execute concurrently, bounded by GOMAXPROCS;
+// results are reported in trial order regardless of completion order.
+// For barrier-synchronized programs the simulation is deterministic, so
+// all trials report bit-identical times. The System itself is left
+// untouched (its allocations and any prior Run's state survive).
 func (s *System) RunTrials(n int, body func(p *Proc)) (*Trials, error) {
-	return s.eng.RunTrials(n, body)
+	if n <= 0 {
+		return nil, fmt.Errorf("dsm: RunTrials needs a positive trial count (got %d)", n)
+	}
+	cfg := s.eng.Config()
+	results := make([]*tmk.Result, n)
+	errs := make([]error, n)
+	limit := runtime.GOMAXPROCS(0)
+	if limit < 1 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			eng, err := tmk.NewSystem(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = eng.Run(body)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tmk.Summarize(results), nil
 }
 
 // Reset returns the system to its freshly built state (zeroed memory,

@@ -88,22 +88,25 @@ func TestRegistryLookupMatching(t *testing.T) {
 // not just names.
 func TestRegistrySmallDatasetsRunAndCheck(t *testing.T) {
 	for _, app := range apps.Apps() {
-		app := app
-		t.Run(app, func(t *testing.T) {
-			t.Parallel()
-			e, ok := apps.Lookup(app, "small")
-			if !ok {
-				t.Fatalf("%s: no small dataset", app)
-			}
-			const procs = 4
-			res, err := apps.Run(e.Make(procs), tmk.Config{Procs: procs, Collect: true})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if res.Time <= 0 || res.Stats == nil {
-				t.Fatalf("incomplete result: %+v", res)
-			}
-		})
+		for _, protocol := range tmk.ProtocolNames() {
+			app, protocol := app, protocol
+			t.Run(app+"/"+protocol, func(t *testing.T) {
+				t.Parallel()
+				e, ok := apps.Lookup(app, "small")
+				if !ok {
+					t.Fatalf("%s: no small dataset", app)
+				}
+				const procs = 4
+				res, err := apps.Run(e.Make(procs),
+					tmk.Config{Procs: procs, Protocol: protocol, Collect: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Time <= 0 || res.Stats == nil {
+					t.Fatalf("incomplete result: %+v", res)
+				}
+			})
+		}
 	}
 }
 

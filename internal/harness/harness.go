@@ -40,6 +40,9 @@ type Config struct {
 	Label   string
 	Unit    int // consistency unit in pages
 	Dynamic bool
+	// Protocol names the coherence protocol (tmk.ProtocolNames);
+	// empty selects the paper's homeless protocol.
+	Protocol string
 }
 
 // Configs are the paper's four configurations, in figure order.
@@ -87,6 +90,7 @@ func Run(e Experiment, c Config, procs int) (Cell, error) {
 		Procs:     procs,
 		UnitPages: c.Unit,
 		Dynamic:   c.Dynamic,
+		Protocol:  c.Protocol,
 		Collect:   true,
 	})
 	if err != nil {
@@ -229,15 +233,16 @@ type Table1Row struct {
 }
 
 // RunTable1 computes Table 1 (sequential simulated time and 8-processor
-// speedup at the 4 KB unit).
-func RunTable1(es []Experiment) ([]Table1Row, error) {
+// speedup at the 4 KB unit) under the given coherence protocol (empty =
+// homeless).
+func RunTable1(es []Experiment, protocol string) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, e := range es {
-		seq, err := Run(e, Config{Label: "seq", Unit: 1}, 1)
+		seq, err := Run(e, Config{Label: "seq", Unit: 1, Protocol: protocol}, 1)
 		if err != nil {
 			return nil, err
 		}
-		par, err := Run(e, Config{Label: "4K", Unit: 1}, Procs)
+		par, err := Run(e, Config{Label: "4K", Unit: 1, Protocol: protocol}, Procs)
 		if err != nil {
 			return nil, err
 		}
@@ -312,3 +317,78 @@ func RenderMicro(w io.Writer) {
 }
 
 func us(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }
+
+// --- protocol comparison -----------------------------------------------------
+
+// ProtocolRow is one experiment's outcome under one coherence protocol.
+type ProtocolRow struct {
+	Protocol string
+	Cell     Cell
+}
+
+// ProtocolComparison is one experiment run under every registered
+// protocol at one configuration — the homeless-vs-home-based view the
+// protocol layer exists to produce.
+type ProtocolComparison struct {
+	App     string
+	Dataset string
+	Config  string
+	Rows    []ProtocolRow
+}
+
+// RunProtocolComparison runs each experiment under every registered
+// coherence protocol at the paper's base configuration (4 KB units)
+// and returns one comparison per experiment, protocols in sorted name
+// order. Every cell is verified against the sequential reference.
+func RunProtocolComparison(es []Experiment, procs int) ([]ProtocolComparison, error) {
+	var out []ProtocolComparison
+	for _, e := range es {
+		pc := ProtocolComparison{App: e.App, Dataset: e.Dataset, Config: "4K"}
+		for _, proto := range tmk.ProtocolNames() {
+			cell, err := Run(e, Config{Label: "4K", Unit: 1, Protocol: proto}, procs)
+			if err != nil {
+				return nil, fmt.Errorf("protocol %s: %w", proto, err)
+			}
+			pc.Rows = append(pc.Rows, ProtocolRow{Protocol: proto, Cell: cell})
+		}
+		out = append(out, pc)
+	}
+	return out, nil
+}
+
+// RenderProtocolComparison prints the protocol comparison: absolute
+// time, messages, and wire bytes per protocol, plus each row's ratio to
+// the homeless baseline — the fewer-messages/more-bytes trade in one
+// table.
+func RenderProtocolComparison(w io.Writer, pcs []ProtocolComparison) {
+	fmt.Fprintf(w, "%-8s  %-22s  %-9s  %9s  %6s  %10s  %6s  %11s  %6s\n",
+		"Program", "Input Size", "Protocol", "Time(s)", "×", "Msgs", "×", "Wire KB", "×")
+	for _, pc := range pcs {
+		var base *Cell
+		for i := range pc.Rows {
+			if pc.Rows[i].Protocol == "homeless" {
+				base = &pc.Rows[i].Cell
+			}
+		}
+		for _, r := range pc.Rows {
+			ratio := func(v, b float64) string {
+				if base == nil || b == 0 {
+					return "-"
+				}
+				return fmt.Sprintf("%.2f", v/b)
+			}
+			var bt, bm, bb float64
+			if base != nil {
+				bt = base.Time.Seconds()
+				bm = float64(base.Msgs)
+				bb = float64(base.Stats.TotalWireBytes)
+			}
+			fmt.Fprintf(w, "%-8s  %-22s  %-9s  %9.3f  %6s  %10d  %6s  %11.1f  %6s\n",
+				pc.App, pc.Dataset, r.Protocol,
+				r.Cell.Time.Seconds(), ratio(r.Cell.Time.Seconds(), bt),
+				r.Cell.Msgs, ratio(float64(r.Cell.Msgs), bm),
+				float64(r.Cell.Stats.TotalWireBytes)/1024,
+				ratio(float64(r.Cell.Stats.TotalWireBytes), bb))
+		}
+	}
+}

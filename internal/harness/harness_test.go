@@ -81,7 +81,7 @@ func TestRunAndRenderFigureSmoke(t *testing.T) {
 }
 
 func TestRunTable1Subset(t *testing.T) {
-	rows, err := RunTable1(Table1()[5:6]) // Jacobi only: fast
+	rows, err := RunTable1(Table1()[5:6], "") // Jacobi only: fast
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,7 @@ type CellJSON struct {
 	Dataset     string            `json:"dataset"`
 	Paper       string            `json:"paper,omitempty"`
 	Config      string            `json:"config"`
+	Protocol    string            `json:"protocol"`
 	Procs       int               `json:"procs"`
 	TimeSeconds float64           `json:"time_seconds"`
 	Messages    int               `json:"messages"`
@@ -42,19 +43,60 @@ type CellJSON struct {
 	Stats       *instrument.Stats `json:"stats,omitempty"`
 }
 
-// CellReport converts one harness cell.
-func CellReport(e Experiment, label string, procs int, c Cell) CellJSON {
+// CellReport converts one harness cell run under cfg.
+func CellReport(e Experiment, cfg Config, procs int, c Cell) CellJSON {
 	return CellJSON{
 		App:         e.App,
 		Dataset:     e.Dataset,
 		Paper:       e.Paper,
-		Config:      label,
+		Config:      cfg.Label,
+		Protocol:    protocolName(cfg.Protocol),
 		Procs:       procs,
 		TimeSeconds: c.Time.Seconds(),
 		Messages:    c.Msgs,
 		Bytes:       c.Bytes,
 		Stats:       c.Stats,
 	}
+}
+
+// protocolName canonicalizes a protocol name for display (default
+// filled in, lowercased), matching what the engine reports.
+func protocolName(p string) string {
+	return tmk.Config{Protocol: p}.ProtocolName()
+}
+
+// ProtocolRowJSON is one protocol's row of a comparison.
+type ProtocolRowJSON struct {
+	Protocol    string            `json:"protocol"`
+	TimeSeconds float64           `json:"time_seconds"`
+	Messages    int               `json:"messages"`
+	Bytes       int               `json:"bytes"`
+	WireBytes   int               `json:"wire_bytes"`
+	Stats       *instrument.Stats `json:"stats,omitempty"`
+}
+
+// ProtocolComparisonJSON is one experiment's protocol comparison.
+type ProtocolComparisonJSON struct {
+	App     string            `json:"app"`
+	Dataset string            `json:"dataset"`
+	Config  string            `json:"config"`
+	Rows    []ProtocolRowJSON `json:"rows"`
+}
+
+// ProtocolComparisonReport converts a protocol comparison.
+func ProtocolComparisonReport(pc ProtocolComparison) ProtocolComparisonJSON {
+	out := ProtocolComparisonJSON{App: pc.App, Dataset: pc.Dataset, Config: pc.Config}
+	for _, r := range pc.Rows {
+		out.Rows = append(out.Rows, ProtocolRowJSON{
+			Protocol:    r.Protocol,
+			TimeSeconds: r.Cell.Time.Seconds(),
+			Messages:    r.Cell.Msgs,
+			Bytes:       r.Cell.Bytes,
+			WireBytes:   r.Cell.Stats.TotalWireBytes,
+			Stats:       r.Cell.Stats,
+		})
+	}
+	return out
 }
 
 // ExperimentJSON is one experiment with its cells across configurations.
@@ -81,6 +123,7 @@ type TrialsJSON struct {
 	Dataset         string       `json:"dataset"`
 	Paper           string       `json:"paper,omitempty"`
 	Config          string       `json:"config"`
+	Protocol        string       `json:"protocol"`
 	Procs           int          `json:"procs"`
 	UnitPages       int          `json:"unit_pages"`
 	Dynamic         bool         `json:"dynamic"`
@@ -100,6 +143,7 @@ func TrialsReport(app, dataset, paper string, cfg tmk.Config, ts *tmk.TrialSumma
 		Dataset:         dataset,
 		Paper:           paper,
 		Config:          LabelFor(cfg.UnitPages, cfg.Dynamic),
+		Protocol:        cfg.ProtocolName(),
 		Procs:           cfg.Procs,
 		UnitPages:       cfg.UnitPages,
 		Dynamic:         cfg.Dynamic,

@@ -14,8 +14,6 @@
 package instrument
 
 import (
-	"sync"
-
 	"repro/internal/mem"
 	"repro/internal/simnet"
 )
@@ -27,7 +25,7 @@ type DataMsg struct {
 	Writer int
 	Reader int
 
-	index      int32 // position in Collector.data
+	index      int32 // position in Collector.data[Reader]
 	totalWords int32
 	useful     int32 // words read before overwritten (owned by Reader's goroutine)
 }
@@ -51,16 +49,17 @@ type Fault struct {
 }
 
 // Collector gathers per-word usefulness, per-exchange accounting, and
-// fault events for one run. Tag arrays are per processor and only touched
-// by that processor's goroutine; the data-message list is guarded by a
-// mutex (fault path only, never the access hot path).
+// fault events for one run. Every array is per processor and only
+// touched by that processor's goroutine until Finalize — an exchange is
+// always created by the faulting *reader*, its diffs are tagged into
+// the reader's tag row, and reads consult only that row — so the
+// collector needs no locking, on the access hot path or off it.
 type Collector struct {
 	nprocs int
 	nwords int
 	tags   [][]int32 // [proc][globalWord] -> DataMsg index+1, 0 = none
 
-	mu   sync.Mutex
-	data []*DataMsg
+	data [][]*DataMsg // [proc]: exchanges created by proc's faults
 
 	faults [][]Fault // per proc, appended only by that proc
 }
@@ -73,6 +72,7 @@ func NewCollector(nprocs, segBytes int) *Collector {
 		nprocs: nprocs,
 		nwords: nwords,
 		tags:   make([][]int32, nprocs),
+		data:   make([][]*DataMsg, nprocs),
 		faults: make([][]Fault, nprocs),
 	}
 	for p := range c.tags {
@@ -87,7 +87,7 @@ func NewCollector(nprocs, segBytes int) *Collector {
 func (c *Collector) OnRead(proc int, addr mem.Addr) {
 	w := addr >> mem.WordShift
 	if tag := c.tags[proc][w]; tag != 0 {
-		c.data[tag-1].useful++
+		c.data[proc][tag-1].useful++
 		c.tags[proc][w] = 0
 	}
 }
@@ -98,13 +98,13 @@ func (c *Collector) OnWrite(proc int, addr mem.Addr) {
 	c.tags[proc][addr>>mem.WordShift] = 0
 }
 
-// NewDataMsg registers a diff exchange between reader and writer.
+// NewDataMsg registers a diff exchange between reader and writer. It
+// must be called on the reader's goroutine (exchanges are created by
+// the faulting reader).
 func (c *Collector) NewDataMsg(req, reply simnet.MsgID, writer, reader int) *DataMsg {
 	m := &DataMsg{Req: req, Reply: reply, Writer: writer, Reader: reader}
-	c.mu.Lock()
-	m.index = int32(len(c.data))
-	c.data = append(c.data, m)
-	c.mu.Unlock()
+	m.index = int32(len(c.data[reader]))
+	c.data[reader] = append(c.data[reader], m)
 	return m
 }
 
@@ -190,17 +190,19 @@ func (c *Collector) Finalize(records []simnet.Record) *Stats {
 	s := &Stats{Signature: make(map[int]*SigBucket)}
 
 	// Classify exchanges.
-	usefulByReply := make(map[simnet.MsgID]bool, len(c.data))
-	for _, m := range c.data {
-		u := m.Useful()
-		usefulByReply[m.Reply] = u
-		usefulByReply[m.Req] = u
-		s.Exchanges++
-		if u {
-			s.UsefulBytes += int(m.useful) * mem.WordSize
-			s.PiggybackedBytes += int(m.totalWords-m.useful) * mem.WordSize
-		} else {
-			s.UselessBytes += int(m.totalWords) * mem.WordSize
+	usefulByReply := make(map[simnet.MsgID]bool)
+	for _, procMsgs := range c.data {
+		for _, m := range procMsgs {
+			u := m.Useful()
+			usefulByReply[m.Reply] = u
+			usefulByReply[m.Req] = u
+			s.Exchanges++
+			if u {
+				s.UsefulBytes += int(m.useful) * mem.WordSize
+				s.PiggybackedBytes += int(m.totalWords-m.useful) * mem.WordSize
+			} else {
+				s.UselessBytes += int(m.totalWords) * mem.WordSize
+			}
 		}
 	}
 
@@ -234,7 +236,7 @@ func (c *Collector) Finalize(records []simnet.Record) *Stats {
 			}
 			b.Faults++
 			for _, idx := range f.msgs {
-				if c.data[idx].Useful() {
+				if c.data[p][idx].Useful() {
 					b.UsefulMsgs += 2 // request + reply
 				} else {
 					b.UselessMsgs += 2

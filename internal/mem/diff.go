@@ -136,6 +136,22 @@ func (d Diff) ForEachWord(fn func(wordOff int)) {
 	}
 }
 
+// FullPageDiff captures the entire current contents of a page as a
+// single-run diff. Home-based protocols use it as the wire image of a
+// whole-page fetch from the home copy: applying it overwrites every
+// word of the destination, and its WireBytes price the full-page
+// transfer the paper contrasts with diff traffic.
+func FullPageDiff(page []byte) Diff {
+	if len(page) != PageSize {
+		panic("mem: FullPageDiff on non-page-sized input")
+	}
+	run := Run{Off: 0, Words: make([]uint64, WordsPerPage)}
+	for i := range run.Words {
+		run.Words[i] = wordAt(page, i)
+	}
+	return Diff{runs: []Run{run}}
+}
+
 // CoalesceDiffs merges an ordered sequence of diffs of the same page
 // into one equivalent diff: for each word, the value of the last diff
 // that wrote it. The caller must pass diffs in application order; this is

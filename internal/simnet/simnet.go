@@ -40,13 +40,19 @@ const (
 	BarrierArrive
 	// BarrierRelease broadcasts merged write notices from the manager.
 	BarrierRelease
+	// HomeFlush carries a writer's diffs to a unit's home processor at
+	// release time (home-based protocols only). It is a one-way message
+	// and, like synchronization traffic, always necessary — the home
+	// must be kept up to date regardless of who later reads the unit —
+	// so it is not a data message in the §5.3 usefulness sense.
+	HomeFlush
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"DiffRequest", "DiffReply", "LockRequest", "LockForward",
-	"LockGrant", "BarrierArrive", "BarrierRelease",
+	"LockGrant", "BarrierArrive", "BarrierRelease", "HomeFlush",
 }
 
 func (k MsgKind) String() string {

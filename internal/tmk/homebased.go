@@ -1,0 +1,263 @@
+package tmk
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/instrument"
+	"repro/internal/lrc"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/vc"
+)
+
+func init() {
+	RegisterProtocol("home", func(s *System) Protocol { return newHomeProtocol(s) })
+}
+
+// homeProtocol is home-based lazy release consistency (HLRC, in the
+// style of Princeton's home-based protocols and JIAJIA): every
+// consistency unit has a statically assigned home processor that keeps
+// the authoritative copy. At release, a writer flushes its diffs to
+// each written unit's home (one one-way message per remote home) and
+// discards them; write notices still travel lazily with synchronization.
+// An access miss is served by the home alone — one exchange returning
+// the unit's entire contents — instead of one diff exchange per
+// concurrent writer. The trade the paper's framework exposes: fewer
+// messages under write-write false sharing, more bytes per fetch.
+//
+// The home copies are versioned, as in real HLRC: the home keeps each
+// page's flushed diffs stamped with their interval's vector time, and a
+// fetch returns the page reconstructed at the *fetcher's* vector time —
+// exactly the writes the fetcher is entitled to see under LRC, no more.
+// Without this, a processor still traversing pre-step data could
+// observe post-step writes that a faster processor already flushed at
+// the next barrier (TreadMarks programs rely on concurrent writes
+// staying invisible until the reader's next acquire). Flushes reach the
+// home before the release's synchronization hands off (they run inside
+// the closing interval), so every interval covered by an acquirer's
+// vector time is in the log by the time the acquirer can fault on it.
+//
+// Home application cost is charged to the writer's flush (the one-way
+// send); the home's handler time is folded into the fetch exchange's
+// service cost, as for homeless diff requests (DESIGN.md §5).
+type homeProtocol struct {
+	invalidator
+	nprocs int
+	up     int // unit size in pages
+
+	mu  sync.Mutex
+	log map[int][]flushEntry // page -> flushed diffs, in arrival order
+}
+
+// flushEntry is one flushed page diff with its interval's causal key
+// (sum, proc, seq) — see lrc.Interval.CausalKey.
+type flushEntry struct {
+	proc int
+	seq  int32
+	sum  int64
+	d    mem.Diff
+}
+
+func newHomeProtocol(s *System) Protocol {
+	return &homeProtocol{
+		nprocs: s.cfg.Procs,
+		up:     s.cfg.UnitPages,
+		log:    make(map[int][]flushEntry),
+	}
+}
+
+func (*homeProtocol) Name() string { return "home" }
+
+// homeOf statically assigns unit u to a home processor, round-robin —
+// the paper-era default (first-touch and migration are future policies).
+func (h *homeProtocol) homeOf(u int) int { return u % h.nprocs }
+
+// Release publishes the interval's write notices diff-free — the home
+// now owns the data — and flushes the diffs to each written unit's
+// home: one one-way HomeFlush message per remote home, appended to the
+// home's versioned log. Flushing to the processor's own home units is
+// local and free of messages.
+func (h *homeProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff) {
+	p.sys.store.Publish(lrc.MakeInterval(id, ts, units, nil))
+	if len(diffs) == 0 {
+		return
+	}
+	var sum int64
+	for _, v := range ts {
+		sum += int64(v)
+	}
+
+	// Group this interval's page diffs by the home of their unit.
+	perHome := make(map[int][]lrc.PageDiff)
+	for _, pd := range diffs {
+		home := h.homeOf(pd.Page / h.up)
+		perHome[home] = append(perHome[home], pd)
+	}
+	homes := make([]int, 0, len(perHome))
+	for home := range perHome {
+		homes = append(homes, home)
+	}
+	sort.Ints(homes)
+
+	h.mu.Lock()
+	for _, pd := range diffs {
+		h.log[pd.Page] = append(h.log[pd.Page], flushEntry{
+			proc: id.Proc, seq: id.Seq, sum: sum, d: pd.D,
+		})
+	}
+	h.mu.Unlock()
+
+	// One flush message per remote home, in ascending home order for a
+	// deterministic message log; the writer's own home units are local.
+	for _, home := range homes {
+		if home == p.id {
+			continue
+		}
+		bytes := 8 // flush header: interval id
+		for _, pd := range perHome[home] {
+			bytes += pd.D.WireBytes()
+		}
+		p.sys.net.Send(simnet.HomeFlush, p.id, home, bytes)
+		p.clock.Advance(p.sys.net.OneWayCost(bytes))
+	}
+}
+
+// pageImage reconstructs the page's contents at vector time vt: the
+// flushed diffs of intervals covered by vt, applied in causal order
+// over the zeroed initial page. Only the log snapshot runs under h.mu;
+// the sort and the diff applications do not. The log is append-only
+// for the length of a run (like lrc.Store, garbage collection is
+// omitted: runs are short and home GC is orthogonal to the study), so
+// a hot page's reconstruction cost grows with its flush history.
+func (h *homeProtocol) pageImage(page int, vt vc.Time) mem.Diff {
+	h.mu.Lock()
+	entries := h.log[page]
+	h.mu.Unlock()
+	var covered []flushEntry
+	for _, e := range entries {
+		if vt.KnowsInterval(e.proc, e.seq) {
+			covered = append(covered, e)
+		}
+	}
+	sort.SliceStable(covered, func(i, j int) bool {
+		if covered[i].sum != covered[j].sum {
+			return covered[i].sum < covered[j].sum
+		}
+		if covered[i].proc != covered[j].proc {
+			return covered[i].proc < covered[j].proc
+		}
+		return covered[i].seq < covered[j].seq
+	})
+	buf := make([]byte, mem.PageSize)
+	for _, e := range covered {
+		e.d.Apply(buf)
+	}
+	return mem.FullPageDiff(buf)
+}
+
+// Fetch implements the home-based miss policy: each stale unit is
+// refreshed from its home in one exchange carrying the unit's whole
+// contents at the fetcher's vector time — one request/reply per
+// distinct home, issued in parallel. Units homed at the faulting
+// processor are copied locally, without messages.
+func (h *homeProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
+	cost := p.sys.cost
+
+	var fetch []int
+	for _, u := range units {
+		if len(p.missing[u]) > 0 {
+			fetch = append(fetch, u)
+		}
+	}
+	if len(fetch) == 0 {
+		return nil
+	}
+
+	perHome := make(map[int][]int)
+	for _, u := range fetch {
+		home := h.homeOf(u)
+		perHome[home] = append(perHome[home], u)
+	}
+	homes := make([]int, 0, len(perHome))
+	for home := range perHome {
+		homes = append(homes, home)
+	}
+	sort.Ints(homes)
+
+	// Reconstruct the fetched units' pages at p's vector time — the
+	// reply payloads. Per-page reconstruction needs no cross-page
+	// atomicity: every interval covered by p's vector time was flushed
+	// before the synchronization that extended the vector time handed
+	// off, so it is already in the log, and concurrent flushes are
+	// never covered.
+	snap := make(map[int]mem.Diff, len(fetch)*h.up)
+	for _, u := range fetch {
+		for s := 0; s < h.up; s++ {
+			page := u*h.up + s
+			snap[page] = h.pageImage(page, p.vt)
+		}
+	}
+
+	type applyItem struct {
+		page int
+		msg  *instrument.DataMsg
+	}
+	var items []applyItem
+	var msgs []*instrument.DataMsg
+	var maxCost sim.Duration
+	for _, home := range homes {
+		us := perHome[home]
+		if home == p.id {
+			// Local home: the processor is reading its own
+			// authoritative storage — a copy, no messages.
+			for _, u := range us {
+				for s := 0; s < h.up; s++ {
+					items = append(items, applyItem{page: u*h.up + s})
+				}
+			}
+			continue
+		}
+		reqBytes := 16 + 8*len(us)
+		replyBytes := 0
+		var homeItems []applyItem
+		for _, u := range us {
+			for s := 0; s < h.up; s++ {
+				page := u*h.up + s
+				replyBytes += snap[page].WireBytes()
+				homeItems = append(homeItems, applyItem{page: page})
+			}
+		}
+		reqID := p.sys.net.Send(simnet.DiffRequest, p.id, home, reqBytes)
+		repID := p.sys.net.Send(simnet.DiffReply, home, p.id, replyBytes)
+		if p.sys.col != nil {
+			dm := p.sys.col.NewDataMsg(reqID, repID, home, p.id)
+			msgs = append(msgs, dm)
+			for i := range homeItems {
+				homeItems[i].msg = dm
+			}
+		}
+		items = append(items, homeItems...)
+		if c := p.sys.net.ExchangeCost(reqBytes, replyBytes); c > maxCost {
+			maxCost = c
+		}
+	}
+	p.clock.Advance(maxCost)
+
+	// Apply the page images. Each page arrives whole from one
+	// reconstruction, so page order suffices for determinism.
+	for _, it := range items {
+		d := snap[it.page]
+		d.Apply(p.rep.Page(it.page))
+		p.clock.Advance(sim.Duration(d.WordCount()) * cost.ApplyPerWord)
+		if p.sys.col != nil && it.msg != nil {
+			p.sys.col.TagDiff(p.id, it.page, d, it.msg)
+		}
+	}
+
+	for _, u := range fetch {
+		delete(p.missing, u)
+	}
+	return msgs
+}

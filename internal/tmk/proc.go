@@ -1,14 +1,10 @@
 package tmk
 
 import (
-	"sort"
-
 	"repro/internal/aggregate"
-	"repro/internal/instrument"
 	"repro/internal/lrc"
 	"repro/internal/mem"
 	"repro/internal/sim"
-	"repro/internal/simnet"
 	"repro/internal/vc"
 )
 
@@ -159,23 +155,10 @@ func (p *Proc) writeFault(u, page int) {
 	p.clock.Advance(cost.ProtOp)
 }
 
-// fetchItem is one page diff scheduled for application, keyed for causal
-// ordering by its (latest contributing) source interval and attributed to
-// the carrying exchange.
-type fetchItem struct {
-	page int
-	d    mem.Diff
-	msg  *instrument.DataMsg
-	sum  int64
-	prc  int
-	sq   int32
-}
-
 // readFault models the protection trap on an access to an invalid unit.
 // It determines the consistency unit (static) or page group (dynamic) to
-// bring up to date, fetches the missing diffs — one exchange per
-// concurrent writer, issued in parallel — applies them in causal order,
-// and validates.
+// bring up to date, hands the stale units to the protocol's fetch
+// policy, and validates.
 func (p *Proc) readFault(page int) {
 	cost := p.sys.cost
 	p.clock.Advance(cost.PageFault)
@@ -198,137 +181,14 @@ func (p *Proc) readFault(page int) {
 		units = []int{faultUnit}
 	}
 
-	// Gather missing (interval, unit) pairs per writer across all
-	// fetched units. Each unit's missing list holds a given interval at
-	// most once (in causal order), so pairs are distinct and no diff is
-	// fetched twice. Also count distinct writers per unit: a unit whose
-	// missing intervals all come from one writer is served coalesced
-	// (TreadMarks' single-writer remedy for diff accumulation).
-	type need struct {
-		iv   *lrc.Interval
-		unit int
-	}
-	needs := make(map[int][]need)
-	unitWriters := make(map[int]int)
-	var fetchUnits []int
-	for _, u := range units {
-		miss := p.missing[u]
-		if len(miss) == 0 {
-			continue
-		}
-		fetchUnits = append(fetchUnits, u)
-		seen := make(map[int]bool)
-		for _, mw := range miss {
-			w := mw.Interval.ID.Proc
-			needs[w] = append(needs[w], need{iv: mw.Interval, unit: u})
-			seen[w] = true
-		}
-		unitWriters[u] = len(seen)
-	}
-
-	// One request/reply exchange per concurrent writer, in ascending
-	// writer order for determinism; charged as the max (parallel fetch).
-	writers := make([]int, 0, len(needs))
-	for w := range needs {
-		writers = append(writers, w)
-	}
-	sort.Ints(writers)
-
-	var items []fetchItem
-	var msgs []*instrument.DataMsg
-	var maxCost sim.Duration
-	for _, w := range writers {
-		reqBytes := 16 + 8*len(needs[w])
-		replyBytes := 0
-		var wItems []fetchItem
-		// Per page, the writer's diffs in interval order (needs[w]
-		// preserves causal order, so same-writer diffs are seq-ordered),
-		// each carrying its own interval's causal key.
-		type pageAcc struct {
-			items        []fetchItem
-			coalesceable bool
-		}
-		perPage := make(map[int]*pageAcc)
-		var pageOrder []int
-		for _, n := range needs[w] {
-			for _, pd := range n.iv.DiffsInUnit(n.unit, cfg.UnitPages) {
-				acc := perPage[pd.Page]
-				if acc == nil {
-					acc = &pageAcc{coalesceable: unitWriters[n.unit] == 1}
-					perPage[pd.Page] = acc
-					pageOrder = append(pageOrder, pd.Page)
-				}
-				sum, prc, sq := n.iv.CausalKey()
-				acc.items = append(acc.items, fetchItem{
-					page: pd.Page, d: pd.D, sum: sum, prc: prc, sq: sq,
-				})
-			}
-		}
-		for _, page := range pageOrder {
-			acc := perPage[page]
-			if acc.coalesceable && len(acc.items) > 1 {
-				ds := make([]mem.Diff, len(acc.items))
-				for i, it := range acc.items {
-					ds[i] = it.d
-				}
-				last := acc.items[len(acc.items)-1]
-				last.d = mem.CoalesceDiffs(ds)
-				replyBytes += last.d.WireBytes()
-				wItems = append(wItems, last)
-				continue
-			}
-			for _, it := range acc.items {
-				replyBytes += it.d.WireBytes()
-				wItems = append(wItems, it)
-			}
-		}
-		reqID := p.sys.net.Send(simnet.DiffRequest, p.id, w, reqBytes)
-		repID := p.sys.net.Send(simnet.DiffReply, w, p.id, replyBytes)
-		var dm *instrument.DataMsg
-		if p.sys.col != nil {
-			dm = p.sys.col.NewDataMsg(reqID, repID, w, p.id)
-			msgs = append(msgs, dm)
-		}
-		for i := range wItems {
-			wItems[i].msg = dm
-		}
-		items = append(items, wItems...)
-		if c := p.sys.net.ExchangeCost(reqBytes, replyBytes); c > maxCost {
-			maxCost = c
-		}
-	}
-	p.clock.Advance(maxCost)
-
-	// Apply in causal order (monotone linearization of happens-before).
-	// The sort must be stable: a coalesced item keeps only its writer's
-	// latest key, and same-key items must retain per-writer list order.
-	sort.SliceStable(items, func(i, j int) bool {
-		if items[i].sum != items[j].sum {
-			return items[i].sum < items[j].sum
-		}
-		if items[i].prc != items[j].prc {
-			return items[i].prc < items[j].prc
-		}
-		if items[i].sq != items[j].sq {
-			return items[i].sq < items[j].sq
-		}
-		return items[i].page < items[j].page
-	})
-	for _, it := range items {
-		it.d.Apply(p.rep.Page(it.page))
-		p.clock.Advance(sim.Duration(it.d.WordCount()) * cost.ApplyPerWord)
-		if p.sys.col != nil && it.msg != nil {
-			p.sys.col.TagDiff(p.id, it.page, it.d, it.msg)
-		}
-	}
+	// The protocol fetches the stale units' data (messages, clock
+	// charges, replica updates) and clears their missing-write state.
+	msgs := p.sys.proto.Fetch(p, units)
 
 	// Validate. Static: the whole unit becomes readable. Dynamic: only
 	// the faulted page is validated; prefetched group members keep
 	// their updates but stay Invalid so the access pattern remains
 	// observable (§4).
-	for _, u := range fetchUnits {
-		delete(p.missing, u)
-	}
 	if cfg.Dynamic {
 		p.pt.Set(page, mem.ReadOnly)
 		p.clock.Advance(cost.ProtOp)

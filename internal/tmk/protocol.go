@@ -1,0 +1,113 @@
+package tmk
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/instrument"
+	"repro/internal/lrc"
+	"repro/internal/mem"
+	"repro/internal/vc"
+)
+
+// Protocol is the engine's coherence layer: the policy for who owns a
+// closed interval's diffs, what an access miss fetches and from whom,
+// and how write notices are applied at an acquire. Everything else in
+// the engine — twinning and write detection, interval/vector-clock
+// bookkeeping, locks, barriers, dynamic page grouping, the network and
+// cost accounting — is protocol-independent and shared, so a new
+// protocol is only these four policies (see DESIGN.md §5).
+//
+// One Protocol instance serves one System build (Reset constructs a
+// fresh one); per-processor protocol state lives on Proc (twins,
+// missing-write lists) and is reset with the processors. All methods
+// except construction are called on processor goroutines; a Protocol
+// must synchronize any state shared between processors itself.
+type Protocol interface {
+	// Name returns the registry name ("homeless", "home").
+	Name() string
+
+	// Acquire applies the write notices of delta — the intervals
+	// covered by the releaser's vector time that p has not yet seen,
+	// in causal order — to p: the invalidation policy and the
+	// missing-write bookkeeping that later drives Fetch. It returns
+	// the wire size of the consumed notices, which the caller charges
+	// as consistency information piggybacked on the grant/release
+	// message (the sync-time piggybacking hook).
+	Acquire(p *Proc, delta []*lrc.Interval) int
+
+	// Release publishes interval (id, ts, units, diffs), closed by p,
+	// per the diff-ownership policy: homeless keeps the diffs with the
+	// writer (in the interval store, served on demand); home-based
+	// flushes them to each written unit's home. Called on p's
+	// goroutine before the synchronization operation proceeds.
+	Release(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff)
+
+	// Fetch brings the stale units among units up to date in p's
+	// replica: it decides whom to contact, sends and prices the
+	// exchanges, applies the data, charges p's clock, and clears the
+	// consumed missing-write state. It returns one instrument data
+	// message per exchange (nil/empty when nothing was fetched or
+	// collection is off) for the caller's fault record.
+	Fetch(p *Proc, units []int) []*instrument.DataMsg
+}
+
+// DefaultProtocol is the protocol of the paper's evaluation.
+const DefaultProtocol = "homeless"
+
+var protocolFactories = map[string]func(s *System) Protocol{}
+
+// RegisterProtocol adds a protocol factory under a (case-insensitive)
+// name. Called from init; a duplicate name is a programming error.
+func RegisterProtocol(name string, factory func(s *System) Protocol) {
+	key := strings.ToLower(name)
+	if key == "" || factory == nil {
+		panic("tmk: incomplete protocol registration")
+	}
+	if _, dup := protocolFactories[key]; dup {
+		panic(fmt.Sprintf("tmk: duplicate protocol registration %q", key))
+	}
+	protocolFactories[key] = factory
+}
+
+// ProtocolNames returns the registered protocol names, sorted.
+func ProtocolNames() []string {
+	out := make([]string, 0, len(protocolFactories))
+	for name := range protocolFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KnownProtocol reports whether name (case-insensitive) is registered.
+func KnownProtocol(name string) bool {
+	_, ok := protocolFactories[strings.ToLower(name)]
+	return ok
+}
+
+// invalidator is the write-notice policy shared by both protocols: an
+// acquire invalidates every noticed unit (unless the notice is the
+// acquirer's own) and records the interval as a missing write, so the
+// unit stays invalid until the next access fault fetches it.
+type invalidator struct{}
+
+func (invalidator) Acquire(p *Proc, delta []*lrc.Interval) int {
+	cost := p.sys.cost
+	bytes := 0
+	for _, iv := range delta {
+		bytes += iv.NoticeBytes()
+		if iv.ID.Proc == p.id {
+			continue
+		}
+		for _, u := range iv.Units {
+			p.missing[u] = append(p.missing[u], lrc.MissingWrite{Interval: iv})
+			if p.pt.State(u) != mem.Invalid {
+				p.pt.Set(u, mem.Invalid)
+				p.clock.Advance(cost.ProtOp)
+			}
+		}
+	}
+	return bytes
+}

@@ -12,7 +12,9 @@ import (
 
 // closeInterval ends the processor's current interval if it wrote
 // anything: every twinned unit is diffed page-by-page against its twin
-// (eager diffing — see DESIGN.md), the interval is published with one
+// (eager diffing — see DESIGN.md §3), the interval is released through
+// the protocol's diff-ownership policy (homeless publishes diffs into
+// the store, home-based flushes them to the units' homes) with one
 // write notice per unit, twins are dropped, and the units revert to
 // ReadOnly so the next write re-twins.
 func (p *Proc) closeInterval() {
@@ -41,37 +43,23 @@ func (p *Proc) closeInterval() {
 		p.clock.Advance(cost.ProtOp)
 		units = append(units, u)
 	}
-	iv := lrc.MakeInterval(vc.IntervalID{Proc: p.id, Seq: seq}, p.vt.Clone(), units, diffs)
-	p.sys.store.Publish(iv)
+	p.sys.proto.Release(p, vc.IntervalID{Proc: p.id, Seq: seq}, p.vt.Clone(), units, diffs)
 	p.nIntervals++
 	p.writeOrder = p.writeOrder[:0]
 }
 
 // applyAcquire consumes the write notices between the processor's vector
-// time and sourceVT: every noticed unit is invalidated (unless the notice
-// is the processor's own) and recorded as missing. It returns the wire
-// size of the consumed notices, which the caller charges as piggybacked
-// consistency information on the grant/release message.
+// time and sourceVT through the protocol's notice policy (every noticed
+// unit is invalidated unless the notice is the processor's own, and
+// recorded as missing). It returns the wire size of the consumed
+// notices, which the caller charges as piggybacked consistency
+// information on the grant/release message.
 func (p *Proc) applyAcquire(sourceVT vc.Time) int {
 	if sourceVT == nil {
 		return 0
 	}
-	cost := p.sys.cost
 	delta := p.sys.store.Delta(p.vt, sourceVT)
-	bytes := 0
-	for _, iv := range delta {
-		bytes += iv.NoticeBytes()
-		if iv.ID.Proc == p.id {
-			continue
-		}
-		for _, u := range iv.Units {
-			p.missing[u] = append(p.missing[u], lrc.MissingWrite{Interval: iv})
-			if p.pt.State(u) != mem.Invalid {
-				p.pt.Set(u, mem.Invalid)
-				p.clock.Advance(cost.ProtOp)
-			}
-		}
-	}
+	bytes := p.sys.proto.Acquire(p, delta)
 	p.vt.Merge(sourceVT)
 	return bytes
 }

@@ -12,6 +12,7 @@ package tmk
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/aggregate"
@@ -40,6 +41,11 @@ type Config struct {
 	MaxGroupPages int
 	// Locks is the number of global locks to provision.
 	Locks int
+	// Protocol selects the coherence protocol by registry name
+	// (case-insensitive). Empty selects DefaultProtocol ("homeless",
+	// the paper's TreadMarks protocol); "home" selects home-based LRC.
+	// See ProtocolNames for the full set.
+	Protocol string
 	// Cost overrides the communication cost model; zero value selects
 	// sim.DefaultCostModel.
 	Cost *sim.CostModel
@@ -65,7 +71,24 @@ func (c *Config) fill() error {
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = mem.PageSize
 	}
+	c.Protocol = strings.ToLower(c.Protocol)
+	if c.Protocol == "" {
+		c.Protocol = DefaultProtocol
+	}
+	if !KnownProtocol(c.Protocol) {
+		return fmt.Errorf("tmk: unknown protocol %q (known: %s)",
+			c.Protocol, strings.Join(ProtocolNames(), ", "))
+	}
 	return nil
+}
+
+// ProtocolName returns the configured protocol name with the default
+// filled in, without mutating the config.
+func (c Config) ProtocolName() string {
+	if c.Protocol == "" {
+		return DefaultProtocol
+	}
+	return strings.ToLower(c.Protocol)
 }
 
 // UnitBytes returns the consistency-unit size in bytes.
@@ -79,6 +102,7 @@ type System struct {
 	net   *simnet.Network
 	store *lrc.Store
 	col   *instrument.Collector
+	proto Protocol
 
 	segBytes int
 	numPages int
@@ -118,6 +142,7 @@ func NewSystem(cfg Config) (*System, error) {
 		numPages: segBytes / mem.PageSize,
 	}
 	s.numUnits = s.numPages / cfg.UnitPages
+	s.proto = protocolFactories[cfg.Protocol](s)
 	if cfg.Collect {
 		s.col = instrument.NewCollector(cfg.Procs, segBytes)
 	}
@@ -145,6 +170,7 @@ func (s *System) Reset() {
 	}
 	s.net = simnet.New(s.cost)
 	s.store = lrc.NewStore(s.cfg.Procs)
+	s.proto = protocolFactories[s.cfg.Protocol](s)
 	if s.cfg.Collect {
 		s.col = instrument.NewCollector(s.cfg.Procs, s.segBytes)
 	}
@@ -160,6 +186,9 @@ func (s *System) Reset() {
 
 // Config returns the (filled-in) configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// Protocol returns the active coherence protocol's name.
+func (s *System) Protocol() string { return s.proto.Name() }
 
 // SegmentBytes returns the rounded shared-segment size.
 func (s *System) SegmentBytes() int { return s.segBytes }

@@ -1,0 +1,59 @@
+//go:build !race
+
+// Golden-count regression tests for the protocol-layer refactor: the
+// homeless protocol must reproduce the pre-refactor engine's message
+// and byte counts exactly (values recorded from `dsmrun -json` at
+// commit 60f6268, before the Protocol interface was extracted).
+//
+// Excluded under the race detector: the TSP counts depend on lock
+// hand-off order, which is deterministic in normal runs but perturbed
+// by -race instrumentation (see the TrialSummary doc in internal/tmk).
+
+package dsm
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+func TestHomelessGoldenCounts(t *testing.T) {
+	goldens := []struct {
+		app, dataset string
+		messages     int
+		bytes        int
+		time         sim.Duration // 0 = not asserted
+	}{
+		// dsmrun -app jacobi -dataset small -json @ 60f6268
+		{"Jacobi", "small", 294, 500952, 46004895 * sim.Nanosecond},
+		// dsmrun -app tsp -dataset small -json @ 60f6268
+		{"TSP", "small", 94, 45116, 0},
+	}
+	for _, g := range goldens {
+		g := g
+		t.Run(g.app, func(t *testing.T) {
+			e, ok := apps.Lookup(g.app, g.dataset)
+			if !ok {
+				t.Fatalf("%s/%s not registered", g.app, g.dataset)
+			}
+			res, err := apps.Run(e.Make(8), tmk.Config{
+				Procs: 8, UnitPages: 1, Protocol: "homeless", Collect: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Messages != g.messages {
+				t.Errorf("messages = %d, want pre-refactor %d", res.Messages, g.messages)
+			}
+			if res.Bytes != g.bytes {
+				t.Errorf("bytes = %d, want pre-refactor %d", res.Bytes, g.bytes)
+			}
+			if g.time != 0 && res.Time != g.time {
+				t.Errorf("time = %v, want pre-refactor %v", res.Time, g.time)
+			}
+		})
+	}
+}

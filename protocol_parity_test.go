@@ -1,0 +1,193 @@
+package dsm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/tmk"
+)
+
+// Protocol parity on the paper's applications: jacobi and tsp on the
+// small datasets must verify against the sequential reference under
+// every registered protocol — the application result does not depend
+// on the coherence engine.
+func TestProtocolParityOnApps(t *testing.T) {
+	for _, name := range []string{"Jacobi", "TSP"} {
+		for _, protocol := range tmk.ProtocolNames() {
+			name, protocol := name, protocol
+			t.Run(name+"/"+protocol, func(t *testing.T) {
+				t.Parallel()
+				e, ok := apps.Lookup(name, "small")
+				if !ok {
+					t.Fatalf("%s/small not registered", name)
+				}
+				res, err := apps.Run(e.Make(8),
+					tmk.Config{Procs: 8, Protocol: protocol, Collect: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Messages <= 0 || res.Time <= 0 {
+					t.Fatalf("implausible result: %+v", res)
+				}
+			})
+		}
+	}
+}
+
+// Bit-identical memory images across protocols: a program mixing
+// barrier phases (producer/consumer with false sharing) and lock-based
+// accumulation must leave every shared word identical under homeless
+// and home-based LRC.
+func TestProtocolParityBitIdentical(t *testing.T) {
+	const (
+		procs = 8
+		pages = 16
+	)
+	image := func(protocol string) []int64 {
+		sys, err := New(
+			WithProcs(procs),
+			WithSegmentBytes(pages*PageSize),
+			WithLocks(2),
+			WithProtocol(protocol),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := sys.AllocPages(pages - 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := (pages - 1) * PageSize / WordSize
+		out := make([]int64, 0, n)
+		sys.Run(func(p *Proc) {
+			// Phase 1: cyclic writes — every processor writes words of
+			// every page (write-write false sharing).
+			for w := p.ID(); w < n; w += procs {
+				p.WriteI64(base+w*WordSize, int64(3*w+1))
+			}
+			p.Barrier()
+			// Phase 2: neighbours read-modify-write a shifted slice.
+			for w := (p.ID() + 1) % procs; w < n; w += procs {
+				v := p.ReadI64(base + w*WordSize)
+				p.WriteI64(base+w*WordSize, v*7)
+			}
+			p.Barrier()
+			// Phase 3: lock-ordered accumulation, one accumulator word
+			// per lock so every read-modify-write is guarded by the
+			// lock that owns its word (addition commutes, so the final
+			// values are independent of lock hand-off order).
+			for i := 0; i < 3; i++ {
+				l := i % 2
+				p.Lock(l)
+				a := base + l*WordSize
+				p.WriteI64(a, p.ReadI64(a)+int64(p.ID()+1))
+				p.Unlock(l)
+			}
+			p.Barrier()
+			if p.ID() == 0 {
+				for w := 0; w < n; w++ {
+					out = append(out, p.ReadI64(base+w*WordSize))
+				}
+			}
+		})
+		return out
+	}
+
+	baseline := image("homeless")
+	if len(baseline) == 0 {
+		t.Fatal("empty baseline image")
+	}
+	for _, protocol := range Protocols() {
+		if protocol == "homeless" {
+			continue
+		}
+		got := image(protocol)
+		if len(got) != len(baseline) {
+			t.Fatalf("%s: image length %d != %d", protocol, len(got), len(baseline))
+		}
+		for w := range got {
+			if got[w] != baseline[w] {
+				t.Fatalf("%s: word %d = %d, homeless has %d",
+					protocol, w, got[w], baseline[w])
+			}
+		}
+	}
+}
+
+// WithProtocol validates its argument and surfaces unknown protocols
+// as errors from New, never panics.
+func TestWithProtocolValidation(t *testing.T) {
+	if _, err := New(WithProtocol("home")); err != nil {
+		t.Fatalf("WithProtocol(home): %v", err)
+	}
+	if _, err := New(WithProtocol("HOMELESS")); err != nil {
+		t.Fatalf("protocol names are case-insensitive: %v", err)
+	}
+	_, err := New(WithProtocol("bogus"))
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want descriptive error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "home") {
+		t.Fatalf("error should list known protocols, got %v", err)
+	}
+}
+
+// RunTrials runs concurrently on per-trial engines but must stay
+// deterministic and in order: every trial of a barrier program reports
+// the same simulated time as a plain Run, and the System itself is
+// untouched.
+func TestRunTrialsParallelDeterminism(t *testing.T) {
+	build := func() (*System, Addr) {
+		sys, err := New(WithProcs(4), WithSegmentBytes(8*PageSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := sys.AllocPages(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, base
+	}
+	body := func(base Addr) func(p *Proc) {
+		return func(p *Proc) {
+			n := 4 * PageSize / WordSize
+			for w := p.ID(); w < n; w += p.NProcs() {
+				p.WriteF64(base+w*WordSize, float64(w))
+			}
+			p.Barrier()
+			for w := p.NProcs() - 1 - p.ID(); w < n; w += p.NProcs() {
+				_ = p.ReadF64(base + w*WordSize)
+			}
+		}
+	}
+
+	sys, base := build()
+	single := sys.Run(body(base))
+
+	ts, err := sys.RunTrials(6, body(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Trials) != 6 {
+		t.Fatalf("trials = %d, want 6", len(ts.Trials))
+	}
+	for i, r := range ts.Trials {
+		if r.Time != single.Time {
+			t.Fatalf("trial %d time %v != single-run time %v", i, r.Time, single.Time)
+		}
+		if r.Messages != single.Messages || r.Bytes != single.Bytes {
+			t.Fatalf("trial %d counts (%d msgs, %d bytes) != single run (%d, %d)",
+				i, r.Messages, r.Bytes, single.Messages, single.Bytes)
+		}
+	}
+	if ts.MinTime != ts.MaxTime || ts.MeanTime != single.Time {
+		t.Fatalf("aggregate not deterministic: min %v mean %v max %v",
+			ts.MinTime, ts.MeanTime, ts.MaxTime)
+	}
+
+	if _, err := sys.RunTrials(0, body(base)); err == nil {
+		t.Fatal("RunTrials(0) should error")
+	}
+}
