@@ -1,0 +1,25 @@
+# Convenience targets; CI runs the same commands.
+
+GO ?= go
+
+.PHONY: all test vet bench networks
+
+all: test
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+# bench regenerates the perf-trajectory baseline: every application's
+# small dataset under the default configuration (4 KB units, homeless,
+# ideal network). Commit the refreshed BENCH_baseline.json whenever a
+# PR intentionally moves these numbers.
+bench:
+	$(GO) run ./cmd/dsmbench -baseline -json > BENCH_baseline.json
+
+# networks prints the interconnect sensitivity sweep.
+networks:
+	$(GO) run ./cmd/dsmbench -networks

@@ -11,7 +11,10 @@
 //	dsmbench -figure 3       # false-sharing signatures at 4K and 16K
 //	dsmbench -micro          # simulated platform costs vs the paper's
 //	dsmbench -protocols      # homeless vs home-based LRC, per application
+//	dsmbench -networks       # network sensitivity: every app across every interconnect model
 //	dsmbench -all -protocol home   # regenerate everything on home-based LRC
+//	dsmbench -all -network switch  # regenerate everything on the contended switch model
+//	dsmbench -baseline -json       # perf-trajectory seed: every app's small dataset
 //
 // Every cell is verified against the application's sequential reference
 // before its numbers are printed. With -json the text tables are
@@ -27,7 +30,10 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/harness"
+	"repro/internal/netmodel"
 	"repro/internal/tmk"
 )
 
@@ -38,6 +44,8 @@ type document struct {
 	Figure2   []harness.ExperimentJSON         `json:"figure2,omitempty"`
 	Figure3   []harness.ExperimentJSON         `json:"figure3,omitempty"`
 	Protocols []harness.ProtocolComparisonJSON `json:"protocols,omitempty"`
+	Networks  []harness.NetworkComparisonJSON  `json:"networks,omitempty"`
+	Baseline  []harness.CellJSON               `json:"baseline,omitempty"`
 }
 
 func main() {
@@ -45,19 +53,27 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate Figure N (1, 2, or 3)")
 	micro := flag.Bool("micro", false, "print the §5.1 platform calibration (text only)")
 	protocols := flag.Bool("protocols", false, "compare coherence protocols per application (4 KB units)")
+	networks := flag.Bool("networks", false, "network sensitivity: every application across every registered interconnect model")
+	baseline := flag.Bool("baseline", false, "perf-trajectory seed: every application's small dataset under the default configuration")
 	protocol := flag.String("protocol", tmk.DefaultProtocol,
 		"coherence protocol for tables/figures: "+strings.Join(tmk.ProtocolNames(), " or "))
+	network := flag.String("network", netmodel.Default,
+		"interconnect timing model for tables/figures: "+strings.Join(netmodel.Names(), ", "))
 	all := flag.Bool("all", false, "regenerate everything")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document")
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*micro && !*protocols {
+	if !*all && *table == 0 && *figure == 0 && !*micro && !*protocols && !*networks && !*baseline {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if !tmk.KnownProtocol(*protocol) {
 		check(fmt.Errorf("unknown protocol %q (known: %s)",
 			*protocol, strings.Join(tmk.ProtocolNames(), ", ")))
+	}
+	if !netmodel.Known(*network) {
+		check(fmt.Errorf("unknown network model %q (known: %s)",
+			*network, strings.Join(netmodel.Names(), ", ")))
 	}
 	if *table != 0 && *table != 1 {
 		check(fmt.Errorf("unknown table %d (only Table 1 exists)", *table))
@@ -78,7 +94,7 @@ func main() {
 		}
 	}
 	if *table == 1 || *all {
-		rows, err := harness.RunTable1(harness.Table1(), *protocol)
+		rows, err := harness.RunTable1(harness.Table1(), *protocol, *network)
 		check(err)
 		if text {
 			fmt.Println("=== Table 1: datasets, sequential (simulated) time, 8-processor speedup at 4 KB ===")
@@ -100,19 +116,19 @@ func main() {
 		if text {
 			fmt.Println("=== Figure 1: execution time, messages, data (normalized to 4 KB) ===")
 		}
-		doc.Figure1 = runFigure(harness.Figure1(), configLabels(), *protocol, text, harness.RenderFigure)
+		doc.Figure1 = runFigure(harness.Figure1(), configLabels(), *protocol, *network, text, harness.RenderFigure)
 	}
 	if *figure == 2 || *all {
 		if text {
 			fmt.Println("=== Figure 2: size-sensitive applications (normalized to 4 KB) ===")
 		}
-		doc.Figure2 = runFigure(harness.Figure2(), configLabels(), *protocol, text, harness.RenderFigure)
+		doc.Figure2 = runFigure(harness.Figure2(), configLabels(), *protocol, *network, text, harness.RenderFigure)
 	}
 	if *figure == 3 || *all {
 		if text {
 			fmt.Println("=== Figure 3: false-sharing signatures (4 KB vs 16 KB) ===")
 		}
-		doc.Figure3 = runFigure(harness.Figure3(), []string{"4K", "16K"}, *protocol, text, harness.RenderSignature)
+		doc.Figure3 = runFigure(harness.Figure3(), []string{"4K", "16K"}, *protocol, *network, text, harness.RenderSignature)
 	}
 	if *protocols || *all {
 		pcs, err := harness.RunProtocolComparison(harness.Table1(), harness.Procs)
@@ -127,12 +143,62 @@ func main() {
 			}
 		}
 	}
+	if *networks || *all {
+		ncs, err := harness.RunNetworkComparison(harness.Table1(), harness.Procs, nil)
+		check(err)
+		if text {
+			fmt.Println("=== Network sensitivity: the protocol and aggregation trades per interconnect ===")
+			harness.RenderNetworkComparison(os.Stdout, ncs)
+			fmt.Println()
+		} else {
+			for _, nc := range ncs {
+				doc.Networks = append(doc.Networks, harness.NetworkComparisonReport(nc))
+			}
+		}
+	}
+	if *baseline {
+		cells, err := runBaseline()
+		check(err)
+		if text {
+			fmt.Println("=== Baseline: small datasets, 4 KB units, homeless, ideal network ===")
+			fmt.Printf("%-8s  %-8s  %9s  %10s  %12s\n",
+				"Program", "Dataset", "Time(s)", "Msgs", "Bytes")
+			for _, c := range cells {
+				fmt.Printf("%-8s  %-8s  %9.3f  %10d  %12d\n",
+					c.App, c.Dataset, c.TimeSeconds, c.Messages, c.Bytes)
+			}
+			fmt.Println()
+		} else {
+			doc.Baseline = cells
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		check(enc.Encode(doc))
 	}
+}
+
+// runBaseline runs every registered application's "small" dataset under
+// the default configuration (4 KB units, homeless, ideal network) —
+// the comparison point future performance work measures against.
+func runBaseline() ([]harness.CellJSON, error) {
+	var out []harness.CellJSON
+	for _, app := range apps.Apps() {
+		e, ok := apps.Lookup(app, "small")
+		if !ok {
+			return nil, fmt.Errorf("%s has no small dataset", app)
+		}
+		res, err := apps.Run(e.Make(harness.Procs), tmk.Config{Procs: harness.Procs, UnitPages: 1})
+		if err != nil {
+			return nil, fmt.Errorf("%s/small: %w", app, err)
+		}
+		exp := harness.Experiment{App: e.App, Dataset: e.Dataset, Paper: e.Paper}
+		cell := harness.Cell{Time: res.Time, Queue: res.QueueDelay, Msgs: res.Messages, Bytes: res.Bytes}
+		out = append(out, harness.CellReport(exp, harness.Config{Label: "4K", Unit: 1}, harness.Procs, cell))
+	}
+	return out, nil
 }
 
 // configLabels returns the labels of the paper's four configurations.
@@ -145,9 +211,9 @@ func configLabels() []string {
 }
 
 // runFigure executes each experiment under the configurations named by
-// the labels on the given coherence protocol, rendering (text mode) or
-// collecting cells (JSON mode).
-func runFigure(es []harness.Experiment, labels []string, protocol string,
+// the labels on the given coherence protocol and network model,
+// rendering (text mode) or collecting cells (JSON mode).
+func runFigure(es []harness.Experiment, labels []string, protocol, network string,
 	text bool, render func(io.Writer, harness.Experiment, map[string]harness.Cell)) []harness.ExperimentJSON {
 	var out []harness.ExperimentJSON
 	for _, e := range es {
@@ -159,6 +225,7 @@ func runFigure(es []harness.Experiment, labels []string, protocol string,
 				check(fmt.Errorf("unknown configuration label %q", label))
 			}
 			c.Protocol = protocol
+			c.Network = network
 			cell, err := harness.Run(e, c, harness.Procs)
 			check(err)
 			cells[label] = cell

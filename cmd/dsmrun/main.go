@@ -10,7 +10,8 @@
 //	dsmrun -app Jacobi -dynamic                   # dynamic aggregation
 //	dsmrun -app jacobi -dataset 1024 -unit 2 -trials 3 -json
 //	dsmrun -app jacobi -protocol home             # home-based LRC engine
-//	dsmrun -list                                  # registered workloads + protocols
+//	dsmrun -app jacobi -network bus               # contended shared-medium Ethernet
+//	dsmrun -list                                  # registered workloads + protocols + networks
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"repro/internal/apps"
 	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/harness"
+	"repro/internal/netmodel"
 	"repro/internal/tmk"
 )
 
@@ -33,6 +35,8 @@ func main() {
 	dynamic := flag.Bool("dynamic", false, "use dynamic aggregation")
 	protocol := flag.String("protocol", tmk.DefaultProtocol,
 		"coherence protocol: "+strings.Join(tmk.ProtocolNames(), " or "))
+	network := flag.String("network", netmodel.Default,
+		"interconnect timing model: "+strings.Join(netmodel.Names(), ", "))
 	procs := flag.Int("procs", harness.Procs, "number of processors")
 	trials := flag.Int("trials", 1, "independent trials on one reused system")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
@@ -49,6 +53,8 @@ func main() {
 		}
 		fmt.Printf("\nprotocols: %s (default %s)\n",
 			strings.Join(tmk.ProtocolNames(), ", "), tmk.DefaultProtocol)
+		fmt.Printf("networks:  %s (default %s)\n",
+			strings.Join(netmodel.Names(), ", "), netmodel.Default)
 		return
 	}
 	if *app == "" {
@@ -66,7 +72,10 @@ func main() {
 		fail(fmt.Errorf("no registered workload matches -app %q -dataset %q (try -list)", *app, *dataset))
 	}
 
-	cfg := tmk.Config{Procs: *procs, UnitPages: *unit, Dynamic: *dynamic, Protocol: *protocol, Collect: true}
+	cfg := tmk.Config{
+		Procs: *procs, UnitPages: *unit, Dynamic: *dynamic,
+		Protocol: *protocol, Network: *network, Collect: true,
+	}
 	ts, err := apps.RunTrials(e.Make(*procs), cfg, *trials)
 	if err != nil {
 		fail(err)
@@ -84,10 +93,11 @@ func main() {
 	label := harness.LabelFor(*unit, *dynamic)
 	last := ts.Trials[len(ts.Trials)-1]
 	st := last.Stats
-	fmt.Printf("%s %s  [%s, %s, %d procs, %d trial(s)]  (verified against sequential reference)\n",
-		e.App, e.Dataset, label, cfg.ProtocolName(), *procs, len(ts.Trials))
+	fmt.Printf("%s %s  [%s, %s, %s net, %d procs, %d trial(s)]  (verified against sequential reference)\n",
+		e.App, e.Dataset, label, cfg.ProtocolName(), cfg.NetworkName(), *procs, len(ts.Trials))
 	fmt.Printf("  simulated time        %.3f s (min %.3f, mean %.3f, max %.3f)\n",
 		last.Time.Seconds(), ts.MinTime.Seconds(), ts.MeanTime.Seconds(), ts.MaxTime.Seconds())
+	fmt.Printf("  network queue delay   %.3f s cumulative\n", last.QueueDelay.Seconds())
 	fmt.Printf("  messages              %d (%d useful, %d useless)\n",
 		st.Messages.Total(), st.Messages.Useful, st.Messages.Useless)
 	fmt.Printf("  diff data bytes       %d (%d useful, %d useless, %d piggybacked useless)\n",

@@ -20,6 +20,7 @@ import (
 	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/netmodel"
 	"repro/internal/tmk"
 )
 
@@ -30,6 +31,8 @@ func main() {
 	procs := flag.Int("procs", harness.Procs, "number of processors")
 	protocol := flag.String("protocol", tmk.DefaultProtocol,
 		"coherence protocol: "+strings.Join(tmk.ProtocolNames(), " or "))
+	network := flag.String("network", netmodel.Default,
+		"interconnect timing model: "+strings.Join(netmodel.Names(), ", "))
 	flag.Parse()
 
 	if *app == "" {
@@ -52,7 +55,7 @@ func main() {
 			os.Exit(1)
 		}
 		label := fmt.Sprintf("%dK", 4*u)
-		cell, err := harness.Run(*e, harness.Config{Label: label, Unit: u, Protocol: *protocol}, *procs)
+		cell, err := harness.Run(*e, harness.Config{Label: label, Unit: u, Protocol: *protocol, Network: *network}, *procs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dsmsig:", err)
 			os.Exit(1)

@@ -11,7 +11,11 @@
 // coherence protocols are built in and selected with WithProtocol:
 // "homeless" (TreadMarks-style, the paper's protocol and the default)
 // and "home" (home-based LRC — fewer messages, more bytes); see
-// DESIGN.md §5.
+// DESIGN.md §5. The interconnect is equally pluggable (WithNetwork):
+// "ideal" reproduces the paper's flat cost arithmetic, while "bus",
+// "switch", and the preset family ("atm", "myrinet", "10gbe") make
+// contention and faster networks first-class experiment axes; see
+// DESIGN.md §6.
 //
 // A System is built with functional options and validated up front —
 // misconfiguration is an error, never a panic:
@@ -52,6 +56,7 @@ import (
 
 	"repro/internal/instrument"
 	"repro/internal/mem"
+	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/tmk"
 )
@@ -100,6 +105,15 @@ func DefaultCostModel() CostModel { return sim.DefaultCostModel() }
 // "homeless" (the paper's TreadMarks protocol: diffs stay with their
 // writers, misses fetch from every concurrent writer).
 func Protocols() []string { return tmk.ProtocolNames() }
+
+// Networks returns the names of the registered interconnect timing
+// models, sorted: "ideal" (the paper's flat contention-free cost
+// arithmetic, the default), "bus" (shared-medium Ethernet with one
+// global serialization resource), "switch" (the paper's switched
+// Ethernet with per-NIC port occupancy), and the preset family ("atm",
+// "myrinet", "10gbe") scaling the platform's latency, bandwidth, and
+// software overhead.
+func Networks() []string { return netmodel.Names() }
 
 // Option configures a System under construction. Options validate
 // their arguments and report bad values as errors from New.
@@ -187,6 +201,23 @@ func WithProtocol(name string) Option {
 				name, strings.Join(tmk.ProtocolNames(), ", "))
 		}
 		c.Protocol = name
+		return nil
+	}
+}
+
+// WithNetwork selects the interconnect timing model by name
+// (case-insensitive; see Networks). The default, "ideal", reproduces
+// the paper's flat cost arithmetic; the contended models ("bus",
+// "switch") add occupancy-based queuing delay, and the presets
+// ("atm", "myrinet", "10gbe") rescale the platform. An unknown name is
+// an error from New listing the registered models.
+func WithNetwork(name string) Option {
+	return func(c *Config) error {
+		if !netmodel.Known(name) {
+			return fmt.Errorf("dsm: WithNetwork(%q): unknown network model (known: %s)",
+				name, strings.Join(netmodel.Names(), ", "))
+		}
+		c.Network = name
 		return nil
 	}
 }

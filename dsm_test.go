@@ -75,6 +75,7 @@ func TestOptionValidationErrors(t *testing.T) {
 			[]Option{WithDynamicAggregation(), WithUnitPages(2)},
 			"dynamic aggregation requires UnitPages == 1",
 		},
+		{"unknown network", []Option{WithNetwork("token-ring")}, "WithNetwork"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -86,6 +87,92 @@ func TestOptionValidationErrors(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestWithNetworkSweep runs one false-sharing kernel across every
+// registered interconnect model through the public API: the default is
+// ideal (zero queue delay), contended models only add delay, and the
+// computed result is identical everywhere — the network axis changes
+// timing, never semantics.
+func TestWithNetworkSweep(t *testing.T) {
+	networks := Networks()
+	if len(networks) < 4 {
+		t.Fatalf("Networks() = %v, want at least ideal/bus/switch + one preset", networks)
+	}
+	body := func(p *Proc, arr Addr) {
+		for i := 0; i < 128; i++ {
+			p.WriteF64(arr+WordSize*(p.ID()*128+i), float64(p.ID()))
+		}
+		p.Barrier()
+		var sum float64
+		for i := 0; i < 4*128; i++ {
+			sum += p.ReadF64(arr + WordSize*i)
+		}
+		p.Barrier()
+	}
+	var idealTime Duration
+	for _, name := range networks {
+		sys, err := New(WithProcs(4), WithSegmentBytes(1<<16), WithNetwork(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.Config().Network; got != name {
+			t.Fatalf("Config().Network = %q, want %q", got, name)
+		}
+		arr, err := sys.Alloc(4 * 128 * WordSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sys.Run(func(p *Proc) { body(p, arr) })
+		if res.Network != name {
+			t.Fatalf("Result.Network = %q, want %q", res.Network, name)
+		}
+		switch name {
+		case "ideal":
+			idealTime = res.Time
+			if res.QueueDelay != 0 {
+				t.Fatalf("ideal run reports queue delay %v", res.QueueDelay)
+			}
+		case "bus", "switch":
+			if res.QueueDelay <= 0 {
+				t.Fatalf("%s run with 4 concurrent writers reports no queue delay", name)
+			}
+		}
+	}
+	if idealTime <= 0 {
+		t.Fatal("ideal network never ran")
+	}
+}
+
+// TestDefaultNetworkMatchesIdeal pins the compatibility guarantee: a
+// System built without WithNetwork prices exactly as WithNetwork("ideal").
+func TestDefaultNetworkMatchesIdeal(t *testing.T) {
+	run := func(opts ...Option) *Result {
+		sys, err := New(append([]Option{WithProcs(4), WithSegmentBytes(1 << 15)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := sys.Alloc(512 * WordSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				for i := 0; i < 512; i++ {
+					p.WriteF64(arr+WordSize*i, float64(i))
+				}
+			}
+			p.Barrier()
+			_ = p.ReadF64(arr + WordSize*511)
+		})
+	}
+	def, ideal := run(), run(WithNetwork("ideal"))
+	if def.Time != ideal.Time || def.Messages != ideal.Messages || def.Bytes != ideal.Bytes {
+		t.Fatalf("default run %+v != ideal run %+v", def, ideal)
+	}
+	if def.Network != "ideal" {
+		t.Fatalf("default network = %q", def.Network)
 	}
 }
 

@@ -1,0 +1,75 @@
+// netsweep runs one false-sharing-heavy kernel across every registered
+// interconnect model — the paper's question turned around: instead of
+// "how do unit sizes trade on 100 Mbps switched Ethernet", ask how the
+// same program moves when the network is a contended shared medium
+// (bus), the paper's switch with per-NIC occupancy, or a faster preset
+// (atm, myrinet, 10gbe). The computed result is identical under every
+// model; only the virtual clock moves.
+//
+// Run with: go run ./examples/netsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dsm "repro"
+)
+
+const (
+	words = 2048 // four pages of interleaved per-processor counters
+	procs = 8
+	iters = 3
+)
+
+func run(network string) *dsm.Result {
+	sys, err := dsm.New(
+		dsm.WithProcs(procs),
+		dsm.WithSegmentBytes(words*8+8*dsm.PageSize),
+		dsm.WithNetwork(network),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr, err := sys.Alloc(words * 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys.Run(func(p *dsm.Proc) {
+		// Interleaved ownership: processor p writes words p, p+8,
+		// p+16, … so every page has eight concurrent writers — the
+		// false-sharing pattern that makes traffic, and therefore the
+		// interconnect, matter.
+		for it := 0; it < iters; it++ {
+			for w := p.ID(); w < words; w += procs {
+				p.WriteF64(arr+8*w, p.ReadF64(arr+8*w)+1)
+			}
+			p.Barrier()
+		}
+		var sum float64
+		for w := 0; w < words; w++ {
+			sum += p.ReadF64(arr + 8*w)
+		}
+		if want := float64(words * iters); sum != want {
+			log.Fatalf("proc %d on %s: sum = %v, want %v", p.ID(), network, sum, want)
+		}
+		p.Barrier()
+	})
+}
+
+func main() {
+	fmt.Printf("%-10s %12s %12s %10s %12s\n",
+		"network", "time (ms)", "queue (ms)", "messages", "KB on wire")
+	for _, network := range dsm.Networks() {
+		res := run(network)
+		fmt.Printf("%-10s %12.2f %12.2f %10d %12.1f\n",
+			network,
+			float64(res.Time.Microseconds())/1000,
+			float64(res.QueueDelay.Microseconds())/1000,
+			res.Messages, float64(res.Bytes)/1024)
+	}
+	fmt.Println("\nEight writers per page means every barrier moves diffs from every")
+	fmt.Println("processor: the bus serializes them (queue delay), the switch only")
+	fmt.Println("queues them at shared NIC ports, and the faster presets shrink the")
+	fmt.Println("whole exchange — same protocol work, different clock.")
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/apps"
 	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/instrument"
+	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/tmk"
 )
@@ -43,6 +44,9 @@ type Config struct {
 	// Protocol names the coherence protocol (tmk.ProtocolNames);
 	// empty selects the paper's homeless protocol.
 	Protocol string
+	// Network names the interconnect timing model (netmodel.Names);
+	// empty selects the paper's contention-free "ideal" arithmetic.
+	Network string
 }
 
 // Configs are the paper's four configurations, in figure order.
@@ -78,6 +82,7 @@ func LabelFor(unit int, dynamic bool) string {
 // Cell is the outcome of one experiment under one configuration.
 type Cell struct {
 	Time  sim.Duration
+	Queue sim.Duration // cumulative network contention delay
 	Msgs  int
 	Bytes int
 	Stats *instrument.Stats
@@ -91,12 +96,16 @@ func Run(e Experiment, c Config, procs int) (Cell, error) {
 		UnitPages: c.Unit,
 		Dynamic:   c.Dynamic,
 		Protocol:  c.Protocol,
+		Network:   c.Network,
 		Collect:   true,
 	})
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s %s [%s]: %w", e.App, e.Dataset, c.Label, err)
 	}
-	return Cell{Time: res.Time, Msgs: res.Messages, Bytes: res.Bytes, Stats: res.Stats}, nil
+	return Cell{
+		Time: res.Time, Queue: res.QueueDelay,
+		Msgs: res.Messages, Bytes: res.Bytes, Stats: res.Stats,
+	}, nil
 }
 
 // --- experiment definitions -------------------------------------------------
@@ -234,15 +243,15 @@ type Table1Row struct {
 
 // RunTable1 computes Table 1 (sequential simulated time and 8-processor
 // speedup at the 4 KB unit) under the given coherence protocol (empty =
-// homeless).
-func RunTable1(es []Experiment, protocol string) ([]Table1Row, error) {
+// homeless) and network model (empty = ideal).
+func RunTable1(es []Experiment, protocol, network string) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, e := range es {
-		seq, err := Run(e, Config{Label: "seq", Unit: 1, Protocol: protocol}, 1)
+		seq, err := Run(e, Config{Label: "seq", Unit: 1, Protocol: protocol, Network: network}, 1)
 		if err != nil {
 			return nil, err
 		}
-		par, err := Run(e, Config{Label: "4K", Unit: 1, Protocol: protocol}, Procs)
+		par, err := Run(e, Config{Label: "4K", Unit: 1, Protocol: protocol, Network: network}, Procs)
 		if err != nil {
 			return nil, err
 		}
@@ -354,6 +363,119 @@ func RunProtocolComparison(es []Experiment, procs int) ([]ProtocolComparison, er
 		out = append(out, pc)
 	}
 	return out, nil
+}
+
+// --- network sensitivity -----------------------------------------------------
+
+// NetworkCell is one (protocol, configuration) outcome on one network.
+type NetworkCell struct {
+	Protocol string
+	Config   string
+	Cell     Cell
+}
+
+// NetworkRow is one interconnect's view of an experiment: the same
+// cells re-priced on one network model.
+type NetworkRow struct {
+	Network string
+	Cells   []NetworkCell
+}
+
+// NetworkComparison is one experiment across the interconnect family —
+// the sensitivity sweep asking how the paper's conclusions move on
+// faster or more contended networks.
+type NetworkComparison struct {
+	App     string
+	Dataset string
+	Rows    []NetworkRow
+}
+
+// networkCellConfigs are the (protocol, configuration) pairs each
+// network is evaluated at: the paper's base (homeless, 4 KB), the
+// home-based engine (home, 4 KB), and dynamic aggregation (homeless,
+// Dyn) — enough to watch both trades (homeless vs home, small units vs
+// aggregation) move with the interconnect.
+func networkCellConfigs() []Config {
+	return []Config{
+		{Label: "4K", Unit: 1, Protocol: "homeless"},
+		{Label: "4K", Unit: 1, Protocol: "home"},
+		{Label: "Dyn", Unit: 1, Dynamic: true, Protocol: "homeless"},
+	}
+}
+
+// RunNetworkComparison runs each experiment under every named network
+// model (nil/empty = all registered models, sorted) at the cells of
+// networkCellConfigs. Every cell is verified against the sequential
+// reference.
+func RunNetworkComparison(es []Experiment, procs int, networks []string) ([]NetworkComparison, error) {
+	if len(networks) == 0 {
+		networks = netmodel.Names()
+	}
+	// Validate every name before the first (potentially long) run.
+	for _, network := range networks {
+		if !netmodel.Known(network) {
+			return nil, fmt.Errorf("unknown network model %q (known: %s)",
+				network, strings.Join(netmodel.Names(), ", "))
+		}
+	}
+	var out []NetworkComparison
+	for _, e := range es {
+		nc := NetworkComparison{App: e.App, Dataset: e.Dataset}
+		for _, network := range networks {
+			row := NetworkRow{Network: network}
+			for _, c := range networkCellConfigs() {
+				c.Network = network
+				cell, err := Run(e, c, procs)
+				if err != nil {
+					return nil, fmt.Errorf("network %s: %w", network, err)
+				}
+				row.Cells = append(row.Cells, NetworkCell{
+					Protocol: c.Protocol, Config: c.Label, Cell: cell,
+				})
+			}
+			nc.Rows = append(nc.Rows, row)
+		}
+		out = append(out, nc)
+	}
+	return out, nil
+}
+
+// RenderNetworkComparison prints the network-sensitivity table: per
+// experiment and interconnect, the homeless/4 KB baseline's absolute
+// time and cumulative queue delay, and the time ratios home÷homeless
+// (the protocol trade) and Dyn÷4K (the aggregation trade). Ratios
+// above 1 mean the alternative loses on that interconnect.
+func RenderNetworkComparison(w io.Writer, ncs []NetworkComparison) {
+	fmt.Fprintf(w, "%-8s  %-22s  %-8s  %9s  %9s  %7s  %7s\n",
+		"Program", "Input Size", "Network", "Time(s)", "Queue(s)", "home×", "dyn×")
+	for _, nc := range ncs {
+		for _, row := range nc.Rows {
+			var base, home, dyn *Cell
+			for i := range row.Cells {
+				c := &row.Cells[i]
+				switch {
+				case c.Protocol == "homeless" && c.Config == "4K":
+					base = &c.Cell
+				case c.Protocol == "home" && c.Config == "4K":
+					home = &c.Cell
+				case c.Config == "Dyn":
+					dyn = &c.Cell
+				}
+			}
+			if base == nil {
+				continue
+			}
+			ratio := func(c *Cell) string {
+				if c == nil || base.Time == 0 {
+					return "-"
+				}
+				return fmt.Sprintf("%.2f", c.Time.Seconds()/base.Time.Seconds())
+			}
+			fmt.Fprintf(w, "%-8s  %-22s  %-8s  %9.3f  %9.3f  %7s  %7s\n",
+				nc.App, nc.Dataset, row.Network,
+				base.Time.Seconds(), base.Queue.Seconds(), ratio(home), ratio(dyn))
+		}
+	}
 }
 
 // RenderProtocolComparison prints the protocol comparison: absolute

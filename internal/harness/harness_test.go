@@ -81,7 +81,7 @@ func TestRunAndRenderFigureSmoke(t *testing.T) {
 }
 
 func TestRunTable1Subset(t *testing.T) {
-	rows, err := RunTable1(Table1()[5:6], "") // Jacobi only: fast
+	rows, err := RunTable1(Table1()[5:6], "", "") // Jacobi only: fast
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,6 +121,76 @@ func TestRenderSignature(t *testing.T) {
 	// MGS at 16K must show multi-writer buckets.
 	if !strings.Contains(out, "[2:") && !strings.Contains(out, "[3:") && !strings.Contains(out, "[4:") {
 		t.Fatalf("16K MGS signature has no multi-writer bucket:\n%s", out)
+	}
+}
+
+// TestRunNetworkComparison sweeps one small experiment across the
+// contention-free baseline and one contended model: the ideal rows
+// carry zero queue delay, the contended rows carry some and never beat
+// the uncontended time, and both text and JSON reports expose the
+// queue-delay column.
+func TestRunNetworkComparison(t *testing.T) {
+	e := exp("Jacobi", "small")
+	ncs, err := RunNetworkComparison([]Experiment{e}, Procs, []string{"ideal", "bus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ncs) != 1 || len(ncs[0].Rows) != 2 {
+		t.Fatalf("comparison shape: %+v", ncs)
+	}
+	var idealBase, busBase *Cell
+	for i := range ncs[0].Rows {
+		row := &ncs[0].Rows[i]
+		if len(row.Cells) != len(networkCellConfigs()) {
+			t.Fatalf("row %s has %d cells", row.Network, len(row.Cells))
+		}
+		base := &row.Cells[0].Cell // homeless, 4K
+		switch row.Network {
+		case "ideal":
+			idealBase = base
+			for _, c := range row.Cells {
+				if c.Cell.Queue != 0 {
+					t.Fatalf("ideal cell %s/%s has queue %v", c.Protocol, c.Config, c.Cell.Queue)
+				}
+			}
+		case "bus":
+			busBase = base
+			if base.Queue <= 0 {
+				t.Fatal("bus base cell reports no queue delay")
+			}
+		}
+	}
+	if idealBase == nil || busBase == nil {
+		t.Fatalf("missing rows: %+v", ncs[0].Rows)
+	}
+	if busBase.Time < idealBase.Time {
+		t.Fatalf("bus time %v beat ideal %v — queuing can only add delay",
+			busBase.Time, idealBase.Time)
+	}
+
+	var buf bytes.Buffer
+	RenderNetworkComparison(&buf, ncs)
+	out := buf.String()
+	for _, want := range []string{"Network", "Queue(s)", "home×", "dyn×", "ideal", "bus"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("network table missing %q:\n%s", want, out)
+		}
+	}
+
+	j := NetworkComparisonReport(ncs[0])
+	if j.App != "Jacobi" || len(j.Rows) != 2 {
+		t.Fatalf("json report shape: %+v", j)
+	}
+	for _, row := range j.Rows {
+		for _, c := range row.Cells {
+			if row.Network == "bus" && c.Protocol == "homeless" && c.Config == "4K" && c.QueueSeconds <= 0 {
+				t.Fatalf("bus json cell missing queue seconds: %+v", c)
+			}
+		}
+	}
+
+	if _, err := RunNetworkComparison([]Experiment{e}, Procs, []string{"token-ring"}); err == nil {
+		t.Fatal("unknown network must error")
 	}
 }
 

@@ -11,51 +11,59 @@ import (
 
 // ResultJSON is one run's accounting.
 type ResultJSON struct {
-	TimeSeconds float64           `json:"time_seconds"`
-	Messages    int               `json:"messages"`
-	Bytes       int               `json:"bytes"`
-	Faults      int               `json:"faults"`
-	Stats       *instrument.Stats `json:"stats,omitempty"`
+	TimeSeconds  float64           `json:"time_seconds"`
+	Messages     int               `json:"messages"`
+	Bytes        int               `json:"bytes"`
+	Network      string            `json:"network,omitempty"`
+	QueueSeconds float64           `json:"queue_seconds"`
+	Faults       int               `json:"faults"`
+	Stats        *instrument.Stats `json:"stats,omitempty"`
 }
 
 // ResultReport converts an engine Result.
 func ResultReport(r *tmk.Result) ResultJSON {
 	return ResultJSON{
-		TimeSeconds: r.Time.Seconds(),
-		Messages:    r.Messages,
-		Bytes:       r.Bytes,
-		Faults:      r.Faults,
-		Stats:       r.Stats,
+		TimeSeconds:  r.Time.Seconds(),
+		Messages:     r.Messages,
+		Bytes:        r.Bytes,
+		Network:      r.Network,
+		QueueSeconds: r.QueueDelay.Seconds(),
+		Faults:       r.Faults,
+		Stats:        r.Stats,
 	}
 }
 
 // CellJSON is one experiment × configuration cell.
 type CellJSON struct {
-	App         string            `json:"app"`
-	Dataset     string            `json:"dataset"`
-	Paper       string            `json:"paper,omitempty"`
-	Config      string            `json:"config"`
-	Protocol    string            `json:"protocol"`
-	Procs       int               `json:"procs"`
-	TimeSeconds float64           `json:"time_seconds"`
-	Messages    int               `json:"messages"`
-	Bytes       int               `json:"bytes"`
-	Stats       *instrument.Stats `json:"stats,omitempty"`
+	App          string            `json:"app"`
+	Dataset      string            `json:"dataset"`
+	Paper        string            `json:"paper,omitempty"`
+	Config       string            `json:"config"`
+	Protocol     string            `json:"protocol"`
+	Network      string            `json:"network"`
+	Procs        int               `json:"procs"`
+	TimeSeconds  float64           `json:"time_seconds"`
+	QueueSeconds float64           `json:"queue_seconds"`
+	Messages     int               `json:"messages"`
+	Bytes        int               `json:"bytes"`
+	Stats        *instrument.Stats `json:"stats,omitempty"`
 }
 
 // CellReport converts one harness cell run under cfg.
 func CellReport(e Experiment, cfg Config, procs int, c Cell) CellJSON {
 	return CellJSON{
-		App:         e.App,
-		Dataset:     e.Dataset,
-		Paper:       e.Paper,
-		Config:      cfg.Label,
-		Protocol:    protocolName(cfg.Protocol),
-		Procs:       procs,
-		TimeSeconds: c.Time.Seconds(),
-		Messages:    c.Msgs,
-		Bytes:       c.Bytes,
-		Stats:       c.Stats,
+		App:          e.App,
+		Dataset:      e.Dataset,
+		Paper:        e.Paper,
+		Config:       cfg.Label,
+		Protocol:     protocolName(cfg.Protocol),
+		Network:      networkName(cfg.Network),
+		Procs:        procs,
+		TimeSeconds:  c.Time.Seconds(),
+		QueueSeconds: c.Queue.Seconds(),
+		Messages:     c.Msgs,
+		Bytes:        c.Bytes,
+		Stats:        c.Stats,
 	}
 }
 
@@ -63,6 +71,11 @@ func CellReport(e Experiment, cfg Config, procs int, c Cell) CellJSON {
 // filled in, lowercased), matching what the engine reports.
 func protocolName(p string) string {
 	return tmk.Config{Protocol: p}.ProtocolName()
+}
+
+// networkName canonicalizes a network-model name the same way.
+func networkName(n string) string {
+	return tmk.Config{Network: n}.NetworkName()
 }
 
 // ProtocolRowJSON is one protocol's row of a comparison.
@@ -99,6 +112,50 @@ func ProtocolComparisonReport(pc ProtocolComparison) ProtocolComparisonJSON {
 	return out
 }
 
+// NetworkCellJSON is one (protocol, configuration) outcome on one
+// network model.
+type NetworkCellJSON struct {
+	Protocol     string  `json:"protocol"`
+	Config       string  `json:"config"`
+	TimeSeconds  float64 `json:"time_seconds"`
+	QueueSeconds float64 `json:"queue_seconds"`
+	Messages     int     `json:"messages"`
+	Bytes        int     `json:"bytes"`
+}
+
+// NetworkRowJSON is one network model's cells of a comparison.
+type NetworkRowJSON struct {
+	Network string            `json:"network"`
+	Cells   []NetworkCellJSON `json:"cells"`
+}
+
+// NetworkComparisonJSON is one experiment's network-sensitivity sweep.
+type NetworkComparisonJSON struct {
+	App     string           `json:"app"`
+	Dataset string           `json:"dataset"`
+	Rows    []NetworkRowJSON `json:"rows"`
+}
+
+// NetworkComparisonReport converts a network comparison.
+func NetworkComparisonReport(nc NetworkComparison) NetworkComparisonJSON {
+	out := NetworkComparisonJSON{App: nc.App, Dataset: nc.Dataset}
+	for _, row := range nc.Rows {
+		rj := NetworkRowJSON{Network: row.Network}
+		for _, c := range row.Cells {
+			rj.Cells = append(rj.Cells, NetworkCellJSON{
+				Protocol:     c.Protocol,
+				Config:       c.Config,
+				TimeSeconds:  c.Cell.Time.Seconds(),
+				QueueSeconds: c.Cell.Queue.Seconds(),
+				Messages:     c.Cell.Msgs,
+				Bytes:        c.Cell.Bytes,
+			})
+		}
+		out.Rows = append(out.Rows, rj)
+	}
+	return out
+}
+
 // ExperimentJSON is one experiment with its cells across configurations.
 type ExperimentJSON struct {
 	App     string     `json:"app"`
@@ -119,39 +176,43 @@ type Table1RowJSON struct {
 // TrialsJSON is a multi-trial run of one workload under one
 // configuration: per-trial results plus the min/mean/max aggregate.
 type TrialsJSON struct {
-	App             string       `json:"app"`
-	Dataset         string       `json:"dataset"`
-	Paper           string       `json:"paper,omitempty"`
-	Config          string       `json:"config"`
-	Protocol        string       `json:"protocol"`
-	Procs           int          `json:"procs"`
-	UnitPages       int          `json:"unit_pages"`
-	Dynamic         bool         `json:"dynamic"`
-	Trials          []ResultJSON `json:"trials"`
-	MinTimeSeconds  float64      `json:"min_time_seconds"`
-	MeanTimeSeconds float64      `json:"mean_time_seconds"`
-	MaxTimeSeconds  float64      `json:"max_time_seconds"`
-	MeanMessages    float64      `json:"mean_messages"`
-	MeanBytes       float64      `json:"mean_bytes"`
+	App              string       `json:"app"`
+	Dataset          string       `json:"dataset"`
+	Paper            string       `json:"paper,omitempty"`
+	Config           string       `json:"config"`
+	Protocol         string       `json:"protocol"`
+	Network          string       `json:"network"`
+	Procs            int          `json:"procs"`
+	UnitPages        int          `json:"unit_pages"`
+	Dynamic          bool         `json:"dynamic"`
+	Trials           []ResultJSON `json:"trials"`
+	MinTimeSeconds   float64      `json:"min_time_seconds"`
+	MeanTimeSeconds  float64      `json:"mean_time_seconds"`
+	MaxTimeSeconds   float64      `json:"max_time_seconds"`
+	MeanMessages     float64      `json:"mean_messages"`
+	MeanBytes        float64      `json:"mean_bytes"`
+	MeanQueueSeconds float64      `json:"mean_queue_seconds"`
 }
 
 // TrialsReport converts a trial summary of workload e under the given
 // configuration.
 func TrialsReport(app, dataset, paper string, cfg tmk.Config, ts *tmk.TrialSummary) TrialsJSON {
 	out := TrialsJSON{
-		App:             app,
-		Dataset:         dataset,
-		Paper:           paper,
-		Config:          LabelFor(cfg.UnitPages, cfg.Dynamic),
-		Protocol:        cfg.ProtocolName(),
-		Procs:           cfg.Procs,
-		UnitPages:       cfg.UnitPages,
-		Dynamic:         cfg.Dynamic,
-		MinTimeSeconds:  ts.MinTime.Seconds(),
-		MeanTimeSeconds: ts.MeanTime.Seconds(),
-		MaxTimeSeconds:  ts.MaxTime.Seconds(),
-		MeanMessages:    ts.MeanMessages,
-		MeanBytes:       ts.MeanBytes,
+		App:              app,
+		Dataset:          dataset,
+		Paper:            paper,
+		Config:           LabelFor(cfg.UnitPages, cfg.Dynamic),
+		Protocol:         cfg.ProtocolName(),
+		Network:          cfg.NetworkName(),
+		Procs:            cfg.Procs,
+		UnitPages:        cfg.UnitPages,
+		Dynamic:          cfg.Dynamic,
+		MinTimeSeconds:   ts.MinTime.Seconds(),
+		MeanTimeSeconds:  ts.MeanTime.Seconds(),
+		MaxTimeSeconds:   ts.MaxTime.Seconds(),
+		MeanMessages:     ts.MeanMessages,
+		MeanBytes:        ts.MeanBytes,
+		MeanQueueSeconds: ts.MeanQueueDelay.Seconds(),
 	}
 	for _, r := range ts.Trials {
 		out.Trials = append(out.Trials, ResultReport(r))

@@ -1,0 +1,32 @@
+package netmodel
+
+import "repro/internal/sim"
+
+func init() {
+	Register("ideal", func(c sim.CostModel) Model { return ideal{cost: c} })
+}
+
+// ideal is the contention-free model: the flat sim.CostModel arithmetic
+// the engine used before the netmodel subsystem existed. Its timings
+// are bit-identical to that arithmetic — a leg costs
+// MessageLeg + bytes×PerByte and an exchange costs
+// RoundTrip + RequestService — so golden-count tests pin it exactly.
+type ideal struct {
+	cost sim.CostModel
+}
+
+func (ideal) Name() string { return "ideal" }
+
+func (m ideal) Leg(src, dst, bytes int, at sim.Duration) Timing {
+	return Timing{Total: m.cost.MessageLeg + sim.Duration(bytes)*m.cost.PerByte}
+}
+
+func (m ideal) Exchange(src, dst, reqBytes, replyBytes int, at sim.Duration) ExchangeTiming {
+	return ExchangeTiming{
+		Request: m.Leg(src, dst, reqBytes, at),
+		Service: m.cost.RequestService,
+		Reply:   m.Leg(dst, src, replyBytes, at),
+	}
+}
+
+func (ideal) Reset() {}

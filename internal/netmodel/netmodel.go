@@ -1,0 +1,131 @@
+// Package netmodel is the pluggable network-timing subsystem: a family
+// of interconnect models that price the DSM's protocol messages, from
+// the paper's flat per-message cost arithmetic ("ideal") to
+// contention-aware occupancy models of a shared-medium Ethernet
+// ("bus"), the paper's switched Ethernet with per-NIC ports ("switch"),
+// and a preset family of faster interconnects ("atm", "myrinet",
+// "10gbe").
+//
+// A Model prices a one-way leg or a request/reply exchange given the
+// endpoints, the payload size, and the sender's *virtual* send time.
+// Contended models keep occupancy state (when the bus or a NIC port is
+// next free) in virtual time: a leg departing at t starts transmitting
+// at max(t, resourceFree), and the difference is its queue delay. No
+// separate event loop exists — queuing delay emerges from the engine's
+// existing per-processor time accounting (see DESIGN.md §6 for why
+// this is sound given the engine's synchronous hand-offs).
+//
+// Models are registered by name; internal/simnet resolves the
+// configured name and delegates all pricing here.
+package netmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Timing is the outcome of pricing one message leg.
+type Timing struct {
+	// Total is the elapsed virtual time from the send until delivery:
+	// software overhead + queue delay + transmission + propagation.
+	Total sim.Duration
+	// Queue is the contention component of Total — time the leg spent
+	// waiting for a shared resource (bus, NIC port). Zero on the ideal
+	// model.
+	Queue sim.Duration
+}
+
+// ExchangeTiming is the outcome of pricing one request/reply exchange.
+type ExchangeTiming struct {
+	// Request and Reply are the two legs' timings.
+	Request Timing
+	Reply   Timing
+	// Service is the remote-side cost of servicing the request between
+	// the legs.
+	Service sim.Duration
+}
+
+// Total is the elapsed virtual time of the whole exchange.
+func (e ExchangeTiming) Total() sim.Duration {
+	return e.Request.Total + e.Service + e.Reply.Total
+}
+
+// Queue is the exchange's total contention delay.
+func (e ExchangeTiming) Queue() sim.Duration {
+	return e.Request.Queue + e.Reply.Queue
+}
+
+// Model prices protocol messages on one interconnect. Implementations
+// must be safe for concurrent use by all processor goroutines, and
+// contended models must advance their occupancy state on the virtual
+// send times they are given.
+type Model interface {
+	// Name returns the registry name.
+	Name() string
+
+	// Leg prices one one-way message of payloadBytes from src to dst,
+	// departing at the sender's virtual time at.
+	Leg(src, dst, bytes int, at sim.Duration) Timing
+
+	// Exchange prices a request/reply pair: the request leg departs
+	// src at the virtual time at, is serviced at dst, and the reply
+	// leg returns to src.
+	Exchange(src, dst, reqBytes, replyBytes int, at sim.Duration) ExchangeTiming
+
+	// Reset clears all occupancy state, returning the model to its
+	// freshly built condition (called between independent trials).
+	Reset()
+}
+
+// Default is the model of the paper's cost calibration: the flat
+// arithmetic the engine used before this subsystem existed.
+const Default = "ideal"
+
+var factories = map[string]func(sim.CostModel) Model{}
+
+// Register adds a model factory under a (case-insensitive) name.
+// Called from init; a duplicate or empty registration is a programming
+// error.
+func Register(name string, factory func(sim.CostModel) Model) {
+	key := strings.ToLower(name)
+	if key == "" || factory == nil {
+		panic("netmodel: incomplete model registration")
+	}
+	if _, dup := factories[key]; dup {
+		panic(fmt.Sprintf("netmodel: duplicate model registration %q", key))
+	}
+	factories[key] = factory
+}
+
+// New builds the named model over the given cost calibration. An
+// unknown name is an error listing the registered models.
+func New(name string, cost sim.CostModel) (Model, error) {
+	if name == "" {
+		name = Default
+	}
+	factory, ok := factories[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("netmodel: unknown network model %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return factory(cost), nil
+}
+
+// Names returns the registered model names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Known reports whether name (case-insensitive) is registered.
+func Known(name string) bool {
+	_, ok := factories[strings.ToLower(name)]
+	return ok
+}

@@ -1,21 +1,24 @@
-// Package simnet is the simulated cluster interconnect: a 100 Mbps
-// switched Ethernet carrying the DSM's protocol messages between the
-// eight simulated processors.
+// Package simnet is the simulated cluster interconnect carrying the
+// DSM's protocol messages between the simulated processors.
 //
 // Protocol payloads (diffs, write notices, lock grants) travel for real
 // between goroutines; this package gives every message an identity,
-// records its kind/src/dst/size for the paper's communication breakdowns,
-// and computes the virtual-time cost of exchanges from the calibrated
-// sim.CostModel. Delivery itself uses the Go memory model (the engine's
-// synchronous hand-offs), which is the idiomatic substitution for UDP/IP
-// between address spaces: what the paper measures is counts × costs, and
-// both are preserved.
+// records its kind/src/dst/size/timing for the paper's communication
+// breakdowns, and delegates the virtual-time *pricing* of legs and
+// exchanges to a pluggable internal/netmodel Model — the paper's flat
+// §5.1 arithmetic ("ideal", the default) or a contention-aware
+// interconnect ("bus", "switch", and the preset family). Delivery
+// itself uses the Go memory model (the engine's synchronous hand-offs),
+// which is the idiomatic substitution for UDP/IP between address
+// spaces: what the paper measures is counts × costs, and both are
+// preserved.
 package simnet
 
 import (
 	"fmt"
 	"sync"
 
+	"repro/internal/netmodel"
 	"repro/internal/sim"
 )
 
@@ -77,6 +80,11 @@ type Record struct {
 	Src   int
 	Dst   int
 	Bytes int
+	// SendAt is the sender's virtual clock when the message departed.
+	SendAt sim.Duration
+	// Queue is the contention delay the message's leg experienced on
+	// the configured network model (always zero on "ideal").
+	Queue sim.Duration
 }
 
 // KindCount aggregates the messages of one kind.
@@ -85,32 +93,94 @@ type KindCount struct {
 	Bytes    int
 }
 
-// Network records every protocol message of a run and prices exchanges.
-// It is safe for concurrent use by all processor goroutines.
+// Network records every protocol message of a run and prices legs and
+// exchanges through its network model. It is safe for concurrent use by
+// all processor goroutines.
+//
+// Pricing runs under the same lock as recording, so the model's
+// occupancy state advances in message-log order: the queue a message
+// sees is the queue left by the messages recorded before it.
 type Network struct {
-	cost sim.CostModel
+	cost  sim.CostModel
+	model netmodel.Model
 
 	mu      sync.Mutex
 	records []Record
+	// Running totals, maintained on append so the per-report Counts
+	// calls never rescan a log that can grow to millions of records.
+	totalMsgs  int
+	totalBytes int
+	kindTotals [numKinds]KindCount
+	totalQueue sim.Duration
 }
 
-// New returns an empty network with the given cost model.
+// New returns an empty network priced by the ideal (contention-free)
+// model over the given cost calibration.
 func New(cost sim.CostModel) *Network {
-	return &Network{cost: cost}
+	m, err := netmodel.New(netmodel.Default, cost)
+	if err != nil {
+		panic(err) // the default model is always registered
+	}
+	return NewWithModel(cost, m)
+}
+
+// NewWithModel returns an empty network priced by the given model.
+func NewWithModel(cost sim.CostModel, m netmodel.Model) *Network {
+	return &Network{cost: cost, model: m}
 }
 
 // Cost returns the network's cost model.
 func (n *Network) Cost() sim.CostModel { return n.cost }
 
-// Send records one message and returns its ID.
-func (n *Network) Send(kind MsgKind, src, dst, payloadBytes int) MsgID {
-	n.mu.Lock()
+// Model returns the network's timing model.
+func (n *Network) Model() netmodel.Model { return n.model }
+
+// append records one message under n.mu (caller must hold it).
+func (n *Network) append(kind MsgKind, src, dst, bytes int, at, queue sim.Duration) MsgID {
 	id := MsgID(len(n.records) + 1)
 	n.records = append(n.records, Record{
-		ID: id, Kind: kind, Src: src, Dst: dst, Bytes: payloadBytes,
+		ID: id, Kind: kind, Src: src, Dst: dst, Bytes: bytes,
+		SendAt: at, Queue: queue,
 	})
-	n.mu.Unlock()
+	n.totalMsgs++
+	n.totalBytes += bytes
+	n.kindTotals[kind].Messages++
+	n.kindTotals[kind].Bytes += bytes
+	n.totalQueue += queue
 	return id
+}
+
+// SendLeg records one one-way message departing at the sender's virtual
+// time at, priced by the network model, and returns its ID and timing.
+func (n *Network) SendLeg(kind MsgKind, src, dst, bytes int, at sim.Duration) (MsgID, netmodel.Timing) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t := n.model.Leg(src, dst, bytes, at)
+	return n.append(kind, src, dst, bytes, at, t.Queue), t
+}
+
+// SendControl records a control message (lock request/forward) priced
+// as a payload-free leg: its few header bytes fold into the fixed leg
+// cost, matching the pre-netmodel engine's arithmetic, while the
+// recorded size still reflects the bytes on the wire.
+func (n *Network) SendControl(kind MsgKind, src, dst, bytes int, at sim.Duration) (MsgID, netmodel.Timing) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t := n.model.Leg(src, dst, 0, at)
+	return n.append(kind, src, dst, bytes, at, t.Queue), t
+}
+
+// SendExchange records a request/reply pair departing at the
+// requester's virtual time at, priced by the network model as one
+// exchange, and returns both IDs and the exchange timing (the caller
+// charges ExchangeTiming.Total, which includes the remote service).
+func (n *Network) SendExchange(reqKind, repKind MsgKind, src, dst, reqBytes, replyBytes int, at sim.Duration) (reqID, repID MsgID, t netmodel.ExchangeTiming) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t = n.model.Exchange(src, dst, reqBytes, replyBytes, at)
+	reqID = n.append(reqKind, src, dst, reqBytes, at, t.Request.Queue)
+	repID = n.append(repKind, dst, src, replyBytes, at+t.Request.Total+t.Service, t.Reply.Queue)
+	return reqID, repID, t
 }
 
 // Snapshot returns a copy of the message log.
@@ -126,34 +196,40 @@ func (n *Network) Snapshot() []Record {
 func (n *Network) Counts() (messages, bytes int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	for _, r := range n.records {
-		messages++
-		bytes += r.Bytes
-	}
-	return messages, bytes
+	return n.totalMsgs, n.totalBytes
 }
 
 // CountsByKind returns per-kind message and byte totals.
 func (n *Network) CountsByKind() map[MsgKind]KindCount {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make(map[MsgKind]KindCount)
-	for _, r := range n.records {
-		c := out[r.Kind]
-		c.Messages++
-		c.Bytes += r.Bytes
-		out[r.Kind] = c
+	out := make(map[MsgKind]KindCount, numKinds)
+	for k, c := range n.kindTotals {
+		if c.Messages > 0 {
+			out[MsgKind(k)] = c
+		}
 	}
 	return out
 }
 
-// ExchangeCost prices one request/reply exchange (excluding the fixed
-// fault cost, which the engine charges separately).
+// QueueTotal returns the cumulative contention delay across all
+// recorded messages (zero on the ideal model).
+func (n *Network) QueueTotal() sim.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totalQueue
+}
+
+// ExchangeCost prices one request/reply exchange on the ideal
+// arithmetic (excluding the fixed fault cost, which the engine charges
+// separately). Contention-unaware by construction; engine paths use
+// SendExchange instead.
 func (n *Network) ExchangeCost(requestBytes, replyBytes int) sim.Duration {
 	return n.cost.RoundTrip(requestBytes, replyBytes) + n.cost.RequestService
 }
 
-// OneWayCost prices a single message leg with payload.
+// OneWayCost prices a single message leg with payload on the ideal
+// arithmetic.
 func (n *Network) OneWayCost(payloadBytes int) sim.Duration {
 	return n.cost.MessageLeg + sim.Duration(payloadBytes)*n.cost.PerByte
 }

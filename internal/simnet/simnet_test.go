@@ -9,8 +9,8 @@ import (
 
 func TestSendAssignsSequentialIDs(t *testing.T) {
 	n := New(sim.DefaultCostModel())
-	a := n.Send(DiffRequest, 0, 1, 64)
-	b := n.Send(DiffReply, 1, 0, 1024)
+	a, _ := n.SendLeg(DiffRequest, 0, 1, 64, 0)
+	b, _ := n.SendLeg(DiffReply, 1, 0, 1024, 0)
 	if a != 1 || b != 2 {
 		t.Fatalf("ids = %d, %d; want 1, 2", a, b)
 	}
@@ -25,9 +25,9 @@ func TestSendAssignsSequentialIDs(t *testing.T) {
 
 func TestCounts(t *testing.T) {
 	n := New(sim.DefaultCostModel())
-	n.Send(DiffRequest, 0, 1, 10)
-	n.Send(DiffReply, 1, 0, 20)
-	n.Send(BarrierArrive, 2, 0, 5)
+	n.SendLeg(DiffRequest, 0, 1, 10, 0)
+	n.SendLeg(DiffReply, 1, 0, 20, 0)
+	n.SendLeg(BarrierArrive, 2, 0, 5, 0)
 	msgs, bytes := n.Counts()
 	if msgs != 3 || bytes != 35 {
 		t.Fatalf("Counts = %d msgs, %d bytes", msgs, bytes)
@@ -47,7 +47,7 @@ func TestConcurrentSendsAreAllRecorded(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				n.Send(DiffRequest, p, (p+1)%procs, 8)
+				n.SendLeg(DiffRequest, p, (p+1)%procs, 8, sim.Duration(i)*sim.Microsecond)
 			}
 		}(p)
 	}
@@ -79,6 +79,98 @@ func TestExchangeCost(t *testing.T) {
 	}
 }
 
+func TestSendLegRecordsTimingAndTotals(t *testing.T) {
+	cost := sim.DefaultCostModel()
+	n := New(cost)
+	at := 3 * sim.Millisecond
+	id, timing := n.SendLeg(BarrierArrive, 2, 0, 16, at)
+	if id != 1 {
+		t.Fatalf("id = %d", id)
+	}
+	if want := cost.MessageLeg + 16*cost.PerByte; timing.Total != want || timing.Queue != 0 {
+		t.Fatalf("ideal leg timing = %+v, want Total %v, Queue 0", timing, want)
+	}
+	rec := n.Snapshot()[0]
+	if rec.SendAt != at || rec.Queue != 0 || rec.Bytes != 16 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if msgs, bytes := n.Counts(); msgs != 1 || bytes != 16 {
+		t.Fatalf("Counts = %d, %d", msgs, bytes)
+	}
+	if q := n.QueueTotal(); q != 0 {
+		t.Fatalf("QueueTotal = %v on ideal", q)
+	}
+}
+
+func TestSendControlPricesPayloadFree(t *testing.T) {
+	cost := sim.DefaultCostModel()
+	n := New(cost)
+	_, timing := n.SendControl(LockRequest, 1, 0, 16, 0)
+	if timing.Total != cost.MessageLeg {
+		t.Fatalf("control leg = %v, want bare MessageLeg %v", timing.Total, cost.MessageLeg)
+	}
+	if rec := n.Snapshot()[0]; rec.Bytes != 16 {
+		t.Fatalf("control record bytes = %d, want the wire size 16", rec.Bytes)
+	}
+}
+
+func TestSendExchangeRecordsBothLegs(t *testing.T) {
+	cost := sim.DefaultCostModel()
+	n := New(cost)
+	at := sim.Millisecond
+	reqID, repID, xt := n.SendExchange(DiffRequest, DiffReply, 3, 5, 24, 4096, at)
+	if reqID != 1 || repID != 2 {
+		t.Fatalf("ids = %d, %d", reqID, repID)
+	}
+	if want := cost.RoundTrip(24, 4096) + cost.RequestService; xt.Total() != want {
+		t.Fatalf("exchange total = %v, want ideal %v", xt.Total(), want)
+	}
+	recs := n.Snapshot()
+	if recs[0].Kind != DiffRequest || recs[0].Src != 3 || recs[0].Dst != 5 || recs[0].SendAt != at {
+		t.Fatalf("request record = %+v", recs[0])
+	}
+	wantReply := at + xt.Request.Total + xt.Service
+	if recs[1].Kind != DiffReply || recs[1].Src != 5 || recs[1].Dst != 3 || recs[1].SendAt != wantReply {
+		t.Fatalf("reply record = %+v, want SendAt %v", recs[1], wantReply)
+	}
+	if msgs, bytes := n.Counts(); msgs != 2 || bytes != 24+4096 {
+		t.Fatalf("Counts = %d, %d", msgs, bytes)
+	}
+}
+
+// TestRunningTotalsMatchSnapshot checks the incrementally maintained
+// counters against a recount of the full log across all send paths.
+func TestRunningTotalsMatchSnapshot(t *testing.T) {
+	n := New(sim.DefaultCostModel())
+	n.SendLeg(BarrierArrive, 0, 1, 5, 0)
+	n.SendLeg(HomeFlush, 1, 2, 100, sim.Millisecond)
+	n.SendControl(LockRequest, 2, 0, 16, sim.Millisecond)
+	n.SendExchange(DiffRequest, DiffReply, 0, 2, 24, 512, 2*sim.Millisecond)
+	var msgs, bytes int
+	perKind := make(map[MsgKind]KindCount)
+	for _, r := range n.Snapshot() {
+		msgs++
+		bytes += r.Bytes
+		c := perKind[r.Kind]
+		c.Messages++
+		c.Bytes += r.Bytes
+		perKind[r.Kind] = c
+	}
+	gotMsgs, gotBytes := n.Counts()
+	if gotMsgs != msgs || gotBytes != bytes {
+		t.Fatalf("Counts = %d, %d; recount = %d, %d", gotMsgs, gotBytes, msgs, bytes)
+	}
+	byKind := n.CountsByKind()
+	if len(byKind) != len(perKind) {
+		t.Fatalf("CountsByKind = %v, recount = %v", byKind, perKind)
+	}
+	for k, want := range perKind {
+		if byKind[k] != want {
+			t.Fatalf("CountsByKind[%v] = %v, want %v", k, byKind[k], want)
+		}
+	}
+}
+
 func TestKindStringAndIsData(t *testing.T) {
 	if DiffRequest.String() != "DiffRequest" || BarrierRelease.String() != "BarrierRelease" {
 		t.Fatal("kind names")
@@ -98,7 +190,7 @@ func TestKindStringAndIsData(t *testing.T) {
 
 func TestSnapshotIsCopy(t *testing.T) {
 	n := New(sim.DefaultCostModel())
-	n.Send(DiffRequest, 0, 1, 10)
+	n.SendLeg(DiffRequest, 0, 1, 10, 0)
 	s := n.Snapshot()
 	s[0].Bytes = 999
 	if n.Snapshot()[0].Bytes != 10 {

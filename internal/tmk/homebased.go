@@ -119,8 +119,8 @@ func (h *homeProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []in
 		for _, pd := range perHome[home] {
 			bytes += pd.D.WireBytes()
 		}
-		p.sys.net.Send(simnet.HomeFlush, p.id, home, bytes)
-		p.clock.Advance(p.sys.net.OneWayCost(bytes))
+		_, t := p.sys.net.SendLeg(simnet.HomeFlush, p.id, home, bytes, p.clock.Now())
+		p.clock.Advance(t.Total)
 	}
 }
 
@@ -229,8 +229,8 @@ func (h *homeProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 				homeItems = append(homeItems, applyItem{page: page})
 			}
 		}
-		reqID := p.sys.net.Send(simnet.DiffRequest, p.id, home, reqBytes)
-		repID := p.sys.net.Send(simnet.DiffReply, home, p.id, replyBytes)
+		reqID, repID, xt := p.sys.net.SendExchange(
+			simnet.DiffRequest, simnet.DiffReply, p.id, home, reqBytes, replyBytes, p.clock.Now())
 		if p.sys.col != nil {
 			dm := p.sys.col.NewDataMsg(reqID, repID, home, p.id)
 			msgs = append(msgs, dm)
@@ -239,7 +239,7 @@ func (h *homeProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 			}
 		}
 		items = append(items, homeItems...)
-		if c := p.sys.net.ExchangeCost(reqBytes, replyBytes); c > maxCost {
+		if c := xt.Total(); c > maxCost {
 			maxCost = c
 		}
 	}

@@ -135,8 +135,8 @@ func (*homelessProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 				wItems = append(wItems, it)
 			}
 		}
-		reqID := p.sys.net.Send(simnet.DiffRequest, p.id, w, reqBytes)
-		repID := p.sys.net.Send(simnet.DiffReply, w, p.id, replyBytes)
+		reqID, repID, xt := p.sys.net.SendExchange(
+			simnet.DiffRequest, simnet.DiffReply, p.id, w, reqBytes, replyBytes, p.clock.Now())
 		var dm *instrument.DataMsg
 		if p.sys.col != nil {
 			dm = p.sys.col.NewDataMsg(reqID, repID, w, p.id)
@@ -146,7 +146,7 @@ func (*homelessProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 			wItems[i].msg = dm
 		}
 		items = append(items, wItems...)
-		if c := p.sys.net.ExchangeCost(reqBytes, replyBytes); c > maxCost {
+		if c := xt.Total(); c > maxCost {
 			maxCost = c
 		}
 	}

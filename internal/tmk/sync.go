@@ -112,8 +112,8 @@ func (p *Proc) Barrier() {
 	// Arrival message to the manager with this processor's notices
 	// (already published to the store; we charge their size).
 	arriveBytes := 16
-	p.sys.net.Send(simnet.BarrierArrive, p.id, b.manager, arriveBytes)
-	p.clock.Advance(p.sys.net.OneWayCost(arriveBytes))
+	_, t := p.sys.net.SendLeg(simnet.BarrierArrive, p.id, b.manager, arriveBytes, p.clock.Now())
+	p.clock.Advance(t.Total)
 
 	ch := make(chan barrierGrant, 1)
 	b.mu.Lock()
@@ -142,8 +142,8 @@ func (p *Proc) Barrier() {
 	g := <-ch
 	p.clock.AdvanceTo(g.release)
 	noticeBytes := p.applyAcquire(g.vt)
-	p.sys.net.Send(simnet.BarrierRelease, b.manager, p.id, 8+noticeBytes)
-	p.clock.Advance(p.sys.net.OneWayCost(8 + noticeBytes))
+	_, rt := p.sys.net.SendLeg(simnet.BarrierRelease, b.manager, p.id, 8+noticeBytes, g.release)
+	p.clock.Advance(rt.Total)
 	p.rebuildGroups()
 }
 
@@ -199,13 +199,15 @@ func (p *Proc) Lock(l int) {
 		return
 	}
 	// Request to the manager (+ forward to last holder if different).
-	net.Send(simnet.LockRequest, p.id, lk.manager, 16)
-	legs := sim.Duration(1)
+	// Control legs are priced payload-free: the 16 header bytes fold
+	// into the fixed leg cost (SendControl), as in the pre-netmodel
+	// engine's arithmetic.
+	_, t := net.SendControl(simnet.LockRequest, p.id, lk.manager, 16, p.clock.Now())
+	reqArrival := p.clock.Now() + t.Total
 	if lk.holder != lk.manager || lk.held {
-		net.Send(simnet.LockForward, lk.manager, lk.holder, 16)
-		legs = 2
+		_, ft := net.SendControl(simnet.LockForward, lk.manager, lk.holder, 16, reqArrival)
+		reqArrival += ft.Total
 	}
-	reqArrival := p.clock.Now() + sim.Duration(legs)*cost.MessageLeg
 
 	if !lk.held {
 		lk.held = true
@@ -227,11 +229,10 @@ func (p *Proc) Lock(l int) {
 // finishAcquire consumes a lock grant: charges the grant message and its
 // piggybacked notices, then invalidates.
 func (p *Proc) finishAcquire(lk *lock, g lockGrant) {
-	cost := p.sys.cost
 	p.clock.AdvanceTo(g.at)
 	noticeBytes := p.applyAcquire(g.vt)
-	p.sys.net.Send(simnet.LockGrant, g.from, p.id, 16+noticeBytes)
-	p.clock.Advance(cost.MessageLeg + sim.Duration(16+noticeBytes)*cost.PerByte)
+	_, t := p.sys.net.SendLeg(simnet.LockGrant, g.from, p.id, 16+noticeBytes, g.at)
+	p.clock.Advance(t.Total)
 	p.rebuildGroups()
 }
 

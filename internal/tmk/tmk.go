@@ -19,6 +19,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/lrc"
 	"repro/internal/mem"
+	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -46,6 +47,13 @@ type Config struct {
 	// the paper's TreadMarks protocol); "home" selects home-based LRC.
 	// See ProtocolNames for the full set.
 	Protocol string
+	// Network selects the interconnect timing model by registry name
+	// (case-insensitive; see netmodel.Names). Empty selects "ideal",
+	// the paper's flat contention-free cost arithmetic; "bus" and
+	// "switch" add occupancy-based queuing, and the presets ("atm",
+	// "myrinet", "10gbe") scale the platform's latency, bandwidth, and
+	// software overhead.
+	Network string
 	// Cost overrides the communication cost model; zero value selects
 	// sim.DefaultCostModel.
 	Cost *sim.CostModel
@@ -79,7 +87,24 @@ func (c *Config) fill() error {
 		return fmt.Errorf("tmk: unknown protocol %q (known: %s)",
 			c.Protocol, strings.Join(ProtocolNames(), ", "))
 	}
+	c.Network = strings.ToLower(c.Network)
+	if c.Network == "" {
+		c.Network = netmodel.Default
+	}
+	if !netmodel.Known(c.Network) {
+		return fmt.Errorf("tmk: unknown network model %q (known: %s)",
+			c.Network, strings.Join(netmodel.Names(), ", "))
+	}
 	return nil
+}
+
+// NetworkName returns the configured network model name with the
+// default filled in, without mutating the config.
+func (c Config) NetworkName() string {
+	if c.Network == "" {
+		return netmodel.Default
+	}
+	return strings.ToLower(c.Network)
 }
 
 // ProtocolName returns the configured protocol name with the default
@@ -128,6 +153,10 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Cost != nil {
 		cost = *cfg.Cost
 	}
+	model, err := netmodel.New(cfg.Network, cost)
+	if err != nil {
+		return nil, fmt.Errorf("tmk: %w", err)
+	}
 	segBytes := mem.RoundUpPages(cfg.SegmentBytes)
 	// Round up to a whole number of units so every unit is full.
 	ub := cfg.UnitPages * mem.PageSize
@@ -136,7 +165,7 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{
 		cfg:      cfg,
 		cost:     cost,
-		net:      simnet.New(cost),
+		net:      simnet.NewWithModel(cost, model),
 		store:    lrc.NewStore(cfg.Procs),
 		segBytes: segBytes,
 		numPages: segBytes / mem.PageSize,
@@ -168,7 +197,9 @@ func (s *System) Reset() {
 	if s.running {
 		panic("tmk: Reset during Run")
 	}
-	s.net = simnet.New(s.cost)
+	model := s.net.Model()
+	model.Reset()
+	s.net = simnet.NewWithModel(s.cost, model)
 	s.store = lrc.NewStore(s.cfg.Procs)
 	s.proto = protocolFactories[s.cfg.Protocol](s)
 	if s.cfg.Collect {
@@ -189,6 +220,9 @@ func (s *System) Config() Config { return s.cfg }
 
 // Protocol returns the active coherence protocol's name.
 func (s *System) Protocol() string { return s.proto.Name() }
+
+// Network returns the active interconnect timing model's name.
+func (s *System) Network() string { return s.net.Model().Name() }
 
 // SegmentBytes returns the rounded shared-segment size.
 func (s *System) SegmentBytes() int { return s.segBytes }
@@ -270,6 +304,11 @@ type Result struct {
 	// Messages and Bytes are raw network totals.
 	Messages int
 	Bytes    int
+	// Network names the interconnect timing model the run was priced
+	// on, and QueueDelay is the cumulative contention delay its
+	// messages experienced (always zero on "ideal").
+	Network    string
+	QueueDelay sim.Duration
 	// Stats carries the §5.3 classification; nil unless Config.Collect.
 	Stats *instrument.Stats
 	// Faults, Twins, DiffsEncoded, Intervals aggregate engine events.
@@ -314,6 +353,8 @@ func (s *System) Run(body func(p *Proc)) *Result {
 	}
 	res.Time = sim.MaxClock(res.ProcTimes...)
 	res.Messages, res.Bytes = s.net.Counts()
+	res.Network = s.net.Model().Name()
+	res.QueueDelay = s.net.QueueTotal()
 	if s.col != nil {
 		res.Stats = s.col.Finalize(s.net.Snapshot())
 	}
@@ -337,12 +378,15 @@ type TrialSummary struct {
 	// MeanMessages and MeanBytes aggregate the trials' network totals.
 	MeanMessages float64
 	MeanBytes    float64
+	// MeanQueueDelay aggregates the trials' network contention delay
+	// (zero on the ideal model).
+	MeanQueueDelay sim.Duration
 }
 
 // Summarize computes the aggregate view of a non-empty trial list.
 func Summarize(trials []*Result) *TrialSummary {
 	ts := &TrialSummary{Trials: trials}
-	var sumTime sim.Duration
+	var sumTime, sumQueue sim.Duration
 	for i, r := range trials {
 		if i == 0 || r.Time < ts.MinTime {
 			ts.MinTime = r.Time
@@ -351,11 +395,13 @@ func Summarize(trials []*Result) *TrialSummary {
 			ts.MaxTime = r.Time
 		}
 		sumTime += r.Time
+		sumQueue += r.QueueDelay
 		ts.MeanMessages += float64(r.Messages)
 		ts.MeanBytes += float64(r.Bytes)
 	}
 	if n := len(trials); n > 0 {
 		ts.MeanTime = sumTime / sim.Duration(n)
+		ts.MeanQueueDelay = sumQueue / sim.Duration(n)
 		ts.MeanMessages /= float64(n)
 		ts.MeanBytes /= float64(n)
 	}

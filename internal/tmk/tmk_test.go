@@ -45,6 +45,19 @@ func TestDynamicRequiresUnitOne(t *testing.T) {
 	}
 }
 
+func TestUnknownNetworkIsError(t *testing.T) {
+	if _, err := NewSystem(Config{Network: "token-ring"}); err == nil {
+		t.Fatal("expected error for unknown network model")
+	}
+	s := mustSystem(t, Config{Network: "BUS"}) // case-insensitive
+	if s.Network() != "bus" || s.Config().Network != "bus" {
+		t.Fatalf("network = %q / %q, want bus", s.Network(), s.Config().Network)
+	}
+	if def := mustSystem(t, Config{}); def.Network() != "ideal" {
+		t.Fatalf("default network = %q, want ideal", def.Network())
+	}
+}
+
 func TestSegmentRoundsToUnitMultiple(t *testing.T) {
 	s := mustSystem(t, Config{SegmentBytes: 3 * mem.PageSize, UnitPages: 2})
 	if s.NumPages() != 4 || s.NumUnits() != 2 {
