@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench networks
+.PHONY: all test vet bench bench-check networks
 
 all: test
 
@@ -19,6 +19,13 @@ vet:
 # PR intentionally moves these numbers.
 bench:
 	$(GO) run ./cmd/dsmbench -baseline -json > BENCH_baseline.json
+
+# bench-check is the regression gate: re-run the baseline suite and fail
+# on >2% simulated-time drift against the committed file (the ideal
+# network is deterministic, so drift is a real engine change). CI runs
+# this on every push.
+bench-check:
+	$(GO) run ./cmd/dsmbench -check-baseline BENCH_baseline.json
 
 # networks prints the interconnect sensitivity sweep.
 networks:

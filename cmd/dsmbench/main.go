@@ -15,6 +15,7 @@
 //	dsmbench -all -protocol home   # regenerate everything on home-based LRC
 //	dsmbench -all -network switch  # regenerate everything on the contended switch model
 //	dsmbench -baseline -json       # perf-trajectory seed: every app's small dataset
+//	dsmbench -check-baseline BENCH_baseline.json  # regression gate: exit non-zero on >2% time drift
 //
 // Every cell is verified against the application's sequential reference
 // before its numbers are printed. With -json the text tables are
@@ -55,6 +56,8 @@ func main() {
 	protocols := flag.Bool("protocols", false, "compare coherence protocols per application (4 KB units)")
 	networks := flag.Bool("networks", false, "network sensitivity: every application across every registered interconnect model")
 	baseline := flag.Bool("baseline", false, "perf-trajectory seed: every application's small dataset under the default configuration")
+	checkBaseline := flag.String("check-baseline", "",
+		"diff the current -baseline run against the committed FILE and exit non-zero on >2% time regression")
 	protocol := flag.String("protocol", tmk.DefaultProtocol,
 		"coherence protocol for tables/figures: "+strings.Join(tmk.ProtocolNames(), " or "))
 	network := flag.String("network", netmodel.Default,
@@ -63,6 +66,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document")
 	flag.Parse()
 
+	if *checkBaseline != "" {
+		os.Exit(runCheckBaseline(*checkBaseline))
+	}
 	if !*all && *table == 0 && *figure == 0 && !*micro && !*protocols && !*networks && !*baseline {
 		flag.Usage()
 		os.Exit(2)
@@ -199,6 +205,94 @@ func runBaseline() ([]harness.CellJSON, error) {
 		out = append(out, harness.CellReport(exp, harness.Config{Label: "4K", Unit: 1}, harness.Procs, cell))
 	}
 	return out, nil
+}
+
+// regressionTolerance is the relative simulated-time drift -check-baseline
+// tolerates. The baseline runs on the deterministic ideal network, so any
+// drift is a real engine change; 2% gives refactors that legitimately move
+// a rounding edge a little room while catching performance regressions.
+const regressionTolerance = 0.02
+
+// runCheckBaseline re-runs the baseline suite and diffs it against the
+// committed baseline file, returning the process exit code: 0 when every
+// application's simulated time is within the tolerance, 1 on regression,
+// missing entries, or an unreadable file. Message and byte drifts are
+// reported but only time gates — it is the paper's headline metric, and
+// intentional protocol work legitimately trades messages for bytes.
+func runCheckBaseline(path string) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmbench: -check-baseline:", err)
+		return 1
+	}
+	var committed document
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmbench: -check-baseline: parsing %s: %v\n", path, err)
+		return 1
+	}
+	if len(committed.Baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "dsmbench: -check-baseline: %s has no baseline section (regenerate with 'make bench')\n", path)
+		return 1
+	}
+	current, err := runBaseline()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmbench:", err)
+		return 1
+	}
+
+	key := func(c harness.CellJSON) string { return c.App + "/" + c.Dataset }
+	committedBy := make(map[string]harness.CellJSON, len(committed.Baseline))
+	for _, c := range committed.Baseline {
+		committedBy[key(c)] = c
+	}
+
+	fmt.Printf("%-8s  %-8s  %12s  %12s  %8s  %s\n",
+		"Program", "Dataset", "base(s)", "now(s)", "Δtime", "verdict")
+	failed := false
+	seen := make(map[string]bool, len(current))
+	for _, cur := range current {
+		seen[key(cur)] = true
+		base, ok := committedBy[key(cur)]
+		if !ok {
+			fmt.Printf("%-8s  %-8s  %12s  %12.6f  %8s  new app — refresh the baseline with 'make bench'\n",
+				cur.App, cur.Dataset, "-", cur.TimeSeconds, "-")
+			failed = true
+			continue
+		}
+		if base.TimeSeconds <= 0 {
+			fmt.Printf("%-8s  %-8s  %12.6f  %12.6f  %8s  corrupt baseline entry (time %v) — regenerate with 'make bench'\n",
+				cur.App, cur.Dataset, base.TimeSeconds, cur.TimeSeconds, "-", base.TimeSeconds)
+			failed = true
+			continue
+		}
+		delta := cur.TimeSeconds/base.TimeSeconds - 1
+		verdict := "ok"
+		if delta > regressionTolerance {
+			verdict = "REGRESSION"
+			failed = true
+		} else if delta < -regressionTolerance {
+			verdict = "improved — refresh the baseline with 'make bench'"
+		}
+		note := ""
+		if cur.Messages != base.Messages || cur.Bytes != base.Bytes {
+			note = fmt.Sprintf("  (msgs %+d, bytes %+d)", cur.Messages-base.Messages, cur.Bytes-base.Bytes)
+		}
+		fmt.Printf("%-8s  %-8s  %12.6f  %12.6f  %+7.2f%%  %s%s\n",
+			cur.App, cur.Dataset, base.TimeSeconds, cur.TimeSeconds, 100*delta, verdict, note)
+	}
+	for _, c := range committed.Baseline {
+		if !seen[key(c)] {
+			fmt.Printf("%-8s  %-8s  %12.6f  %12s  %8s  missing from current run\n",
+				c.App, c.Dataset, c.TimeSeconds, "-", "-")
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("\nbaseline check FAILED (tolerance ±2% simulated time)")
+		return 1
+	}
+	fmt.Println("\nbaseline check passed (tolerance ±2% simulated time)")
+	return 0
 }
 
 // configLabels returns the labels of the paper's four configurations.

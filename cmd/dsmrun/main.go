@@ -10,6 +10,7 @@
 //	dsmrun -app Jacobi -dynamic                   # dynamic aggregation
 //	dsmrun -app jacobi -dataset 1024 -unit 2 -trials 3 -json
 //	dsmrun -app jacobi -protocol home             # home-based LRC engine
+//	dsmrun -app jacobi -protocol adaptive         # per-unit homeless/home hybrid
 //	dsmrun -app jacobi -network bus               # contended shared-medium Ethernet
 //	dsmrun -list                                  # registered workloads + protocols + networks
 package main
@@ -105,6 +106,10 @@ func main() {
 	fmt.Printf("  wire bytes            %d\n", st.TotalWireBytes)
 	fmt.Printf("  faults                %d (%d needed no fetch)\n", st.Faults, st.ZeroFetchFaults)
 	fmt.Printf("  exchanges             %d\n", st.Exchanges)
+	if cfg.ProtocolName() == "adaptive" {
+		fmt.Printf("  protocol switches     %d (%d unit(s) switched, %d home at end)\n",
+			last.ProtocolSwitches, last.SwitchedUnits, last.HomeUnits)
+	}
 }
 
 func fail(err error) {

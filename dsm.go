@@ -7,11 +7,14 @@
 // word-granularity diffing), locks and barriers, static consistency
 // units of 1–4 pages, and the paper's dynamic page-group aggregation —
 // all running on a simulated 8-node cluster whose communication costs
-// are calibrated to the paper's platform (see internal/sim). Two
+// are calibrated to the paper's platform (see internal/sim). Three
 // coherence protocols are built in and selected with WithProtocol:
-// "homeless" (TreadMarks-style, the paper's protocol and the default)
-// and "home" (home-based LRC — fewer messages, more bytes); see
-// DESIGN.md §5. The interconnect is equally pluggable (WithNetwork):
+// "homeless" (TreadMarks-style, the paper's protocol and the default),
+// "home" (home-based LRC — fewer messages, more bytes), and "adaptive"
+// (a per-unit hybrid: every consistency unit starts homeless and is
+// switched between the two engines at barriers by its writer-count
+// signature, with WithAdaptiveHysteresis damping oscillation); see
+// DESIGN.md §5 and §8. The interconnect is equally pluggable (WithNetwork):
 // "ideal" reproduces the paper's flat cost arithmetic, while "bus",
 // "switch", and the preset family ("atm", "myrinet", "10gbe") make
 // contention and faster networks first-class experiment axes; see
@@ -100,10 +103,12 @@ const (
 func DefaultCostModel() CostModel { return sim.DefaultCostModel() }
 
 // Protocols returns the names of the registered coherence protocols,
-// sorted: currently "home" (home-based LRC: diffs flushed to a static
-// home at release, misses fetch the whole unit from the home) and
-// "homeless" (the paper's TreadMarks protocol: diffs stay with their
-// writers, misses fetch from every concurrent writer).
+// sorted: currently "adaptive" (the per-unit hybrid: units switch
+// between the two static engines at barriers, driven by their
+// writer-count signatures), "home" (home-based LRC: diffs flushed to a
+// static home at release, misses fetch the whole unit from the home),
+// and "homeless" (the paper's TreadMarks protocol: diffs stay with
+// their writers, misses fetch from every concurrent writer).
 func Protocols() []string { return tmk.ProtocolNames() }
 
 // Networks returns the names of the registered interconnect timing
@@ -192,8 +197,9 @@ func WithLocks(n int) Option {
 
 // WithProtocol selects the coherence protocol by name
 // (case-insensitive): "homeless" — the paper's TreadMarks protocol and
-// the default — or "home" — home-based LRC. An unknown name is an
-// error from New listing the registered protocols (Protocols).
+// the default — "home" — home-based LRC — or "adaptive" — the per-unit
+// hybrid of the two. An unknown name is an error from New listing the
+// registered protocols (Protocols).
 func WithProtocol(name string) Option {
 	return func(c *Config) error {
 		if !tmk.KnownProtocol(name) {
@@ -201,6 +207,20 @@ func WithProtocol(name string) Option {
 				name, strings.Join(tmk.ProtocolNames(), ", "))
 		}
 		c.Protocol = name
+		return nil
+	}
+}
+
+// WithAdaptiveHysteresis sets the adaptive protocol's switch threshold:
+// a unit changes engine only after n consecutive barrier phases whose
+// writer signature contradicts its current assignment (default
+// tmk.DefaultAdaptHysteresis). Ignored by the static protocols.
+func WithAdaptiveHysteresis(n int) Option {
+	return func(c *Config) error {
+		if n <= 0 {
+			return fmt.Errorf("dsm: WithAdaptiveHysteresis(%d): threshold must be at least 1", n)
+		}
+		c.AdaptHysteresis = n
 		return nil
 	}
 }

@@ -85,7 +85,11 @@ type Cell struct {
 	Queue sim.Duration // cumulative network contention delay
 	Msgs  int
 	Bytes int
-	Stats *instrument.Stats
+	// SwitchedUnits carries the adaptive protocol's per-run accounting
+	// (zero under the static protocols): how many units changed engine
+	// at least once.
+	SwitchedUnits int
+	Stats         *instrument.Stats
 }
 
 // Run executes one experiment under one configuration with verification.
@@ -104,7 +108,9 @@ func Run(e Experiment, c Config, procs int) (Cell, error) {
 	}
 	return Cell{
 		Time: res.Time, Queue: res.QueueDelay,
-		Msgs: res.Messages, Bytes: res.Bytes, Stats: res.Stats,
+		Msgs: res.Messages, Bytes: res.Bytes,
+		SwitchedUnits: res.SwitchedUnits,
+		Stats:         res.Stats,
 	}, nil
 }
 
@@ -392,13 +398,15 @@ type NetworkComparison struct {
 
 // networkCellConfigs are the (protocol, configuration) pairs each
 // network is evaluated at: the paper's base (homeless, 4 KB), the
-// home-based engine (home, 4 KB), and dynamic aggregation (homeless,
-// Dyn) — enough to watch both trades (homeless vs home, small units vs
+// home-based engine (home, 4 KB), the adaptive hybrid (adaptive,
+// 4 KB), and dynamic aggregation (homeless, Dyn) — enough to watch the
+// trades (homeless vs home vs per-unit hybrid, small units vs
 // aggregation) move with the interconnect.
 func networkCellConfigs() []Config {
 	return []Config{
 		{Label: "4K", Unit: 1, Protocol: "homeless"},
 		{Label: "4K", Unit: 1, Protocol: "home"},
+		{Label: "4K", Unit: 1, Protocol: "adaptive"},
 		{Label: "Dyn", Unit: 1, Dynamic: true, Protocol: "homeless"},
 	}
 }
@@ -443,14 +451,16 @@ func RunNetworkComparison(es []Experiment, procs int, networks []string) ([]Netw
 // RenderNetworkComparison prints the network-sensitivity table: per
 // experiment and interconnect, the homeless/4 KB baseline's absolute
 // time and cumulative queue delay, and the time ratios home÷homeless
-// (the protocol trade) and Dyn÷4K (the aggregation trade). Ratios
-// above 1 mean the alternative loses on that interconnect.
+// (the protocol trade), adapt÷homeless (the per-unit hybrid; its "sw"
+// column counts the units it switched), and Dyn÷4K (the aggregation
+// trade). Ratios above 1 mean the alternative loses on that
+// interconnect.
 func RenderNetworkComparison(w io.Writer, ncs []NetworkComparison) {
-	fmt.Fprintf(w, "%-8s  %-22s  %-8s  %9s  %9s  %7s  %7s\n",
-		"Program", "Input Size", "Network", "Time(s)", "Queue(s)", "home×", "dyn×")
+	fmt.Fprintf(w, "%-8s  %-22s  %-8s  %9s  %9s  %7s  %7s  %4s  %7s\n",
+		"Program", "Input Size", "Network", "Time(s)", "Queue(s)", "home×", "adapt×", "sw", "dyn×")
 	for _, nc := range ncs {
 		for _, row := range nc.Rows {
-			var base, home, dyn *Cell
+			var base, home, adapt, dyn *Cell
 			for i := range row.Cells {
 				c := &row.Cells[i]
 				switch {
@@ -458,6 +468,8 @@ func RenderNetworkComparison(w io.Writer, ncs []NetworkComparison) {
 					base = &c.Cell
 				case c.Protocol == "home" && c.Config == "4K":
 					home = &c.Cell
+				case c.Protocol == "adaptive" && c.Config == "4K":
+					adapt = &c.Cell
 				case c.Config == "Dyn":
 					dyn = &c.Cell
 				}
@@ -471,9 +483,13 @@ func RenderNetworkComparison(w io.Writer, ncs []NetworkComparison) {
 				}
 				return fmt.Sprintf("%.2f", c.Time.Seconds()/base.Time.Seconds())
 			}
-			fmt.Fprintf(w, "%-8s  %-22s  %-8s  %9.3f  %9.3f  %7s  %7s\n",
+			sw := "-"
+			if adapt != nil {
+				sw = fmt.Sprintf("%d", adapt.SwitchedUnits)
+			}
+			fmt.Fprintf(w, "%-8s  %-22s  %-8s  %9.3f  %9.3f  %7s  %7s  %4s  %7s\n",
 				nc.App, nc.Dataset, row.Network,
-				base.Time.Seconds(), base.Queue.Seconds(), ratio(home), ratio(dyn))
+				base.Time.Seconds(), base.Queue.Seconds(), ratio(home), ratio(adapt), sw, ratio(dyn))
 		}
 	}
 }
@@ -481,10 +497,11 @@ func RenderNetworkComparison(w io.Writer, ncs []NetworkComparison) {
 // RenderProtocolComparison prints the protocol comparison: absolute
 // time, messages, and wire bytes per protocol, plus each row's ratio to
 // the homeless baseline — the fewer-messages/more-bytes trade in one
-// table.
+// table. The "sw" column counts the units the adaptive protocol
+// switched ("-" for the static protocols).
 func RenderProtocolComparison(w io.Writer, pcs []ProtocolComparison) {
-	fmt.Fprintf(w, "%-8s  %-22s  %-9s  %9s  %6s  %10s  %6s  %11s  %6s\n",
-		"Program", "Input Size", "Protocol", "Time(s)", "×", "Msgs", "×", "Wire KB", "×")
+	fmt.Fprintf(w, "%-8s  %-22s  %-9s  %9s  %6s  %10s  %6s  %11s  %6s  %4s\n",
+		"Program", "Input Size", "Protocol", "Time(s)", "×", "Msgs", "×", "Wire KB", "×", "sw")
 	for _, pc := range pcs {
 		var base *Cell
 		for i := range pc.Rows {
@@ -505,12 +522,16 @@ func RenderProtocolComparison(w io.Writer, pcs []ProtocolComparison) {
 				bm = float64(base.Msgs)
 				bb = float64(base.Stats.TotalWireBytes)
 			}
-			fmt.Fprintf(w, "%-8s  %-22s  %-9s  %9.3f  %6s  %10d  %6s  %11.1f  %6s\n",
+			sw := "-"
+			if r.Protocol == "adaptive" {
+				sw = fmt.Sprintf("%d", r.Cell.SwitchedUnits)
+			}
+			fmt.Fprintf(w, "%-8s  %-22s  %-9s  %9.3f  %6s  %10d  %6s  %11.1f  %6s  %4s\n",
 				pc.App, pc.Dataset, r.Protocol,
 				r.Cell.Time.Seconds(), ratio(r.Cell.Time.Seconds(), bt),
 				r.Cell.Msgs, ratio(float64(r.Cell.Msgs), bm),
 				float64(r.Cell.Stats.TotalWireBytes)/1024,
-				ratio(float64(r.Cell.Stats.TotalWireBytes), bb))
+				ratio(float64(r.Cell.Stats.TotalWireBytes), bb), sw)
 		}
 	}
 }

@@ -11,59 +11,71 @@ import (
 
 // ResultJSON is one run's accounting.
 type ResultJSON struct {
-	TimeSeconds  float64           `json:"time_seconds"`
-	Messages     int               `json:"messages"`
-	Bytes        int               `json:"bytes"`
-	Network      string            `json:"network,omitempty"`
-	QueueSeconds float64           `json:"queue_seconds"`
-	Faults       int               `json:"faults"`
-	Stats        *instrument.Stats `json:"stats,omitempty"`
+	TimeSeconds  float64 `json:"time_seconds"`
+	Messages     int     `json:"messages"`
+	Bytes        int     `json:"bytes"`
+	Network      string  `json:"network,omitempty"`
+	QueueSeconds float64 `json:"queue_seconds"`
+	Faults       int     `json:"faults"`
+	// SwitchedUnits, ProtocolSwitches, and HomeUnits carry the adaptive
+	// protocol's accounting (omitted under static protocols).
+	SwitchedUnits    int               `json:"switched_units,omitempty"`
+	ProtocolSwitches int               `json:"protocol_switches,omitempty"`
+	HomeUnits        int               `json:"home_units,omitempty"`
+	Stats            *instrument.Stats `json:"stats,omitempty"`
 }
 
 // ResultReport converts an engine Result.
 func ResultReport(r *tmk.Result) ResultJSON {
 	return ResultJSON{
-		TimeSeconds:  r.Time.Seconds(),
-		Messages:     r.Messages,
-		Bytes:        r.Bytes,
-		Network:      r.Network,
-		QueueSeconds: r.QueueDelay.Seconds(),
-		Faults:       r.Faults,
-		Stats:        r.Stats,
+		TimeSeconds:      r.Time.Seconds(),
+		Messages:         r.Messages,
+		Bytes:            r.Bytes,
+		Network:          r.Network,
+		QueueSeconds:     r.QueueDelay.Seconds(),
+		Faults:           r.Faults,
+		SwitchedUnits:    r.SwitchedUnits,
+		ProtocolSwitches: r.ProtocolSwitches,
+		HomeUnits:        r.HomeUnits,
+		Stats:            r.Stats,
 	}
 }
 
 // CellJSON is one experiment × configuration cell.
 type CellJSON struct {
-	App          string            `json:"app"`
-	Dataset      string            `json:"dataset"`
-	Paper        string            `json:"paper,omitempty"`
-	Config       string            `json:"config"`
-	Protocol     string            `json:"protocol"`
-	Network      string            `json:"network"`
-	Procs        int               `json:"procs"`
-	TimeSeconds  float64           `json:"time_seconds"`
-	QueueSeconds float64           `json:"queue_seconds"`
-	Messages     int               `json:"messages"`
-	Bytes        int               `json:"bytes"`
-	Stats        *instrument.Stats `json:"stats,omitempty"`
+	App          string  `json:"app"`
+	Dataset      string  `json:"dataset"`
+	Paper        string  `json:"paper,omitempty"`
+	Config       string  `json:"config"`
+	Protocol     string  `json:"protocol"`
+	Network      string  `json:"network"`
+	Procs        int     `json:"procs"`
+	TimeSeconds  float64 `json:"time_seconds"`
+	QueueSeconds float64 `json:"queue_seconds"`
+	Messages     int     `json:"messages"`
+	Bytes        int     `json:"bytes"`
+	// SwitchedUnits counts the units the adaptive protocol switched
+	// engine for (omitted under static protocols).
+	SwitchedUnits int               `json:"switched_units,omitempty"`
+	Stats         *instrument.Stats `json:"stats,omitempty"`
 }
 
 // CellReport converts one harness cell run under cfg.
 func CellReport(e Experiment, cfg Config, procs int, c Cell) CellJSON {
 	return CellJSON{
-		App:          e.App,
-		Dataset:      e.Dataset,
-		Paper:        e.Paper,
-		Config:       cfg.Label,
-		Protocol:     protocolName(cfg.Protocol),
-		Network:      networkName(cfg.Network),
-		Procs:        procs,
-		TimeSeconds:  c.Time.Seconds(),
-		QueueSeconds: c.Queue.Seconds(),
-		Messages:     c.Msgs,
-		Bytes:        c.Bytes,
-		Stats:        c.Stats,
+		App:           e.App,
+		Dataset:       e.Dataset,
+		Paper:         e.Paper,
+		Config:        cfg.Label,
+		Protocol:      protocolName(cfg.Protocol),
+		Network:       networkName(cfg.Network),
+		Procs:         procs,
+		TimeSeconds:   c.Time.Seconds(),
+		QueueSeconds:  c.Queue.Seconds(),
+		Messages:      c.Msgs,
+		Bytes:         c.Bytes,
+		SwitchedUnits: c.SwitchedUnits,
+		Stats:         c.Stats,
 	}
 }
 
@@ -80,12 +92,15 @@ func networkName(n string) string {
 
 // ProtocolRowJSON is one protocol's row of a comparison.
 type ProtocolRowJSON struct {
-	Protocol    string            `json:"protocol"`
-	TimeSeconds float64           `json:"time_seconds"`
-	Messages    int               `json:"messages"`
-	Bytes       int               `json:"bytes"`
-	WireBytes   int               `json:"wire_bytes"`
-	Stats       *instrument.Stats `json:"stats,omitempty"`
+	Protocol    string  `json:"protocol"`
+	TimeSeconds float64 `json:"time_seconds"`
+	Messages    int     `json:"messages"`
+	Bytes       int     `json:"bytes"`
+	WireBytes   int     `json:"wire_bytes"`
+	// SwitchedUnits counts the units the adaptive protocol switched
+	// engine for (omitted under static protocols).
+	SwitchedUnits int               `json:"switched_units,omitempty"`
+	Stats         *instrument.Stats `json:"stats,omitempty"`
 }
 
 // ProtocolComparisonJSON is one experiment's protocol comparison.
@@ -101,12 +116,13 @@ func ProtocolComparisonReport(pc ProtocolComparison) ProtocolComparisonJSON {
 	out := ProtocolComparisonJSON{App: pc.App, Dataset: pc.Dataset, Config: pc.Config}
 	for _, r := range pc.Rows {
 		out.Rows = append(out.Rows, ProtocolRowJSON{
-			Protocol:    r.Protocol,
-			TimeSeconds: r.Cell.Time.Seconds(),
-			Messages:    r.Cell.Msgs,
-			Bytes:       r.Cell.Bytes,
-			WireBytes:   r.Cell.Stats.TotalWireBytes,
-			Stats:       r.Cell.Stats,
+			Protocol:      r.Protocol,
+			TimeSeconds:   r.Cell.Time.Seconds(),
+			Messages:      r.Cell.Msgs,
+			Bytes:         r.Cell.Bytes,
+			WireBytes:     r.Cell.Stats.TotalWireBytes,
+			SwitchedUnits: r.Cell.SwitchedUnits,
+			Stats:         r.Cell.Stats,
 		})
 	}
 	return out
@@ -121,6 +137,9 @@ type NetworkCellJSON struct {
 	QueueSeconds float64 `json:"queue_seconds"`
 	Messages     int     `json:"messages"`
 	Bytes        int     `json:"bytes"`
+	// SwitchedUnits counts the units the adaptive protocol switched
+	// engine for (omitted under static protocols).
+	SwitchedUnits int `json:"switched_units,omitempty"`
 }
 
 // NetworkRowJSON is one network model's cells of a comparison.
@@ -143,12 +162,13 @@ func NetworkComparisonReport(nc NetworkComparison) NetworkComparisonJSON {
 		rj := NetworkRowJSON{Network: row.Network}
 		for _, c := range row.Cells {
 			rj.Cells = append(rj.Cells, NetworkCellJSON{
-				Protocol:     c.Protocol,
-				Config:       c.Config,
-				TimeSeconds:  c.Cell.Time.Seconds(),
-				QueueSeconds: c.Cell.Queue.Seconds(),
-				Messages:     c.Cell.Msgs,
-				Bytes:        c.Cell.Bytes,
+				Protocol:      c.Protocol,
+				Config:        c.Config,
+				TimeSeconds:   c.Cell.Time.Seconds(),
+				QueueSeconds:  c.Cell.Queue.Seconds(),
+				Messages:      c.Cell.Msgs,
+				Bytes:         c.Cell.Bytes,
+				SwitchedUnits: c.Cell.SwitchedUnits,
 			})
 		}
 		out.Rows = append(out.Rows, rj)

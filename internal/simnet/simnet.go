@@ -49,6 +49,13 @@ const (
 	// must be kept up to date regardless of who later reads the unit —
 	// so it is not a data message in the §5.3 usefulness sense.
 	HomeFlush
+	// HomeHandoff carries a unit's current image to its new home when
+	// the adaptive protocol switches the unit from homeless to
+	// home-based ownership: the home pulls the image from the unit's
+	// last writer in one request/reply exchange. Like HomeFlush it is
+	// protocol-management traffic, not a data message in the §5.3
+	// usefulness sense.
+	HomeHandoff
 
 	numKinds
 )
@@ -56,6 +63,7 @@ const (
 var kindNames = [numKinds]string{
 	"DiffRequest", "DiffReply", "LockRequest", "LockForward",
 	"LockGrant", "BarrierArrive", "BarrierRelease", "HomeFlush",
+	"HomeHandoff",
 }
 
 func (k MsgKind) String() string {
@@ -100,12 +108,24 @@ type KindCount struct {
 // Pricing runs under the same lock as recording, so the model's
 // occupancy state advances in message-log order: the queue a message
 // sees is the queue left by the messages recorded before it.
+//
+// By default the full message log is retained for Snapshot consumers
+// (the §5.3 instrumentation needs every record). Million-message runs
+// that only need the O(1) running totals — Counts, CountsByKind,
+// QueueTotal — can cap retention with WithRecordCap (Snapshot then
+// returns the newest window) or drop it entirely with WithCountsOnly;
+// the totals stay exact either way.
 type Network struct {
 	cost  sim.CostModel
 	model netmodel.Model
 
 	mu      sync.Mutex
 	records []Record
+	// recordCap bounds the retained log: -1 keeps everything (the
+	// default), 0 keeps nothing, n > 0 keeps the newest n records in a
+	// ring (ringHead is the oldest retained record once full).
+	recordCap int
+	ringHead  int
 	// Running totals, maintained on append so the per-report Counts
 	// calls never rescan a log that can grow to millions of records.
 	totalMsgs  int
@@ -114,19 +134,40 @@ type Network struct {
 	totalQueue sim.Duration
 }
 
+// Option configures a Network under construction.
+type Option func(*Network)
+
+// WithRecordCap bounds the retained message log to the newest cap
+// records (a ring buffer). The running totals remain exact; Snapshot
+// returns only the retained window, oldest first. A negative cap keeps
+// the full log (the default).
+func WithRecordCap(cap int) Option {
+	return func(n *Network) { n.recordCap = cap }
+}
+
+// WithCountsOnly retains no message records at all: Counts,
+// CountsByKind, and QueueTotal stay exact and O(1), while Snapshot
+// returns an empty log. The memory-pressure setting for million-message
+// runs whose consumers never replay the log.
+func WithCountsOnly() Option { return WithRecordCap(0) }
+
 // New returns an empty network priced by the ideal (contention-free)
 // model over the given cost calibration.
-func New(cost sim.CostModel) *Network {
+func New(cost sim.CostModel, opts ...Option) *Network {
 	m, err := netmodel.New(netmodel.Default, cost)
 	if err != nil {
 		panic(err) // the default model is always registered
 	}
-	return NewWithModel(cost, m)
+	return NewWithModel(cost, m, opts...)
 }
 
 // NewWithModel returns an empty network priced by the given model.
-func NewWithModel(cost sim.CostModel, m netmodel.Model) *Network {
-	return &Network{cost: cost, model: m}
+func NewWithModel(cost sim.CostModel, m netmodel.Model, opts ...Option) *Network {
+	n := &Network{cost: cost, model: m, recordCap: -1}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
 }
 
 // Cost returns the network's cost model.
@@ -137,11 +178,22 @@ func (n *Network) Model() netmodel.Model { return n.model }
 
 // append records one message under n.mu (caller must hold it).
 func (n *Network) append(kind MsgKind, src, dst, bytes int, at, queue sim.Duration) MsgID {
-	id := MsgID(len(n.records) + 1)
-	n.records = append(n.records, Record{
+	id := MsgID(n.totalMsgs + 1)
+	rec := Record{
 		ID: id, Kind: kind, Src: src, Dst: dst, Bytes: bytes,
 		SendAt: at, Queue: queue,
-	})
+	}
+	switch {
+	case n.recordCap < 0:
+		n.records = append(n.records, rec)
+	case n.recordCap == 0:
+		// Counts only: nothing retained.
+	case len(n.records) < n.recordCap:
+		n.records = append(n.records, rec)
+	default:
+		n.records[n.ringHead] = rec
+		n.ringHead = (n.ringHead + 1) % n.recordCap
+	}
 	n.totalMsgs++
 	n.totalBytes += bytes
 	n.kindTotals[kind].Messages++
@@ -183,13 +235,24 @@ func (n *Network) SendExchange(reqKind, repKind MsgKind, src, dst, reqBytes, rep
 	return reqID, repID, t
 }
 
-// Snapshot returns a copy of the message log.
+// Snapshot returns a copy of the retained message log, oldest first —
+// the complete log by default, or the newest window under WithRecordCap
+// (empty under WithCountsOnly). Dropped reports what is missing.
 func (n *Network) Snapshot() []Record {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]Record, len(n.records))
-	copy(out, n.records)
+	out := make([]Record, 0, len(n.records))
+	out = append(out, n.records[n.ringHead:]...)
+	out = append(out, n.records[:n.ringHead]...)
 	return out
+}
+
+// Dropped returns the number of messages no longer retained in the log
+// because of a record cap (always zero without one).
+func (n *Network) Dropped() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totalMsgs - len(n.records)
 }
 
 // Counts returns the total number of messages and payload bytes.

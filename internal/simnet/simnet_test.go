@@ -197,3 +197,75 @@ func TestSnapshotIsCopy(t *testing.T) {
 		t.Fatal("Snapshot must not alias internal log")
 	}
 }
+
+// A record cap keeps the running totals exact while Snapshot returns
+// only the newest window, oldest first, and Dropped reports the rest.
+func TestRecordCapRing(t *testing.T) {
+	n := New(sim.DefaultCostModel(), WithRecordCap(3))
+	for i := 0; i < 5; i++ {
+		n.SendLeg(DiffRequest, 0, 1, 10+i, 0)
+	}
+	msgs, bytes := n.Counts()
+	if msgs != 5 || bytes != 10+11+12+13+14 {
+		t.Fatalf("capped totals drifted: %d msgs, %d bytes", msgs, bytes)
+	}
+	recs := n.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("retained window = %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if want := MsgID(3 + i); r.ID != want {
+			t.Fatalf("window[%d].ID = %d, want %d (newest three, oldest first)", i, r.ID, want)
+		}
+		if r.Bytes != 12+i {
+			t.Fatalf("window[%d].Bytes = %d, want %d", i, r.Bytes, 12+i)
+		}
+	}
+	if n.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", n.Dropped())
+	}
+	// IDs keep advancing past the cap.
+	id, _ := n.SendLeg(DiffReply, 1, 0, 1, 0)
+	if id != 6 {
+		t.Fatalf("next ID = %d, want 6", id)
+	}
+}
+
+// WithCountsOnly retains nothing but keeps every O(1) total exact.
+func TestCountsOnly(t *testing.T) {
+	n := New(sim.DefaultCostModel(), WithCountsOnly())
+	n.SendLeg(DiffRequest, 0, 1, 10, 0)
+	n.SendExchange(DiffRequest, DiffReply, 0, 1, 16, 100, 0)
+	n.SendLeg(HomeFlush, 2, 0, 50, 0)
+	msgs, bytes := n.Counts()
+	if msgs != 4 || bytes != 10+16+100+50 {
+		t.Fatalf("counts-only totals drifted: %d msgs, %d bytes", msgs, bytes)
+	}
+	if byKind := n.CountsByKind(); byKind[HomeFlush].Bytes != 50 {
+		t.Fatalf("CountsByKind = %v", byKind)
+	}
+	if got := n.Snapshot(); len(got) != 0 {
+		t.Fatalf("counts-only Snapshot returned %d records", len(got))
+	}
+	if n.Dropped() != 4 {
+		t.Fatalf("Dropped = %d, want 4", n.Dropped())
+	}
+}
+
+// An uncapped network drops nothing and snapshots in send order — the
+// default behaviour the §5.3 instrumentation depends on.
+func TestUncappedSnapshotUnchanged(t *testing.T) {
+	n := New(sim.DefaultCostModel())
+	for i := 0; i < 4; i++ {
+		n.SendLeg(DiffRequest, 0, 1, i, 0)
+	}
+	recs := n.Snapshot()
+	if len(recs) != 4 || n.Dropped() != 0 {
+		t.Fatalf("uncapped: %d records, %d dropped", len(recs), n.Dropped())
+	}
+	for i, r := range recs {
+		if r.ID != MsgID(i+1) {
+			t.Fatalf("record %d has ID %d", i, r.ID)
+		}
+	}
+}

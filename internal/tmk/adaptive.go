@@ -1,0 +1,268 @@
+package tmk
+
+import (
+	"repro/internal/lrc"
+	"repro/internal/mem"
+	"repro/internal/simnet"
+	"repro/internal/vc"
+)
+
+// DefaultAdaptHysteresis is the number of consecutive barrier phases
+// with contrary writer evidence required before the adaptive protocol
+// switches a unit (Config.AdaptHysteresis overrides).
+const DefaultAdaptHysteresis = 2
+
+func init() {
+	RegisterProtocol("adaptive", func(s *System) {
+		hb := newHomeProtocol(s)
+		hb.retain = true
+		s.install(&homelessProtocol{}, hb)
+		s.policy = newAdaptivePolicy(s, hb)
+	})
+}
+
+// Dispatch-table indices of the adaptive configuration's two engines
+// (the install order above).
+const (
+	homelessIdx = 0
+	homeIdx     = 1
+)
+
+// adaptivePolicy is the hybrid protocol the per-unit dispatch exists
+// for: every unit starts under the paper's homeless protocol, and at
+// each barrier the unit's writer signature for the phase that just
+// ended — the per-unit concurrent-writer statistic behind the §3
+// false-sharing signature (see concurrentWriters) — decides its
+// protocol for the next phase. Heavily false-shared units (concurrent
+// writers numbering at least half the processors, without lock churn —
+// see the evidence filters in atBarrier) migrate to home-based LRC,
+// whose one-exchange-per-miss beats one-exchange-per-writer there;
+// other units migrate back to homeless, whose small on-demand diffs
+// beat whole-unit images and per-release flushes there. A unit only
+// switches after AdaptHysteresis consecutive phases of contrary
+// evidence, so oscillating signatures don't thrash, and phases with no
+// writers carry no evidence at all.
+//
+// atBarrier runs in the last arriver's goroutine while every other
+// processor is blocked awaiting its barrier grant, so mutating the
+// dispatch table is race-free: the grant channel send publishes the new
+// table to every processor (see DESIGN.md §8).
+type adaptivePolicy struct {
+	sys        *System
+	home       *homeProtocol
+	hysteresis int
+
+	lastVT vc.Time // merged vector time of the previous barrier
+	// streak[u] counts consecutive evidence phases contradicting unit
+	// u's current protocol; switches[u] counts u's switch events.
+	// churned[u] pins a unit homeless for the rest of the run once any
+	// phase closed more intervals on it than one per processor: under
+	// home every closed interval is a flush, so a unit that mixes
+	// lock-churn phases with quiet concurrent phases loses more during
+	// the churn than home-based misses save during the quiet.
+	streak   []int
+	switches []int
+	churned  []bool
+	total    int
+	// pending[proc] holds the ownership handoffs proc must pay for
+	// after the current barrier releases (proc is the new home).
+	pending [][]handoff
+}
+
+// handoff is one unit's homeless→home ownership transfer: the new home
+// pulls the unit's current image (bytes on the wire) from the unit's
+// causally latest writer.
+type handoff struct {
+	unit  int
+	from  int // the last writer holding the image
+	bytes int // the image's wire size
+}
+
+func newAdaptivePolicy(s *System, home *homeProtocol) *adaptivePolicy {
+	return &adaptivePolicy{
+		sys:        s,
+		home:       home,
+		hysteresis: s.cfg.AdaptHysteresis, // fill() normalized the default
+
+		lastVT:   vc.New(s.cfg.Procs),
+		streak:   make([]int, s.numUnits),
+		switches: make([]int, s.numUnits),
+		churned:  make([]bool, s.numUnits),
+		pending:  make([][]handoff, s.cfg.Procs),
+	}
+}
+
+// atBarrier evaluates every unit's writer signature over the phase that
+// just ended (the intervals between the previous and the current merged
+// barrier time) and re-points units whose evidence streak reached the
+// hysteresis threshold. Called with the barrier mutex held, after all
+// arrivals merged into merged and before any grant is sent.
+func (a *adaptivePolicy) atBarrier(merged vc.Time) {
+	s := a.sys
+	delta := s.store.Delta(a.lastVT, merged)
+	a.lastVT = merged.Clone()
+	if len(delta) == 0 {
+		return
+	}
+
+	// The phase's intervals per unit, and the causally latest writer
+	// (delta is causally sorted, so the last occurrence wins) — the
+	// processor a new home pulls the image from.
+	byUnit := make(map[int][]*lrc.Interval)
+	lastWriter := make(map[int]int)
+	for _, iv := range delta {
+		for _, u := range iv.Units {
+			byUnit[u] = append(byUnit[u], iv)
+			lastWriter[u] = iv.ID.Proc
+		}
+	}
+
+	var sum int64
+	for _, v := range merged {
+		sum += int64(v)
+	}
+	// Every interval covered by the merged time, fetched lazily on the
+	// first homeless→home switch of this barrier: reconstructing a
+	// switching unit's image needs the unit's full diff history, which
+	// adaptive-mode releases always leave in the store.
+	var history []*lrc.Interval
+
+	// Ascending unit order keeps the handoff schedule — and with it the
+	// message log — deterministic.
+	for u := 0; u < s.numUnits; u++ {
+		ivs := byUnit[u]
+		if len(ivs) == 0 {
+			continue // no writes, no evidence
+		}
+		// Home-based ownership pays off for steady barrier-phase false
+		// sharing: many concurrent writers, each closing about one
+		// interval per phase (≤ one per processor). Two filters keep
+		// the evidence honest. Units churned by fine-grain lock
+		// synchronization close many more intervals per phase, and
+		// under home every closed interval is a flush to the home —
+		// traffic homeless never pays — so one churn phase pins the
+		// unit homeless for good, even when its writers overlap. And
+		// the concurrent-writer count (the unit's §3 signature bar)
+		// must reach half the processors: a home miss replaces k diff
+		// exchanges with one whole-image exchange, saving k-1 message
+		// overheads against a roughly fixed byte penalty, so small k
+		// loses even on contended interconnects.
+		if len(ivs) > s.cfg.Procs {
+			a.churned[u] = true
+		}
+		favorsHome := !a.churned[u] && 2*concurrentWriters(ivs) >= s.cfg.Procs
+		curHome := s.unitProto[u] == homeIdx
+		if favorsHome == curHome {
+			a.streak[u] = 0
+			continue
+		}
+		a.streak[u]++
+		if a.streak[u] < a.hysteresis {
+			continue
+		}
+		a.streak[u] = 0
+		a.switches[u]++
+		a.total++
+		if curHome {
+			// home → homeless: writers retained their diffs in the
+			// interval store (homeProtocol.retain), so future homeless
+			// fetches are already served; relinquishing is free.
+			s.unitProto[u] = homelessIdx
+			continue
+		}
+		// homeless → home: seed the home's versioned log with the
+		// unit's image at the barrier's merged time (visible to every
+		// post-barrier fetcher), and schedule the home's priced pull of
+		// that image from the unit's last writer.
+		if history == nil {
+			history = s.store.Delta(vc.New(len(merged)), merged)
+		}
+		var unitHist []*lrc.Interval
+		for _, iv := range history {
+			for _, uu := range iv.Units {
+				if uu == u {
+					unitHist = append(unitHist, iv)
+					break
+				}
+			}
+		}
+		bytes := 0
+		for pg := u * s.cfg.UnitPages; pg < (u+1)*s.cfg.UnitPages; pg++ {
+			buf := make([]byte, mem.PageSize)
+			for _, iv := range unitHist {
+				if d, ok := iv.Diff(pg); ok {
+					d.Apply(buf)
+				}
+			}
+			img := mem.FullPageDiff(buf)
+			a.home.seed(pg, sum, img)
+			bytes += img.WireBytes()
+		}
+		h := a.home.homeOf(u)
+		a.pending[h] = append(a.pending[h], handoff{unit: u, from: lastWriter[u], bytes: bytes})
+		s.unitProto[u] = homeIdx
+	}
+}
+
+// concurrentWriters returns the number of distinct processors whose
+// intervals among ivs are causally concurrent with another processor's
+// interval — the unit's bar in the paper's §3 false-sharing signature
+// for the phase. Zero or one means the unit was not falsely shared:
+// distinct writers whose intervals are totally ordered (migratory data
+// handed around under a lock) do not count, because for those homeless
+// diffs stay cheaper than whole-unit home images.
+func concurrentWriters(ivs []*lrc.Interval) int {
+	procs := make(map[int]bool)
+	for i, a := range ivs {
+		for _, b := range ivs[i+1:] {
+			if a.ID.Proc != b.ID.Proc && a.TS.Concurrent(b.TS) {
+				procs[a.ID.Proc] = true
+				procs[b.ID.Proc] = true
+			}
+		}
+	}
+	return len(procs)
+}
+
+// settle pays for the ownership handoffs assigned to p at the barrier
+// that just released: one HomeHandoff request/reply exchange per
+// switched unit, from the new home to the unit's last writer, priced
+// through the network model on p's post-barrier clock. The image itself
+// was installed in the home log at the barrier (data moves through
+// shared structures, timing through clock charges — the engine's
+// standing substitution, DESIGN.md §2); a unit whose last writer is its
+// new home transfers locally, free of messages.
+func (a *adaptivePolicy) settle(p *Proc) {
+	hs := a.pending[p.id]
+	if len(hs) == 0 {
+		return
+	}
+	a.pending[p.id] = nil
+	for _, h := range hs {
+		if h.from == p.id {
+			continue
+		}
+		_, _, xt := p.sys.net.SendExchange(
+			simnet.HomeHandoff, simnet.HomeHandoff, p.id, h.from, 16, h.bytes, p.clock.Now())
+		p.clock.Advance(xt.Total())
+	}
+}
+
+// report fills a Result's adaptive accounting after the run.
+func (a *adaptivePolicy) report(res *Result) {
+	res.ProtocolSwitches = a.total
+	if a.total > 0 {
+		res.UnitSwitches = make(map[int]int)
+		for u, n := range a.switches {
+			if n > 0 {
+				res.UnitSwitches[u] = n
+				res.SwitchedUnits++
+			}
+		}
+	}
+	for _, ix := range a.sys.unitProto {
+		if ix == homeIdx {
+			res.HomeUnits++
+		}
+	}
+}

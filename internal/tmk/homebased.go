@@ -13,7 +13,7 @@ import (
 )
 
 func init() {
-	RegisterProtocol("home", func(s *System) Protocol { return newHomeProtocol(s) })
+	RegisterProtocol("home", func(s *System) { s.install(newHomeProtocol(s)) })
 }
 
 // homeProtocol is home-based lazy release consistency (HLRC, in the
@@ -46,21 +46,35 @@ type homeProtocol struct {
 	invalidator
 	nprocs int
 	up     int // unit size in pages
+	// retain keeps released diffs attached to the published interval in
+	// addition to flushing them home. Off for the static configuration
+	// (the writer discards after flushing, as in real HLRC); on under
+	// adaptive, where writers retain their diffs so a later
+	// home→homeless switch finds them in the interval store (this
+	// engine omits interval GC anyway — see lrc.Store) at zero wire
+	// cost.
+	retain bool
 
 	mu  sync.Mutex
 	log map[int][]flushEntry // page -> flushed diffs, in arrival order
 }
 
 // flushEntry is one flushed page diff with its interval's causal key
-// (sum, proc, seq) — see lrc.Interval.CausalKey.
+// (sum, proc, seq) — see lrc.Interval.CausalKey. A seed entry is the
+// unit image installed at an adaptive homeless→home handoff: it is
+// visible to every fetcher (only post-switch fetchers can reach the
+// home, and all of them cover the switch barrier's vector time) and
+// carries proc -1 so it sorts before the same-sum entries its image
+// already contains.
 type flushEntry struct {
 	proc int
 	seq  int32
 	sum  int64
+	seed bool
 	d    mem.Diff
 }
 
-func newHomeProtocol(s *System) Protocol {
+func newHomeProtocol(s *System) *homeProtocol {
 	return &homeProtocol{
 		nprocs: s.cfg.Procs,
 		up:     s.cfg.UnitPages,
@@ -74,15 +88,19 @@ func (*homeProtocol) Name() string { return "home" }
 // the paper-era default (first-touch and migration are future policies).
 func (h *homeProtocol) homeOf(u int) int { return u % h.nprocs }
 
-// Release publishes the interval's write notices diff-free — the home
-// now owns the data — and flushes the diffs to each written unit's
-// home: one one-way HomeFlush message per remote home, appended to the
-// home's versioned log. Flushing to the processor's own home units is
-// local and free of messages.
-func (h *homeProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff) {
-	p.sys.store.Publish(lrc.MakeInterval(id, ts, units, nil))
+// Release flushes the diffs to each written unit's home — one one-way
+// HomeFlush message per remote home, appended to the home's versioned
+// log — and surrenders them (the home now owns the data, so the
+// published interval carries the write notices diff-free), unless
+// retain is set. Flushing to the processor's own home units is local
+// and free of messages.
+func (h *homeProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff) []lrc.PageDiff {
+	var keep []lrc.PageDiff
+	if h.retain {
+		keep = diffs
+	}
 	if len(diffs) == 0 {
-		return
+		return keep
 	}
 	var sum int64
 	for _, v := range ts {
@@ -122,6 +140,20 @@ func (h *homeProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []in
 		_, t := p.sys.net.SendLeg(simnet.HomeFlush, p.id, home, bytes, p.clock.Now())
 		p.clock.Advance(t.Total)
 	}
+	return keep
+}
+
+// seed installs a full-page image into the home's versioned log at an
+// adaptive homeless→home handoff. sum must be the vector-entry sum of
+// the switch barrier's merged time: every pre-switch interval the image
+// contains has a smaller-or-equal sum (ties are idempotent re-applies),
+// and every post-switch flush a strictly larger one, so causal sorting
+// places the seed correctly. Called while every processor is blocked in
+// the switch barrier.
+func (h *homeProtocol) seed(page int, sum int64, img mem.Diff) {
+	h.mu.Lock()
+	h.log[page] = append(h.log[page], flushEntry{proc: -1, sum: sum, seed: true, d: img})
+	h.mu.Unlock()
 }
 
 // pageImage reconstructs the page's contents at vector time vt: the
@@ -137,7 +169,7 @@ func (h *homeProtocol) pageImage(page int, vt vc.Time) mem.Diff {
 	h.mu.Unlock()
 	var covered []flushEntry
 	for _, e := range entries {
-		if vt.KnowsInterval(e.proc, e.seq) {
+		if e.seed || vt.KnowsInterval(e.proc, e.seq) {
 			covered = append(covered, e)
 		}
 	}

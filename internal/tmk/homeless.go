@@ -12,7 +12,7 @@ import (
 )
 
 func init() {
-	RegisterProtocol("homeless", func(*System) Protocol { return &homelessProtocol{} })
+	RegisterProtocol("homeless", func(s *System) { s.install(&homelessProtocol{}) })
 }
 
 // homelessProtocol is TreadMarks' protocol, the one the paper
@@ -24,11 +24,11 @@ type homelessProtocol struct{ invalidator }
 
 func (*homelessProtocol) Name() string { return "homeless" }
 
-// Release keeps the diffs with the writer: the interval enters the
-// store with its diffs attached, to be served on demand at remote
-// faults. No messages move — lazy release consistency at its laziest.
-func (*homelessProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff) {
-	p.sys.store.Publish(lrc.MakeInterval(id, ts, units, diffs))
+// Release keeps the diffs with the writer: every diff stays attached to
+// the published interval, to be served on demand at remote faults. No
+// messages move — lazy release consistency at its laziest.
+func (*homelessProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff) []lrc.PageDiff {
+	return diffs
 }
 
 // fetchItem is one page diff scheduled for application, keyed for causal

@@ -2,6 +2,7 @@ package tmk
 
 import (
 	"repro/internal/aggregate"
+	"repro/internal/instrument"
 	"repro/internal/lrc"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -181,9 +182,10 @@ func (p *Proc) readFault(page int) {
 		units = []int{faultUnit}
 	}
 
-	// The protocol fetches the stale units' data (messages, clock
-	// charges, replica updates) and clears their missing-write state.
-	msgs := p.sys.proto.Fetch(p, units)
+	// Each stale unit's owning protocol fetches its data (messages,
+	// clock charges, replica updates) and clears its missing-write
+	// state.
+	msgs := p.fetch(units)
 
 	// Validate. Static: the whole unit becomes readable. Dynamic: only
 	// the faulted page is validated; prefetched group members keep
@@ -200,4 +202,23 @@ func (p *Proc) readFault(page int) {
 	if p.sys.col != nil {
 		p.sys.col.OnFault(p.id, page, msgs)
 	}
+}
+
+// fetch routes the stale units to each unit's owning protocol, in
+// dispatch-table order. With one installed protocol (static
+// configurations) this is a single call; under adaptive, a dynamic
+// page group spanning both protocols is served in two passes, one per
+// owner (the cross-owner fetches serialize on p's clock).
+func (p *Proc) fetch(units []int) []*instrument.DataMsg {
+	s := p.sys
+	if len(s.protos) == 1 {
+		return s.protos[0].Fetch(p, units)
+	}
+	var msgs []*instrument.DataMsg
+	for i, proto := range s.protos {
+		if sub := s.ownedUnits(units, i); len(sub) > 0 {
+			msgs = append(msgs, proto.Fetch(p, sub)...)
+		}
+	}
+	return msgs
 }

@@ -11,70 +11,85 @@ import (
 	"repro/internal/vc"
 )
 
-// Protocol is the engine's coherence layer: the policy for who owns a
-// closed interval's diffs, what an access miss fetches and from whom,
-// and how write notices are applied at an acquire. Everything else in
-// the engine — twinning and write detection, interval/vector-clock
-// bookkeeping, locks, barriers, dynamic page grouping, the network and
-// cost accounting — is protocol-independent and shared, so a new
-// protocol is only these four policies (see DESIGN.md §5).
+// Protocol is one coherence engine: the policy for who owns a closed
+// interval's diffs, what an access miss fetches and from whom, and how
+// a write notice is applied at an acquire. Everything else — twinning
+// and write detection, interval/vector-clock bookkeeping, locks,
+// barriers, dynamic page grouping, the network and cost accounting —
+// is protocol-independent and shared, so a new protocol is only these
+// policies (see DESIGN.md §5).
 //
-// One Protocol instance serves one System build (Reset constructs a
-// fresh one); per-processor protocol state lives on Proc (twins,
+// Dispatch is per *consistency unit*, not per engine: the System owns a
+// dispatch table (protoOf) mapping every unit to its current owning
+// protocol, and routes each operation to the owner — a release splits
+// an interval's diffs by the owning protocol of each written unit, an
+// acquire applies each notice through the noticed unit's owner, and a
+// fault hands each stale unit to its owner's fetch policy. A static
+// configuration ("homeless", "home") installs one engine owning every
+// unit; the "adaptive" configuration installs both and re-points units
+// at barriers (see DESIGN.md §8).
+//
+// Protocol instances serve one System build (Reset constructs fresh
+// ones); per-processor protocol state lives on Proc (twins,
 // missing-write lists) and is reset with the processors. All methods
 // except construction are called on processor goroutines; a Protocol
 // must synchronize any state shared between processors itself.
 type Protocol interface {
-	// Name returns the registry name ("homeless", "home").
+	// Name returns the engine name ("homeless", "home").
 	Name() string
 
-	// Acquire applies the write notices of delta — the intervals
-	// covered by the releaser's vector time that p has not yet seen,
-	// in causal order — to p: the invalidation policy and the
-	// missing-write bookkeeping that later drives Fetch. It returns
-	// the wire size of the consumed notices, which the caller charges
-	// as consistency information piggybacked on the grant/release
-	// message (the sync-time piggybacking hook).
-	Acquire(p *Proc, delta []*lrc.Interval) int
+	// AcquireUnit applies one write notice to p: remote interval iv
+	// (never p's own) wrote unit u, which this protocol owns. It
+	// performs the invalidation policy and the missing-write
+	// bookkeeping that later drives Fetch. The caller iterates the
+	// acquire's delta in causal order and its units in notice order,
+	// and charges the notices' wire size itself.
+	AcquireUnit(p *Proc, iv *lrc.Interval, u int)
 
-	// Release publishes interval (id, ts, units, diffs), closed by p,
-	// per the diff-ownership policy: homeless keeps the diffs with the
-	// writer (in the interval store, served on demand); home-based
-	// flushes them to each written unit's home. Called on p's
-	// goroutine before the synchronization operation proceeds.
-	Release(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff)
+	// Release takes ownership of the diffs of interval (id, ts) that
+	// fall in units this protocol owns: homeless keeps them with the
+	// writer (attached to the published interval, served on demand);
+	// home-based flushes them to each written unit's home. It returns
+	// the page diffs to keep attached to the interval the caller
+	// publishes. Called on p's goroutine, before the synchronization
+	// operation proceeds and before the interval is published.
+	Release(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff) []lrc.PageDiff
 
-	// Fetch brings the stale units among units up to date in p's
-	// replica: it decides whom to contact, sends and prices the
-	// exchanges, applies the data, charges p's clock, and clears the
-	// consumed missing-write state. It returns one instrument data
-	// message per exchange (nil/empty when nothing was fetched or
-	// collection is off) for the caller's fault record.
+	// Fetch brings the stale units among units — all owned by this
+	// protocol — up to date in p's replica: it decides whom to contact,
+	// sends and prices the exchanges, applies the data, charges p's
+	// clock, and clears the consumed missing-write state. It returns
+	// one instrument data message per exchange (nil/empty when nothing
+	// was fetched or collection is off) for the caller's fault record.
 	Fetch(p *Proc, units []int) []*instrument.DataMsg
 }
 
 // DefaultProtocol is the protocol of the paper's evaluation.
 const DefaultProtocol = "homeless"
 
-var protocolFactories = map[string]func(s *System) Protocol{}
+// A protocol registration installs the named configuration on a System
+// under construction: the engine(s) to instantiate, the initial
+// per-unit dispatch, and — for adaptive configurations — the policy
+// that re-points units at barriers.
+var protocolSetups = map[string]func(s *System){}
 
-// RegisterProtocol adds a protocol factory under a (case-insensitive)
+// RegisterProtocol adds a protocol setup under a (case-insensitive)
 // name. Called from init; a duplicate name is a programming error.
-func RegisterProtocol(name string, factory func(s *System) Protocol) {
+func RegisterProtocol(name string, setup func(s *System)) {
 	key := strings.ToLower(name)
-	if key == "" || factory == nil {
+	if key == "" || setup == nil {
 		panic("tmk: incomplete protocol registration")
 	}
-	if _, dup := protocolFactories[key]; dup {
+	if _, dup := protocolSetups[key]; dup {
 		panic(fmt.Sprintf("tmk: duplicate protocol registration %q", key))
 	}
-	protocolFactories[key] = factory
+	protocolSetups[key] = setup
 }
 
 // ProtocolNames returns the registered protocol names, sorted.
 func ProtocolNames() []string {
-	out := make([]string, 0, len(protocolFactories))
-	for name := range protocolFactories {
+	out := make([]string, 0, len(protocolSetups))
+	for name := range protocolSetups {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -83,31 +98,73 @@ func ProtocolNames() []string {
 
 // KnownProtocol reports whether name (case-insensitive) is registered.
 func KnownProtocol(name string) bool {
-	_, ok := protocolFactories[strings.ToLower(name)]
+	_, ok := protocolSetups[strings.ToLower(name)]
 	return ok
 }
 
-// invalidator is the write-notice policy shared by both protocols: an
-// acquire invalidates every noticed unit (unless the notice is the
-// acquirer's own) and records the interval as a missing write, so the
-// unit stays invalid until the next access fault fetches it.
-type invalidator struct{}
+// install wires the given engines into the System: protos[0] initially
+// owns every unit (adaptive policies re-point units later). Called from
+// a protocol setup during NewSystem/Reset.
+func (s *System) install(protos ...Protocol) {
+	s.protos = protos
+	s.unitProto = make([]uint8, s.numUnits)
+	s.policy = nil
+}
 
-func (invalidator) Acquire(p *Proc, delta []*lrc.Interval) int {
-	cost := p.sys.cost
-	bytes := 0
-	for _, iv := range delta {
-		bytes += iv.NoticeBytes()
-		if iv.ID.Proc == p.id {
-			continue
-		}
-		for _, u := range iv.Units {
-			p.missing[u] = append(p.missing[u], lrc.MissingWrite{Interval: iv})
-			if p.pt.State(u) != mem.Invalid {
-				p.pt.Set(u, mem.Invalid)
-				p.clock.Advance(cost.ProtOp)
-			}
+// protoOf returns the protocol currently owning unit u. The dispatch
+// table is only mutated while every processor is blocked in a barrier
+// (see adaptivePolicy), so reads on processor goroutines are race-free.
+func (s *System) protoOf(u int) Protocol { return s.protos[s.unitProto[u]] }
+
+// ownedUnits returns the subset of units currently owned by the
+// protocol at dispatch index i, preserving order (nil when none) — the
+// partition step shared by the release and fetch routers.
+func (s *System) ownedUnits(units []int, i int) []int {
+	var sub []int
+	for _, u := range units {
+		if s.unitProto[u] == uint8(i) {
+			sub = append(sub, u)
 		}
 	}
-	return bytes
+	return sub
+}
+
+// releaseInterval routes a closing interval through the diff-ownership
+// policies: the written units and their diffs are split by each unit's
+// owning protocol, each owner takes its share, and the diffs the owners
+// keep (homeless ownership) are returned for the caller to attach to
+// the published interval.
+func (s *System) releaseInterval(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff) []lrc.PageDiff {
+	if len(s.protos) == 1 {
+		return s.protos[0].Release(p, id, ts, units, diffs)
+	}
+	var keep []lrc.PageDiff
+	for i, proto := range s.protos {
+		su := s.ownedUnits(units, i)
+		if len(su) == 0 {
+			continue
+		}
+		var sd []lrc.PageDiff
+		for _, pd := range diffs {
+			if s.unitProto[pd.Page/s.cfg.UnitPages] == uint8(i) {
+				sd = append(sd, pd)
+			}
+		}
+		keep = append(keep, proto.Release(p, id, ts, su, sd)...)
+	}
+	return keep
+}
+
+// invalidator is the write-notice policy shared by all protocols: an
+// acquire invalidates every noticed unit and records the interval as a
+// missing write, so the unit stays invalid until the next access fault
+// fetches it.
+type invalidator struct{}
+
+func (invalidator) AcquireUnit(p *Proc, iv *lrc.Interval, u int) {
+	p.missing[u] = append(p.missing[u], lrc.MissingWrite{Interval: iv})
+	if p.pt.State(u) != mem.Invalid {
+		p.pt.Set(u, mem.Invalid)
+		p.clock.Advance(p.sys.cost.ProtOp)
+	}
 }

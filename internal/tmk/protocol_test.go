@@ -5,10 +5,10 @@ import (
 	"testing"
 )
 
-// Both built-in protocols are registered and listed sorted.
+// All built-in protocols are registered and listed sorted.
 func TestProtocolRegistry(t *testing.T) {
 	names := ProtocolNames()
-	want := []string{"home", "homeless"}
+	want := []string{"adaptive", "home", "homeless"}
 	if len(names) != len(want) {
 		t.Fatalf("ProtocolNames() = %v, want %v", names, want)
 	}

@@ -12,11 +12,12 @@ import (
 
 // closeInterval ends the processor's current interval if it wrote
 // anything: every twinned unit is diffed page-by-page against its twin
-// (eager diffing — see DESIGN.md §3), the interval is released through
-// the protocol's diff-ownership policy (homeless publishes diffs into
-// the store, home-based flushes them to the units' homes) with one
-// write notice per unit, twins are dropped, and the units revert to
-// ReadOnly so the next write re-twins.
+// (eager diffing — see DESIGN.md §3), the diffs are released through
+// each written unit's owning protocol (homeless keeps them attached to
+// the interval, home-based flushes them to the units' homes), the
+// interval is published with one write notice per unit plus the kept
+// diffs, twins are dropped, and the units revert to ReadOnly so the
+// next write re-twins.
 func (p *Proc) closeInterval() {
 	if len(p.writeOrder) == 0 {
 		return
@@ -43,23 +44,35 @@ func (p *Proc) closeInterval() {
 		p.clock.Advance(cost.ProtOp)
 		units = append(units, u)
 	}
-	p.sys.proto.Release(p, vc.IntervalID{Proc: p.id, Seq: seq}, p.vt.Clone(), units, diffs)
+	id := vc.IntervalID{Proc: p.id, Seq: seq}
+	ts := p.vt.Clone()
+	keep := p.sys.releaseInterval(p, id, ts, units, diffs)
+	p.sys.store.Publish(lrc.MakeInterval(id, ts, units, keep))
 	p.nIntervals++
 	p.writeOrder = p.writeOrder[:0]
 }
 
 // applyAcquire consumes the write notices between the processor's vector
-// time and sourceVT through the protocol's notice policy (every noticed
-// unit is invalidated unless the notice is the processor's own, and
-// recorded as missing). It returns the wire size of the consumed
-// notices, which the caller charges as piggybacked consistency
-// information on the grant/release message.
+// time and sourceVT: every noticed unit is routed to its owning
+// protocol's notice policy (invalidated unless the notice is the
+// processor's own, and recorded as missing). It returns the wire size
+// of the consumed notices, which the caller charges as piggybacked
+// consistency information on the grant/release message.
 func (p *Proc) applyAcquire(sourceVT vc.Time) int {
 	if sourceVT == nil {
 		return 0
 	}
 	delta := p.sys.store.Delta(p.vt, sourceVT)
-	bytes := p.sys.proto.Acquire(p, delta)
+	bytes := 0
+	for _, iv := range delta {
+		bytes += iv.NoticeBytes()
+		if iv.ID.Proc == p.id {
+			continue
+		}
+		for _, u := range iv.Units {
+			p.sys.protoOf(u).AcquireUnit(p, iv, u)
+		}
+	}
 	p.vt.Merge(sourceVT)
 	return bytes
 }
@@ -124,6 +137,14 @@ func (p *Proc) Barrier() {
 	b.waiters = append(b.waiters, ch)
 	b.arrived++
 	if b.arrived == b.n {
+		// Every processor is blocked in this barrier: the adaptive
+		// policy (if any) may now re-point units between protocols.
+		// Its evaluation is folded into the manager cost below; the
+		// ownership handoffs it schedules are priced per-processor
+		// after the release (see adaptivePolicy.settle).
+		if p.sys.policy != nil {
+			p.sys.policy.atBarrier(b.vt)
+		}
 		// Manager cost: per-arrival servicing plus the merge/broadcast.
 		release := b.maxClock + cost.BarrierManager +
 			sim.Duration(b.n)*cost.RequestService
@@ -144,6 +165,9 @@ func (p *Proc) Barrier() {
 	noticeBytes := p.applyAcquire(g.vt)
 	_, rt := p.sys.net.SendLeg(simnet.BarrierRelease, b.manager, p.id, 8+noticeBytes, g.release)
 	p.clock.Advance(rt.Total)
+	if p.sys.policy != nil {
+		p.sys.policy.settle(p)
+	}
 	p.rebuildGroups()
 }
 

@@ -44,9 +44,16 @@ type Config struct {
 	Locks int
 	// Protocol selects the coherence protocol by registry name
 	// (case-insensitive). Empty selects DefaultProtocol ("homeless",
-	// the paper's TreadMarks protocol); "home" selects home-based LRC.
-	// See ProtocolNames for the full set.
+	// the paper's TreadMarks protocol); "home" selects home-based LRC;
+	// "adaptive" starts every unit homeless and switches units between
+	// the two engines at barriers, driven by each unit's writer-count
+	// signature. See ProtocolNames for the full set.
 	Protocol string
+	// AdaptHysteresis is the adaptive protocol's hysteresis: the number
+	// of consecutive barrier phases with writer evidence contradicting
+	// a unit's current protocol required before the unit switches.
+	// Zero selects DefaultAdaptHysteresis; ignored by static protocols.
+	AdaptHysteresis int
 	// Network selects the interconnect timing model by registry name
 	// (case-insensitive; see netmodel.Names). Empty selects "ideal",
 	// the paper's flat contention-free cost arithmetic; "bus" and
@@ -86,6 +93,12 @@ func (c *Config) fill() error {
 	if !KnownProtocol(c.Protocol) {
 		return fmt.Errorf("tmk: unknown protocol %q (known: %s)",
 			c.Protocol, strings.Join(ProtocolNames(), ", "))
+	}
+	if c.AdaptHysteresis < 0 {
+		return fmt.Errorf("tmk: adaptive hysteresis cannot be negative (got %d)", c.AdaptHysteresis)
+	}
+	if c.AdaptHysteresis == 0 {
+		c.AdaptHysteresis = DefaultAdaptHysteresis
 	}
 	c.Network = strings.ToLower(c.Network)
 	if c.Network == "" {
@@ -127,7 +140,15 @@ type System struct {
 	net   *simnet.Network
 	store *lrc.Store
 	col   *instrument.Collector
-	proto Protocol
+
+	// The coherence engines of this configuration and the per-unit
+	// dispatch table: unitProto[u] indexes protos with unit u's current
+	// owner. Static protocols install one engine owning every unit;
+	// "adaptive" installs homeless and home and re-points units at
+	// barriers through policy.
+	protos    []Protocol
+	unitProto []uint8
+	policy    *adaptivePolicy
 
 	segBytes int
 	numPages int
@@ -165,13 +186,13 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{
 		cfg:      cfg,
 		cost:     cost,
-		net:      simnet.NewWithModel(cost, model),
+		net:      simnet.NewWithModel(cost, model, netOptions(cfg)...),
 		store:    lrc.NewStore(cfg.Procs),
 		segBytes: segBytes,
 		numPages: segBytes / mem.PageSize,
 	}
 	s.numUnits = s.numPages / cfg.UnitPages
-	s.proto = protocolFactories[cfg.Protocol](s)
+	protocolSetups[cfg.Protocol](s)
 	if cfg.Collect {
 		s.col = instrument.NewCollector(cfg.Procs, segBytes)
 	}
@@ -199,9 +220,9 @@ func (s *System) Reset() {
 	}
 	model := s.net.Model()
 	model.Reset()
-	s.net = simnet.NewWithModel(s.cost, model)
+	s.net = simnet.NewWithModel(s.cost, model, netOptions(s.cfg)...)
 	s.store = lrc.NewStore(s.cfg.Procs)
-	s.proto = protocolFactories[s.cfg.Protocol](s)
+	protocolSetups[s.cfg.Protocol](s)
 	if s.cfg.Collect {
 		s.col = instrument.NewCollector(s.cfg.Procs, s.segBytes)
 	}
@@ -215,11 +236,23 @@ func (s *System) Reset() {
 	s.ran = false
 }
 
+// netOptions maps the engine configuration onto the message log's
+// retention policy: without §5.3 collection nothing ever replays the
+// log, so the engine keeps only the O(1) running totals and a
+// million-message run no longer retains every Record.
+func netOptions(cfg Config) []simnet.Option {
+	if cfg.Collect {
+		return nil
+	}
+	return []simnet.Option{simnet.WithCountsOnly()}
+}
+
 // Config returns the (filled-in) configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Protocol returns the active coherence protocol's name.
-func (s *System) Protocol() string { return s.proto.Name() }
+// Protocol returns the configured coherence protocol's registry name
+// ("homeless", "home", "adaptive").
+func (s *System) Protocol() string { return s.cfg.Protocol }
 
 // Network returns the active interconnect timing model's name.
 func (s *System) Network() string { return s.net.Model().Name() }
@@ -316,6 +349,15 @@ type Result struct {
 	Twins        int
 	DiffsEncoded int
 	Intervals    int
+	// Adaptive-protocol accounting (zero under static protocols):
+	// SwitchedUnits counts the units that changed protocol at least
+	// once, ProtocolSwitches the total switch events, UnitSwitches the
+	// per-unit switch counts (switched units only), and HomeUnits the
+	// units owned by the home-based engine at the end of the run.
+	SwitchedUnits    int
+	ProtocolSwitches int
+	UnitSwitches     map[int]int
+	HomeUnits        int
 }
 
 // Run executes body once per processor, concurrently, and returns the
@@ -355,6 +397,9 @@ func (s *System) Run(body func(p *Proc)) *Result {
 	res.Messages, res.Bytes = s.net.Counts()
 	res.Network = s.net.Model().Name()
 	res.QueueDelay = s.net.QueueTotal()
+	if s.policy != nil {
+		s.policy.report(res)
+	}
 	if s.col != nil {
 		res.Stats = s.col.Finalize(s.net.Snapshot())
 	}

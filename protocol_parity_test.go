@@ -116,6 +116,56 @@ func TestProtocolParityBitIdentical(t *testing.T) {
 	}
 }
 
+// Adaptive parity on the full evaluation: every registered application's
+// small dataset must verify against its sequential reference under the
+// adaptive protocol at the paper's processor count — per-unit switching
+// and ownership handoffs never change what the program computes.
+func TestAdaptiveParityAllApps(t *testing.T) {
+	for _, app := range apps.Apps() {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			e, ok := apps.Lookup(app, "small")
+			if !ok {
+				t.Fatalf("%s: no small dataset", app)
+			}
+			res, err := apps.Run(e.Make(8),
+				tmk.Config{Procs: 8, Protocol: "adaptive", Collect: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Messages <= 0 || res.Time <= 0 || res.Stats == nil {
+				t.Fatalf("implausible result: %+v", res)
+			}
+			total := 0
+			for _, n := range res.UnitSwitches {
+				total += n
+			}
+			if total != res.ProtocolSwitches || len(res.UnitSwitches) != res.SwitchedUnits {
+				t.Fatalf("switch accounting inconsistent: %+v", res)
+			}
+		})
+	}
+}
+
+// The adaptive protocol actually engages on the paper's false-sharing
+// workload: Barnes' falsely shared force pages must migrate to the home
+// engine, and the run must still verify against the sequential
+// reference (Check runs inside apps.Run).
+func TestAdaptiveSwitchesOnBarnes(t *testing.T) {
+	e, ok := apps.Lookup("Barnes", "512")
+	if !ok {
+		t.Fatal("Barnes/512 not registered")
+	}
+	res, err := apps.Run(e.Make(8), tmk.Config{Procs: 8, Protocol: "adaptive", Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwitchedUnits == 0 || res.HomeUnits == 0 {
+		t.Fatalf("Barnes/512 did not migrate its false-shared units: %+v", res)
+	}
+}
+
 // WithProtocol validates its argument and surfaces unknown protocols
 // as errors from New, never panics.
 func TestWithProtocolValidation(t *testing.T) {
@@ -125,12 +175,32 @@ func TestWithProtocolValidation(t *testing.T) {
 	if _, err := New(WithProtocol("HOMELESS")); err != nil {
 		t.Fatalf("protocol names are case-insensitive: %v", err)
 	}
+	if _, err := New(WithProtocol("adaptive")); err != nil {
+		t.Fatalf("WithProtocol(adaptive): %v", err)
+	}
 	_, err := New(WithProtocol("bogus"))
 	if err == nil || !strings.Contains(err.Error(), "bogus") {
 		t.Fatalf("want descriptive error, got %v", err)
 	}
 	if !strings.Contains(err.Error(), "home") {
 		t.Fatalf("error should list known protocols, got %v", err)
+	}
+}
+
+// WithAdaptiveHysteresis validates its threshold and threads it to the
+// engine configuration.
+func TestWithAdaptiveHysteresisValidation(t *testing.T) {
+	sys, err := New(WithProtocol("adaptive"), WithAdaptiveHysteresis(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Config().AdaptHysteresis; got != 3 {
+		t.Fatalf("AdaptHysteresis = %d, want 3", got)
+	}
+	for _, bad := range []int{0, -1} {
+		if _, err := New(WithAdaptiveHysteresis(bad)); err == nil {
+			t.Fatalf("WithAdaptiveHysteresis(%d) accepted", bad)
+		}
 	}
 }
 
