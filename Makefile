@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench bench-check networks
+.PHONY: all test vet bench bench-check networks placements
 
 all: test
 
@@ -30,3 +30,8 @@ bench-check:
 # networks prints the interconnect sensitivity sweep.
 networks:
 	$(GO) run ./cmd/dsmbench -networks
+
+# placements prints the home-placement comparison (home & adaptive on
+# ideal and bus, every registered policy).
+placements:
+	$(GO) run ./cmd/dsmbench -placements

@@ -12,8 +12,10 @@
 //	dsmbench -micro          # simulated platform costs vs the paper's
 //	dsmbench -protocols      # homeless vs home-based LRC, per application
 //	dsmbench -networks       # network sensitivity: every app across every interconnect model
+//	dsmbench -placements     # home placement: every app × placement policy × {home, adaptive}, ideal + bus
 //	dsmbench -all -protocol home   # regenerate everything on home-based LRC
 //	dsmbench -all -network switch  # regenerate everything on the contended switch model
+//	dsmbench -all -placement firsttouch  # regenerate everything with first-writer homes
 //	dsmbench -baseline -json       # perf-trajectory seed: every app's small dataset
 //	dsmbench -check-baseline BENCH_baseline.json  # regression gate: exit non-zero on >2% time drift
 //
@@ -40,13 +42,14 @@ import (
 
 // document is the -json output: only the requested sections are set.
 type document struct {
-	Table1    []harness.Table1RowJSON          `json:"table1,omitempty"`
-	Figure1   []harness.ExperimentJSON         `json:"figure1,omitempty"`
-	Figure2   []harness.ExperimentJSON         `json:"figure2,omitempty"`
-	Figure3   []harness.ExperimentJSON         `json:"figure3,omitempty"`
-	Protocols []harness.ProtocolComparisonJSON `json:"protocols,omitempty"`
-	Networks  []harness.NetworkComparisonJSON  `json:"networks,omitempty"`
-	Baseline  []harness.CellJSON               `json:"baseline,omitempty"`
+	Table1     []harness.Table1RowJSON           `json:"table1,omitempty"`
+	Figure1    []harness.ExperimentJSON          `json:"figure1,omitempty"`
+	Figure2    []harness.ExperimentJSON          `json:"figure2,omitempty"`
+	Figure3    []harness.ExperimentJSON          `json:"figure3,omitempty"`
+	Protocols  []harness.ProtocolComparisonJSON  `json:"protocols,omitempty"`
+	Networks   []harness.NetworkComparisonJSON   `json:"networks,omitempty"`
+	Placements []harness.PlacementComparisonJSON `json:"placements,omitempty"`
+	Baseline   []harness.CellJSON                `json:"baseline,omitempty"`
 }
 
 func main() {
@@ -55,6 +58,7 @@ func main() {
 	micro := flag.Bool("micro", false, "print the §5.1 platform calibration (text only)")
 	protocols := flag.Bool("protocols", false, "compare coherence protocols per application (4 KB units)")
 	networks := flag.Bool("networks", false, "network sensitivity: every application across every registered interconnect model")
+	placements := flag.Bool("placements", false, "home placement: every application across every placement policy for the home and adaptive protocols, on ideal and bus")
 	baseline := flag.Bool("baseline", false, "perf-trajectory seed: every application's small dataset under the default configuration")
 	checkBaseline := flag.String("check-baseline", "",
 		"diff the current -baseline run against the committed FILE and exit non-zero on >2% time regression")
@@ -62,6 +66,8 @@ func main() {
 		"coherence protocol for tables/figures: "+strings.Join(tmk.ProtocolNames(), " or "))
 	network := flag.String("network", netmodel.Default,
 		"interconnect timing model for tables/figures: "+strings.Join(netmodel.Names(), ", "))
+	placement := flag.String("placement", tmk.DefaultPlacement,
+		"home-placement policy for tables/figures: "+strings.Join(tmk.PlacementNames(), ", "))
 	all := flag.Bool("all", false, "regenerate everything")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document")
 	flag.Parse()
@@ -69,7 +75,7 @@ func main() {
 	if *checkBaseline != "" {
 		os.Exit(runCheckBaseline(*checkBaseline))
 	}
-	if !*all && *table == 0 && *figure == 0 && !*micro && !*protocols && !*networks && !*baseline {
+	if !*all && *table == 0 && *figure == 0 && !*micro && !*protocols && !*networks && !*placements && !*baseline {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -80,6 +86,10 @@ func main() {
 	if !netmodel.Known(*network) {
 		check(fmt.Errorf("unknown network model %q (known: %s)",
 			*network, strings.Join(netmodel.Names(), ", ")))
+	}
+	if !tmk.KnownPlacement(*placement) {
+		check(fmt.Errorf("unknown placement %q (known: %s)",
+			*placement, strings.Join(tmk.PlacementNames(), ", ")))
 	}
 	if *table != 0 && *table != 1 {
 		check(fmt.Errorf("unknown table %d (only Table 1 exists)", *table))
@@ -100,7 +110,7 @@ func main() {
 		}
 	}
 	if *table == 1 || *all {
-		rows, err := harness.RunTable1(harness.Table1(), *protocol, *network)
+		rows, err := harness.RunTable1(harness.Table1(), *protocol, *network, *placement)
 		check(err)
 		if text {
 			fmt.Println("=== Table 1: datasets, sequential (simulated) time, 8-processor speedup at 4 KB ===")
@@ -122,19 +132,19 @@ func main() {
 		if text {
 			fmt.Println("=== Figure 1: execution time, messages, data (normalized to 4 KB) ===")
 		}
-		doc.Figure1 = runFigure(harness.Figure1(), configLabels(), *protocol, *network, text, harness.RenderFigure)
+		doc.Figure1 = runFigure(harness.Figure1(), configLabels(), *protocol, *network, *placement, text, harness.RenderFigure)
 	}
 	if *figure == 2 || *all {
 		if text {
 			fmt.Println("=== Figure 2: size-sensitive applications (normalized to 4 KB) ===")
 		}
-		doc.Figure2 = runFigure(harness.Figure2(), configLabels(), *protocol, *network, text, harness.RenderFigure)
+		doc.Figure2 = runFigure(harness.Figure2(), configLabels(), *protocol, *network, *placement, text, harness.RenderFigure)
 	}
 	if *figure == 3 || *all {
 		if text {
 			fmt.Println("=== Figure 3: false-sharing signatures (4 KB vs 16 KB) ===")
 		}
-		doc.Figure3 = runFigure(harness.Figure3(), []string{"4K", "16K"}, *protocol, *network, text, harness.RenderSignature)
+		doc.Figure3 = runFigure(harness.Figure3(), []string{"4K", "16K"}, *protocol, *network, *placement, text, harness.RenderSignature)
 	}
 	if *protocols || *all {
 		pcs, err := harness.RunProtocolComparison(harness.Table1(), harness.Procs)
@@ -159,6 +169,19 @@ func main() {
 		} else {
 			for _, nc := range ncs {
 				doc.Networks = append(doc.Networks, harness.NetworkComparisonReport(nc))
+			}
+		}
+	}
+	if *placements || *all {
+		pcs, err := harness.RunPlacementComparison(harness.Table1(), harness.Procs, nil, nil)
+		check(err)
+		if text {
+			fmt.Println("=== Home placement: rr vs block vs firsttouch vs migrate (4 KB units, home & adaptive) ===")
+			harness.RenderPlacementComparison(os.Stdout, pcs)
+			fmt.Println()
+		} else {
+			for _, pc := range pcs {
+				doc.Placements = append(doc.Placements, harness.PlacementComparisonReport(pc))
 			}
 		}
 	}
@@ -307,7 +330,7 @@ func configLabels() []string {
 // runFigure executes each experiment under the configurations named by
 // the labels on the given coherence protocol and network model,
 // rendering (text mode) or collecting cells (JSON mode).
-func runFigure(es []harness.Experiment, labels []string, protocol, network string,
+func runFigure(es []harness.Experiment, labels []string, protocol, network, placement string,
 	text bool, render func(io.Writer, harness.Experiment, map[string]harness.Cell)) []harness.ExperimentJSON {
 	var out []harness.ExperimentJSON
 	for _, e := range es {
@@ -320,6 +343,7 @@ func runFigure(es []harness.Experiment, labels []string, protocol, network strin
 			}
 			c.Protocol = protocol
 			c.Network = network
+			c.Placement = placement
 			cell, err := harness.Run(e, c, harness.Procs)
 			check(err)
 			cells[label] = cell

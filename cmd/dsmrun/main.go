@@ -12,7 +12,9 @@
 //	dsmrun -app jacobi -protocol home             # home-based LRC engine
 //	dsmrun -app jacobi -protocol adaptive         # per-unit homeless/home hybrid
 //	dsmrun -app jacobi -network bus               # contended shared-medium Ethernet
-//	dsmrun -list                                  # registered workloads + protocols + networks
+//	dsmrun -app jacobi -protocol home -placement firsttouch   # first-writer homes
+//	dsmrun -app jacobi -protocol home -placement migrate      # JIAJIA-style home migration
+//	dsmrun -list                                  # registered workloads + protocols + networks + placements
 package main
 
 import (
@@ -38,6 +40,8 @@ func main() {
 		"coherence protocol: "+strings.Join(tmk.ProtocolNames(), " or "))
 	network := flag.String("network", netmodel.Default,
 		"interconnect timing model: "+strings.Join(netmodel.Names(), ", "))
+	placement := flag.String("placement", tmk.DefaultPlacement,
+		"home-placement policy: "+strings.Join(tmk.PlacementNames(), ", "))
 	procs := flag.Int("procs", harness.Procs, "number of processors")
 	trials := flag.Int("trials", 1, "independent trials on one reused system")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
@@ -52,10 +56,12 @@ func main() {
 			}
 			fmt.Printf("%-8s  %-22s%s\n", e.App, e.Dataset, paper)
 		}
-		fmt.Printf("\nprotocols: %s (default %s)\n",
+		fmt.Printf("\nprotocols:  %s (default %s)\n",
 			strings.Join(tmk.ProtocolNames(), ", "), tmk.DefaultProtocol)
-		fmt.Printf("networks:  %s (default %s)\n",
+		fmt.Printf("networks:   %s (default %s)\n",
 			strings.Join(netmodel.Names(), ", "), netmodel.Default)
+		fmt.Printf("placements: %s (default %s)\n",
+			strings.Join(tmk.PlacementNames(), ", "), tmk.DefaultPlacement)
 		return
 	}
 	if *app == "" {
@@ -75,7 +81,8 @@ func main() {
 
 	cfg := tmk.Config{
 		Procs: *procs, UnitPages: *unit, Dynamic: *dynamic,
-		Protocol: *protocol, Network: *network, Collect: true,
+		Protocol: *protocol, Network: *network, Placement: *placement,
+		Collect: true,
 	}
 	ts, err := apps.RunTrials(e.Make(*procs), cfg, *trials)
 	if err != nil {
@@ -94,8 +101,8 @@ func main() {
 	label := harness.LabelFor(*unit, *dynamic)
 	last := ts.Trials[len(ts.Trials)-1]
 	st := last.Stats
-	fmt.Printf("%s %s  [%s, %s, %s net, %d procs, %d trial(s)]  (verified against sequential reference)\n",
-		e.App, e.Dataset, label, cfg.ProtocolName(), cfg.NetworkName(), *procs, len(ts.Trials))
+	fmt.Printf("%s %s  [%s, %s, %s net, %s homes, %d procs, %d trial(s)]  (verified against sequential reference)\n",
+		e.App, e.Dataset, label, cfg.ProtocolName(), cfg.NetworkName(), cfg.PlacementName(), *procs, len(ts.Trials))
 	fmt.Printf("  simulated time        %.3f s (min %.3f, mean %.3f, max %.3f)\n",
 		last.Time.Seconds(), ts.MinTime.Seconds(), ts.MeanTime.Seconds(), ts.MaxTime.Seconds())
 	fmt.Printf("  network queue delay   %.3f s cumulative\n", last.QueueDelay.Seconds())
@@ -109,6 +116,10 @@ func main() {
 	if cfg.ProtocolName() == "adaptive" {
 		fmt.Printf("  protocol switches     %d (%d unit(s) switched, %d home at end)\n",
 			last.ProtocolSwitches, last.SwitchedUnits, last.HomeUnits)
+	}
+	if cfg.PlacementName() != tmk.DefaultPlacement {
+		fmt.Printf("  rehomes               %d (%d bytes of home state moved on the wire)\n",
+			last.Rehomes, last.RehomeBytes)
 	}
 }
 

@@ -33,6 +33,8 @@ func main() {
 		"coherence protocol: "+strings.Join(tmk.ProtocolNames(), " or "))
 	network := flag.String("network", netmodel.Default,
 		"interconnect timing model: "+strings.Join(netmodel.Names(), ", "))
+	placement := flag.String("placement", tmk.DefaultPlacement,
+		"home-placement policy: "+strings.Join(tmk.PlacementNames(), ", "))
 	flag.Parse()
 
 	if *app == "" {
@@ -55,7 +57,10 @@ func main() {
 			os.Exit(1)
 		}
 		label := fmt.Sprintf("%dK", 4*u)
-		cell, err := harness.Run(*e, harness.Config{Label: label, Unit: u, Protocol: *protocol, Network: *network}, *procs)
+		cell, err := harness.Run(*e, harness.Config{
+			Label: label, Unit: u,
+			Protocol: *protocol, Network: *network, Placement: *placement,
+		}, *procs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dsmsig:", err)
 			os.Exit(1)

@@ -18,7 +18,11 @@
 // "ideal" reproduces the paper's flat cost arithmetic, while "bus",
 // "switch", and the preset family ("atm", "myrinet", "10gbe") make
 // contention and faster networks first-class experiment axes; see
-// DESIGN.md §6.
+// DESIGN.md §6. Where the home-based engines keep each unit's
+// authoritative copy is a third axis (WithPlacement): "rr" round-robin
+// homes (the paper-era default), "block" contiguous ranges,
+// "firsttouch" first-writer binding, or "migrate" (JIAJIA-style home
+// migration chasing the dominant writer); see DESIGN.md §9.
 //
 // A System is built with functional options and validated up front —
 // misconfiguration is an error, never a panic:
@@ -119,6 +123,16 @@ func Protocols() []string { return tmk.ProtocolNames() }
 // "myrinet", "10gbe") scaling the platform's latency, bandwidth, and
 // software overhead.
 func Networks() []string { return netmodel.Names() }
+
+// Placements returns the names of the registered home-placement
+// policies, sorted: "block" (contiguous unit ranges), "firsttouch"
+// (home = the unit's first writer, bound at the first barrier after
+// the first write), "migrate" (JIAJIA-style: the home chases the
+// dominant writer at each barrier, with the state transfer priced on
+// the wire), and "rr" (round-robin, the paper-era default). Placement
+// decides where home-based engines keep each unit's authoritative
+// copy; it has no effect under the homeless protocol.
+func Placements() []string { return tmk.PlacementNames() }
 
 // Option configures a System under construction. Options validate
 // their arguments and report bad values as errors from New.
@@ -221,6 +235,39 @@ func WithAdaptiveHysteresis(n int) Option {
 			return fmt.Errorf("dsm: WithAdaptiveHysteresis(%d): threshold must be at least 1", n)
 		}
 		c.AdaptHysteresis = n
+		return nil
+	}
+}
+
+// WithPlacement selects the home-placement policy by name
+// (case-insensitive; see Placements). The default, "rr", reproduces
+// the paper-era round-robin homes exactly; "block" assigns contiguous
+// unit ranges, "firsttouch" binds each unit to its first writer, and
+// "migrate" moves homes to each unit's dominant writer at barriers,
+// pricing the home-state transfers on the wire. Consulted only by
+// home-based engines (WithProtocol "home" or "adaptive"). An unknown
+// name is an error from New listing the registered policies.
+func WithPlacement(name string) Option {
+	return func(c *Config) error {
+		if !tmk.KnownPlacement(name) {
+			return fmt.Errorf("dsm: WithPlacement(%q): unknown placement (known: %s)",
+				name, strings.Join(tmk.PlacementNames(), ", "))
+		}
+		c.Placement = name
+		return nil
+	}
+}
+
+// WithAdaptiveQueueGate sets the adaptive protocol's contention gate:
+// units migrate homeless→home only while the network's measured mean
+// queue delay per message is at least d. The zero default derives the
+// gate from the cost calibration (MessageLeg/16, which separates the
+// contended models from ideal and the fast presets); a negative d
+// disables the gate, restoring the signature-only switch rule.
+// Ignored by the static protocols.
+func WithAdaptiveQueueGate(d Duration) Option {
+	return func(c *Config) error {
+		c.AdaptQueueGate = d
 		return nil
 	}
 }

@@ -47,6 +47,9 @@ type Config struct {
 	// Network names the interconnect timing model (netmodel.Names);
 	// empty selects the paper's contention-free "ideal" arithmetic.
 	Network string
+	// Placement names the home-placement policy (tmk.PlacementNames);
+	// empty selects the paper-era round-robin homes ("rr").
+	Placement string
 }
 
 // Configs are the paper's four configurations, in figure order.
@@ -89,7 +92,14 @@ type Cell struct {
 	// (zero under the static protocols): how many units changed engine
 	// at least once.
 	SwitchedUnits int
-	Stats         *instrument.Stats
+	// Rehomes and RehomeBytes carry the placement layer's accounting
+	// (zero under "rr"): home moves after construction, and the wire
+	// bytes of the priced home-state transfers among them. HandoffBytes
+	// is the wire total of adaptive homeless→home image pulls.
+	Rehomes      int
+	RehomeBytes  int
+	HandoffBytes int
+	Stats        *instrument.Stats
 }
 
 // Run executes one experiment under one configuration with verification.
@@ -101,6 +111,7 @@ func Run(e Experiment, c Config, procs int) (Cell, error) {
 		Dynamic:   c.Dynamic,
 		Protocol:  c.Protocol,
 		Network:   c.Network,
+		Placement: c.Placement,
 		Collect:   true,
 	})
 	if err != nil {
@@ -110,6 +121,9 @@ func Run(e Experiment, c Config, procs int) (Cell, error) {
 		Time: res.Time, Queue: res.QueueDelay,
 		Msgs: res.Messages, Bytes: res.Bytes,
 		SwitchedUnits: res.SwitchedUnits,
+		Rehomes:       res.Rehomes,
+		RehomeBytes:   res.RehomeBytes,
+		HandoffBytes:  res.HandoffBytes,
 		Stats:         res.Stats,
 	}, nil
 }
@@ -249,15 +263,16 @@ type Table1Row struct {
 
 // RunTable1 computes Table 1 (sequential simulated time and 8-processor
 // speedup at the 4 KB unit) under the given coherence protocol (empty =
-// homeless) and network model (empty = ideal).
-func RunTable1(es []Experiment, protocol, network string) ([]Table1Row, error) {
+// homeless), network model (empty = ideal), and home placement (empty =
+// round-robin).
+func RunTable1(es []Experiment, protocol, network, placement string) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, e := range es {
-		seq, err := Run(e, Config{Label: "seq", Unit: 1, Protocol: protocol, Network: network}, 1)
+		seq, err := Run(e, Config{Label: "seq", Unit: 1, Protocol: protocol, Network: network, Placement: placement}, 1)
 		if err != nil {
 			return nil, err
 		}
-		par, err := Run(e, Config{Label: "4K", Unit: 1, Protocol: protocol, Network: network}, Procs)
+		par, err := Run(e, Config{Label: "4K", Unit: 1, Protocol: protocol, Network: network, Placement: placement}, Procs)
 		if err != nil {
 			return nil, err
 		}
@@ -490,6 +505,155 @@ func RenderNetworkComparison(w io.Writer, ncs []NetworkComparison) {
 			fmt.Fprintf(w, "%-8s  %-22s  %-8s  %9.3f  %9.3f  %7s  %7s  %4s  %7s\n",
 				nc.App, nc.Dataset, row.Network,
 				base.Time.Seconds(), base.Queue.Seconds(), ratio(home), ratio(adapt), sw, ratio(dyn))
+		}
+	}
+}
+
+// --- home placement ----------------------------------------------------------
+
+// PlacementCell is one (protocol, network) outcome under one placement
+// policy.
+type PlacementCell struct {
+	Placement string
+	Protocol  string
+	Network   string
+	Cell      Cell
+}
+
+// PlacementComparison is one experiment across the home-placement
+// policies — the view asking where first-touch and JIAJIA-style
+// migration close the home-vs-homeless gap, and what the adaptive
+// hybrid's handoff costs under each.
+type PlacementComparison struct {
+	App     string
+	Dataset string
+	Cells   []PlacementCell
+}
+
+// placementProtocols are the protocols the placement axis matters for:
+// the home-based engine and the adaptive hybrid (homeless ignores
+// homes; its cells are run once per network as the comparison
+// baseline).
+var placementProtocols = []string{"home", "adaptive"}
+
+// PlacementNetworks are the interconnects the placement comparison is
+// evaluated on: the paper's contention-free arithmetic and the
+// contended shared medium, the two ends of the range over which home
+// placement moves the protocol trade.
+func PlacementNetworks() []string { return []string{"ideal", "bus"} }
+
+// RunPlacementComparison runs each experiment under every named
+// placement policy (nil/empty = all registered, sorted) for the
+// home-based and adaptive protocols on every named network (nil/empty
+// = PlacementNetworks), plus one homeless baseline cell per network.
+// All at the paper's base configuration (4 KB units); every cell is
+// verified against the sequential reference.
+func RunPlacementComparison(es []Experiment, procs int, placements, networks []string) ([]PlacementComparison, error) {
+	if len(placements) == 0 {
+		placements = tmk.PlacementNames()
+	}
+	for _, placement := range placements {
+		if !tmk.KnownPlacement(placement) {
+			return nil, fmt.Errorf("unknown placement %q (known: %s)",
+				placement, strings.Join(tmk.PlacementNames(), ", "))
+		}
+	}
+	if len(networks) == 0 {
+		networks = PlacementNetworks()
+	}
+	for _, network := range networks {
+		if !netmodel.Known(network) {
+			return nil, fmt.Errorf("unknown network model %q (known: %s)",
+				network, strings.Join(netmodel.Names(), ", "))
+		}
+	}
+	var out []PlacementComparison
+	for _, e := range es {
+		pc := PlacementComparison{App: e.App, Dataset: e.Dataset}
+		for _, network := range networks {
+			base, err := Run(e, Config{Label: "4K", Unit: 1, Protocol: "homeless", Network: network}, procs)
+			if err != nil {
+				return nil, fmt.Errorf("network %s: %w", network, err)
+			}
+			pc.Cells = append(pc.Cells, PlacementCell{
+				Placement: tmk.DefaultPlacement, Protocol: "homeless", Network: network, Cell: base,
+			})
+			for _, placement := range placements {
+				for _, protocol := range placementProtocols {
+					cell, err := Run(e, Config{
+						Label: "4K", Unit: 1,
+						Protocol: protocol, Network: network, Placement: placement,
+					}, procs)
+					if err != nil {
+						return nil, fmt.Errorf("placement %s/%s: %w", placement, protocol, err)
+					}
+					pc.Cells = append(pc.Cells, PlacementCell{
+						Placement: placement, Protocol: protocol, Network: network, Cell: cell,
+					})
+				}
+			}
+		}
+		out = append(out, pc)
+	}
+	return out, nil
+}
+
+// RenderPlacementComparison prints the placement comparison: per
+// experiment, network, and placement policy, the homeless baseline's
+// absolute time, the home-based and adaptive times as ratios to it
+// (below 1 beats homeless on that interconnect), the placement layer's
+// rehome count and transferred kilobytes, and the adaptive hybrid's
+// switched-unit count and homeless→home handoff kilobytes (which a
+// mobile placement drives to zero by migrating the home instead).
+func RenderPlacementComparison(w io.Writer, pcs []PlacementComparison) {
+	fmt.Fprintf(w, "%-8s  %-22s  %-6s  %-10s  %9s  %6s  %4s  %7s  %6s  %4s  %7s\n",
+		"Program", "Input Size", "Net", "Placement", "hless(s)", "home×", "reh", "rehKB", "adapt×", "sw", "handKB")
+	for _, pc := range pcs {
+		type key struct{ network, placement, protocol string }
+		cells := make(map[key]*Cell)
+		var networks, placements []string
+		seenNet := map[string]bool{}
+		seenPl := map[string]bool{}
+		for i := range pc.Cells {
+			c := &pc.Cells[i]
+			cells[key{c.Network, c.Placement, c.Protocol}] = &c.Cell
+			if !seenNet[c.Network] {
+				seenNet[c.Network] = true
+				networks = append(networks, c.Network)
+			}
+			if c.Protocol != "homeless" && !seenPl[c.Placement] {
+				seenPl[c.Placement] = true
+				placements = append(placements, c.Placement)
+			}
+		}
+		for _, network := range networks {
+			base := cells[key{network, tmk.DefaultPlacement, "homeless"}]
+			if base == nil || base.Time == 0 {
+				continue
+			}
+			for _, placement := range placements {
+				home := cells[key{network, placement, "home"}]
+				adapt := cells[key{network, placement, "adaptive"}]
+				ratio := func(c *Cell) string {
+					if c == nil {
+						return "-"
+					}
+					return fmt.Sprintf("%.2f", c.Time.Seconds()/base.Time.Seconds())
+				}
+				reh, rehKB := "-", "-"
+				if home != nil {
+					reh = fmt.Sprintf("%d", home.Rehomes)
+					rehKB = fmt.Sprintf("%.1f", float64(home.RehomeBytes)/1024)
+				}
+				sw, handKB := "-", "-"
+				if adapt != nil {
+					sw = fmt.Sprintf("%d", adapt.SwitchedUnits)
+					handKB = fmt.Sprintf("%.1f", float64(adapt.HandoffBytes)/1024)
+				}
+				fmt.Fprintf(w, "%-8s  %-22s  %-6s  %-10s  %9.3f  %6s  %4s  %7s  %6s  %4s  %7s\n",
+					pc.App, pc.Dataset, network, placement,
+					base.Time.Seconds(), ratio(home), reh, rehKB, ratio(adapt), sw, handKB)
+			}
 		}
 	}
 }

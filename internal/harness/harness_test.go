@@ -81,7 +81,7 @@ func TestRunAndRenderFigureSmoke(t *testing.T) {
 }
 
 func TestRunTable1Subset(t *testing.T) {
-	rows, err := RunTable1(Table1()[5:6], "", "") // Jacobi only: fast
+	rows, err := RunTable1(Table1()[5:6], "", "", "") // Jacobi only: fast
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,6 +190,74 @@ func TestRunNetworkComparison(t *testing.T) {
 	}
 
 	if _, err := RunNetworkComparison([]Experiment{e}, Procs, []string{"token-ring"}); err == nil {
+		t.Fatal("unknown network must error")
+	}
+}
+
+func TestRunPlacementComparison(t *testing.T) {
+	e := exp("Jacobi", "small")
+	pcs, err := RunPlacementComparison([]Experiment{e}, Procs, []string{"rr", "firsttouch"}, []string{"ideal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) != 1 {
+		t.Fatalf("comparison shape: %+v", pcs)
+	}
+	// One homeless baseline + 2 placements × 2 protocols on one network.
+	if len(pcs[0].Cells) != 1+2*len(placementProtocols) {
+		t.Fatalf("cell count = %d: %+v", len(pcs[0].Cells), pcs[0].Cells)
+	}
+	var base, rrHome, ftHome *Cell
+	for i := range pcs[0].Cells {
+		c := &pcs[0].Cells[i]
+		switch {
+		case c.Protocol == "homeless":
+			base = &c.Cell
+		case c.Protocol == "home" && c.Placement == "rr":
+			rrHome = &c.Cell
+		case c.Protocol == "home" && c.Placement == "firsttouch":
+			ftHome = &c.Cell
+		}
+	}
+	if base == nil || rrHome == nil || ftHome == nil {
+		t.Fatalf("missing cells: %+v", pcs[0].Cells)
+	}
+	if rrHome.Rehomes != 0 {
+		t.Fatalf("rr rehomed %d times", rrHome.Rehomes)
+	}
+	if ftHome.Rehomes == 0 {
+		t.Fatal("first-touch bound nothing on jacobi (proc 0 initializes every page)")
+	}
+	if ftHome.RehomeBytes != 0 {
+		t.Fatalf("first-touch priced its bindings: %d bytes", ftHome.RehomeBytes)
+	}
+	if ftHome.Msgs >= rrHome.Msgs {
+		t.Fatalf("first-touch (%d msgs) did not cut home traffic vs rr (%d)", ftHome.Msgs, rrHome.Msgs)
+	}
+
+	var buf bytes.Buffer
+	RenderPlacementComparison(&buf, pcs)
+	out := buf.String()
+	for _, want := range []string{"Placement", "hless(s)", "home×", "reh", "adapt×", "handKB", "firsttouch", "rr"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("placement table missing %q:\n%s", want, out)
+		}
+	}
+
+	j := PlacementComparisonReport(pcs[0])
+	if j.App != "Jacobi" || len(j.Cells) != len(pcs[0].Cells) {
+		t.Fatalf("json report shape: %+v", j)
+	}
+	for _, c := range j.Cells {
+		if c.Placement == "" || c.Protocol == "" || c.Network == "" {
+			t.Fatalf("json cell missing config echo: %+v", c)
+		}
+	}
+
+	if _, err := RunPlacementComparison([]Experiment{e}, Procs, []string{"nearest"}, nil); err == nil {
+		t.Fatal("unknown placement must error")
+	}
+	if _, err := RunPlacementComparison([]Experiment{e}, Procs, nil, []string{"token-ring"}); err == nil {
 		t.Fatal("unknown network must error")
 	}
 }

@@ -19,10 +19,17 @@ type ResultJSON struct {
 	Faults       int     `json:"faults"`
 	// SwitchedUnits, ProtocolSwitches, and HomeUnits carry the adaptive
 	// protocol's accounting (omitted under static protocols).
-	SwitchedUnits    int               `json:"switched_units,omitempty"`
-	ProtocolSwitches int               `json:"protocol_switches,omitempty"`
-	HomeUnits        int               `json:"home_units,omitempty"`
-	Stats            *instrument.Stats `json:"stats,omitempty"`
+	SwitchedUnits    int `json:"switched_units,omitempty"`
+	ProtocolSwitches int `json:"protocol_switches,omitempty"`
+	HomeUnits        int `json:"home_units,omitempty"`
+	// Placement names the run's home-placement policy; Rehomes,
+	// RehomeBytes, and HandoffBytes carry the placement layer's
+	// accounting (omitted when zero).
+	Placement    string            `json:"placement,omitempty"`
+	Rehomes      int               `json:"rehomes,omitempty"`
+	RehomeBytes  int               `json:"rehome_bytes,omitempty"`
+	HandoffBytes int               `json:"handoff_bytes,omitempty"`
+	Stats        *instrument.Stats `json:"stats,omitempty"`
 }
 
 // ResultReport converts an engine Result.
@@ -37,6 +44,10 @@ func ResultReport(r *tmk.Result) ResultJSON {
 		SwitchedUnits:    r.SwitchedUnits,
 		ProtocolSwitches: r.ProtocolSwitches,
 		HomeUnits:        r.HomeUnits,
+		Placement:        r.Placement,
+		Rehomes:          r.Rehomes,
+		RehomeBytes:      r.RehomeBytes,
+		HandoffBytes:     r.HandoffBytes,
 		Stats:            r.Stats,
 	}
 }
@@ -49,14 +60,20 @@ type CellJSON struct {
 	Config       string  `json:"config"`
 	Protocol     string  `json:"protocol"`
 	Network      string  `json:"network"`
+	Placement    string  `json:"placement"`
 	Procs        int     `json:"procs"`
 	TimeSeconds  float64 `json:"time_seconds"`
 	QueueSeconds float64 `json:"queue_seconds"`
 	Messages     int     `json:"messages"`
 	Bytes        int     `json:"bytes"`
 	// SwitchedUnits counts the units the adaptive protocol switched
-	// engine for (omitted under static protocols).
+	// engine for (omitted under static protocols); Rehomes,
+	// RehomeBytes, and HandoffBytes carry the placement layer's
+	// accounting (omitted when zero).
 	SwitchedUnits int               `json:"switched_units,omitempty"`
+	Rehomes       int               `json:"rehomes,omitempty"`
+	RehomeBytes   int               `json:"rehome_bytes,omitempty"`
+	HandoffBytes  int               `json:"handoff_bytes,omitempty"`
 	Stats         *instrument.Stats `json:"stats,omitempty"`
 }
 
@@ -69,12 +86,16 @@ func CellReport(e Experiment, cfg Config, procs int, c Cell) CellJSON {
 		Config:        cfg.Label,
 		Protocol:      protocolName(cfg.Protocol),
 		Network:       networkName(cfg.Network),
+		Placement:     placementName(cfg.Placement),
 		Procs:         procs,
 		TimeSeconds:   c.Time.Seconds(),
 		QueueSeconds:  c.Queue.Seconds(),
 		Messages:      c.Msgs,
 		Bytes:         c.Bytes,
 		SwitchedUnits: c.SwitchedUnits,
+		Rehomes:       c.Rehomes,
+		RehomeBytes:   c.RehomeBytes,
+		HandoffBytes:  c.HandoffBytes,
 		Stats:         c.Stats,
 	}
 }
@@ -88,6 +109,11 @@ func protocolName(p string) string {
 // networkName canonicalizes a network-model name the same way.
 func networkName(n string) string {
 	return tmk.Config{Network: n}.NetworkName()
+}
+
+// placementName canonicalizes a placement-policy name the same way.
+func placementName(p string) string {
+	return tmk.Config{Placement: p}.PlacementName()
 }
 
 // ProtocolRowJSON is one protocol's row of a comparison.
@@ -155,6 +181,52 @@ type NetworkComparisonJSON struct {
 	Rows    []NetworkRowJSON `json:"rows"`
 }
 
+// PlacementCellJSON is one (protocol, network) outcome under one
+// placement policy.
+type PlacementCellJSON struct {
+	Placement    string  `json:"placement"`
+	Protocol     string  `json:"protocol"`
+	Network      string  `json:"network"`
+	TimeSeconds  float64 `json:"time_seconds"`
+	QueueSeconds float64 `json:"queue_seconds"`
+	Messages     int     `json:"messages"`
+	Bytes        int     `json:"bytes"`
+	// SwitchedUnits, Rehomes, RehomeBytes, and HandoffBytes carry the
+	// adaptive and placement accounting (omitted when zero).
+	SwitchedUnits int `json:"switched_units,omitempty"`
+	Rehomes       int `json:"rehomes,omitempty"`
+	RehomeBytes   int `json:"rehome_bytes,omitempty"`
+	HandoffBytes  int `json:"handoff_bytes,omitempty"`
+}
+
+// PlacementComparisonJSON is one experiment's home-placement sweep.
+type PlacementComparisonJSON struct {
+	App     string              `json:"app"`
+	Dataset string              `json:"dataset"`
+	Cells   []PlacementCellJSON `json:"cells"`
+}
+
+// PlacementComparisonReport converts a placement comparison.
+func PlacementComparisonReport(pc PlacementComparison) PlacementComparisonJSON {
+	out := PlacementComparisonJSON{App: pc.App, Dataset: pc.Dataset}
+	for _, c := range pc.Cells {
+		out.Cells = append(out.Cells, PlacementCellJSON{
+			Placement:     c.Placement,
+			Protocol:      c.Protocol,
+			Network:       c.Network,
+			TimeSeconds:   c.Cell.Time.Seconds(),
+			QueueSeconds:  c.Cell.Queue.Seconds(),
+			Messages:      c.Cell.Msgs,
+			Bytes:         c.Cell.Bytes,
+			SwitchedUnits: c.Cell.SwitchedUnits,
+			Rehomes:       c.Cell.Rehomes,
+			RehomeBytes:   c.Cell.RehomeBytes,
+			HandoffBytes:  c.Cell.HandoffBytes,
+		})
+	}
+	return out
+}
+
 // NetworkComparisonReport converts a network comparison.
 func NetworkComparisonReport(nc NetworkComparison) NetworkComparisonJSON {
 	out := NetworkComparisonJSON{App: nc.App, Dataset: nc.Dataset}
@@ -202,6 +274,7 @@ type TrialsJSON struct {
 	Config           string       `json:"config"`
 	Protocol         string       `json:"protocol"`
 	Network          string       `json:"network"`
+	Placement        string       `json:"placement"`
 	Procs            int          `json:"procs"`
 	UnitPages        int          `json:"unit_pages"`
 	Dynamic          bool         `json:"dynamic"`
@@ -224,6 +297,7 @@ func TrialsReport(app, dataset, paper string, cfg tmk.Config, ts *tmk.TrialSumma
 		Config:           LabelFor(cfg.UnitPages, cfg.Dynamic),
 		Protocol:         cfg.ProtocolName(),
 		Network:          cfg.NetworkName(),
+		Placement:        cfg.PlacementName(),
 		Procs:            cfg.Procs,
 		UnitPages:        cfg.UnitPages,
 		Dynamic:          cfg.Dynamic,

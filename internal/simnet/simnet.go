@@ -56,6 +56,12 @@ const (
 	// protocol-management traffic, not a data message in the §5.3
 	// usefulness sense.
 	HomeHandoff
+	// HomeMigrate carries a unit's versioned home state to its new home
+	// when the placement layer rehomes the unit at a barrier
+	// (JIAJIA-style migration): the new home pulls the state from the
+	// old home in one request/reply exchange. Protocol-management
+	// traffic, like HomeHandoff.
+	HomeMigrate
 
 	numKinds
 )
@@ -63,7 +69,7 @@ const (
 var kindNames = [numKinds]string{
 	"DiffRequest", "DiffReply", "LockRequest", "LockForward",
 	"LockGrant", "BarrierArrive", "BarrierRelease", "HomeFlush",
-	"HomeHandoff",
+	"HomeHandoff", "HomeMigrate",
 }
 
 func (k MsgKind) String() string {

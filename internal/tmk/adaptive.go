@@ -3,6 +3,7 @@ package tmk
 import (
 	"repro/internal/lrc"
 	"repro/internal/mem"
+	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/vc"
 )
@@ -11,6 +12,15 @@ import (
 // with contrary writer evidence required before the adaptive protocol
 // switches a unit (Config.AdaptHysteresis overrides).
 const DefaultAdaptHysteresis = 2
+
+// defaultQueueGate derives the adaptive protocol's contention gate from
+// the cost calibration: homeless→home migration is allowed only while
+// the measured mean queue delay per message reaches MessageLeg/16
+// (9.25 µs on the paper's platform). Measured means per message on the
+// built-in models span 83 µs (bus), 26 µs (switch), and 19 µs (atm)
+// versus 3 µs (myrinet), 0.8 µs (10gbe), and 0 (ideal), so the gate
+// opens exactly on the interconnects where saving messages pays.
+func defaultQueueGate(cost sim.CostModel) sim.Duration { return cost.MessageLeg / 16 }
 
 func init() {
 	RegisterProtocol("adaptive", func(s *System) {
@@ -51,8 +61,13 @@ type adaptivePolicy struct {
 	sys        *System
 	home       *homeProtocol
 	hysteresis int
+	// queueGate is the measured mean queue delay per message required
+	// before units may migrate homeless→home (§8's network-aware
+	// evidence): on an interconnect showing no contention, homeless's
+	// extra messages are cheap and units are held homeless. Negative
+	// disables the gate (signature-only rule).
+	queueGate sim.Duration
 
-	lastVT vc.Time // merged vector time of the previous barrier
 	// streak[u] counts consecutive evidence phases contradicting unit
 	// u's current protocol; switches[u] counts u's switch events.
 	// churned[u] pins a unit homeless for the rest of the run once any
@@ -60,50 +75,71 @@ type adaptivePolicy struct {
 	// home every closed interval is a flush, so a unit that mixes
 	// lock-churn phases with quiet concurrent phases loses more during
 	// the churn than home-based misses save during the quiet.
-	streak   []int
-	switches []int
-	churned  []bool
-	total    int
+	// justSwitched[u] marks units re-pointed at the current barrier so
+	// the placement rehomer leaves their fresh homes alone.
+	streak       []int
+	switches     []int
+	churned      []bool
+	justSwitched []bool
+	total        int
 	// pending[proc] holds the ownership handoffs proc must pay for
-	// after the current barrier releases (proc is the new home).
-	pending [][]handoff
-}
-
-// handoff is one unit's homeless→home ownership transfer: the new home
-// pulls the unit's current image (bytes on the wire) from the unit's
-// causally latest writer.
-type handoff struct {
-	unit  int
-	from  int // the last writer holding the image
-	bytes int // the image's wire size
+	// after the current barrier releases (proc is the new home): the
+	// home pulls the unit's image from its causally latest writer.
+	pending [][]rehomeMove
 }
 
 func newAdaptivePolicy(s *System, home *homeProtocol) *adaptivePolicy {
+	gate := s.cfg.AdaptQueueGate
+	if gate == 0 {
+		gate = defaultQueueGate(s.cost)
+	}
 	return &adaptivePolicy{
 		sys:        s,
 		home:       home,
 		hysteresis: s.cfg.AdaptHysteresis, // fill() normalized the default
+		queueGate:  gate,
 
-		lastVT:   vc.New(s.cfg.Procs),
-		streak:   make([]int, s.numUnits),
-		switches: make([]int, s.numUnits),
-		churned:  make([]bool, s.numUnits),
-		pending:  make([][]handoff, s.cfg.Procs),
+		streak:       make([]int, s.numUnits),
+		switches:     make([]int, s.numUnits),
+		churned:      make([]bool, s.numUnits),
+		justSwitched: make([]bool, s.numUnits),
+		pending:      make([][]rehomeMove, s.cfg.Procs),
 	}
 }
 
+// contended reports the network-aware half of the §8 switch rule: the
+// interconnect's measured mean queue delay per message so far has
+// reached the gate. O(1) — both totals are simnet running counters.
+func (a *adaptivePolicy) contended() bool {
+	if a.queueGate < 0 {
+		return true // gate disabled: signature-only rule
+	}
+	msgs, _ := a.sys.net.Counts()
+	if msgs == 0 {
+		return false
+	}
+	return a.sys.net.QueueTotal() >= a.queueGate*sim.Duration(msgs)
+}
+
 // atBarrier evaluates every unit's writer signature over the phase that
-// just ended (the intervals between the previous and the current merged
-// barrier time) and re-points units whose evidence streak reached the
-// hysteresis threshold. Called with the barrier mutex held, after all
-// arrivals merged into merged and before any grant is sent.
-func (a *adaptivePolicy) atBarrier(merged vc.Time) {
+// just ended (delta: the causally sorted intervals between the previous
+// and the current merged barrier time) and re-points units whose
+// evidence streak reached the hysteresis threshold. Called with the
+// barrier mutex held, after all arrivals merged into merged and before
+// any grant is sent (and before the placement rehomer runs).
+func (a *adaptivePolicy) atBarrier(merged vc.Time, delta []*lrc.Interval) {
 	s := a.sys
-	delta := s.store.Delta(a.lastVT, merged)
-	a.lastVT = merged.Clone()
+	for u := range a.justSwitched {
+		a.justSwitched[u] = false
+	}
 	if len(delta) == 0 {
 		return
 	}
+	// The network-aware evidence (§8): homeless→home migration saves
+	// messages at a byte premium, which only pays while the
+	// interconnect is measurably contended. On a quiet network the gate
+	// holds every unit homeless — and sends home-owned units back.
+	contended := a.contended()
 
 	// The phase's intervals per unit, and the causally latest writer
 	// (delta is causally sorted, so the last occurrence wins) — the
@@ -150,7 +186,7 @@ func (a *adaptivePolicy) atBarrier(merged vc.Time) {
 		if len(ivs) > s.cfg.Procs {
 			a.churned[u] = true
 		}
-		favorsHome := !a.churned[u] && 2*concurrentWriters(ivs) >= s.cfg.Procs
+		favorsHome := contended && !a.churned[u] && 2*concurrentWriters(ivs) >= s.cfg.Procs
 		curHome := s.unitProto[u] == homeIdx
 		if favorsHome == curHome {
 			a.streak[u] = 0
@@ -163,6 +199,7 @@ func (a *adaptivePolicy) atBarrier(merged vc.Time) {
 		a.streak[u] = 0
 		a.switches[u]++
 		a.total++
+		a.justSwitched[u] = true
 		if curHome {
 			// home → homeless: writers retained their diffs in the
 			// interval store (homeProtocol.retain), so future homeless
@@ -172,8 +209,11 @@ func (a *adaptivePolicy) atBarrier(merged vc.Time) {
 		}
 		// homeless → home: seed the home's versioned log with the
 		// unit's image at the barrier's merged time (visible to every
-		// post-barrier fetcher), and schedule the home's priced pull of
-		// that image from the unit's last writer.
+		// post-barrier fetcher). Under a mobile placement the home
+		// itself migrates to the unit's last writer — the image already
+		// lives there, so nothing travels; under a static placement the
+		// fixed home must pull the image from the last writer, priced
+		// after the release (settle).
 		if history == nil {
 			history = s.store.Delta(vc.New(len(merged)), merged)
 		}
@@ -198,8 +238,15 @@ func (a *adaptivePolicy) atBarrier(merged vc.Time) {
 			a.home.seed(pg, sum, img)
 			bytes += img.WireBytes()
 		}
-		h := a.home.homeOf(u)
-		a.pending[h] = append(a.pending[h], handoff{unit: u, from: lastWriter[u], bytes: bytes})
+		if s.placement.Mobile() {
+			if s.homeOf(u) != lastWriter[u] {
+				s.homeTable[u] = int32(lastWriter[u])
+				s.nRehomes++
+			}
+		} else {
+			h := s.homeOf(u)
+			a.pending[h] = append(a.pending[h], rehomeMove{unit: u, from: lastWriter[u], bytes: bytes})
+		}
 		s.unitProto[u] = homeIdx
 	}
 }
@@ -225,27 +272,16 @@ func concurrentWriters(ivs []*lrc.Interval) int {
 }
 
 // settle pays for the ownership handoffs assigned to p at the barrier
-// that just released: one HomeHandoff request/reply exchange per
-// switched unit, from the new home to the unit's last writer, priced
-// through the network model on p's post-barrier clock. The image itself
-// was installed in the home log at the barrier (data moves through
-// shared structures, timing through clock charges — the engine's
-// standing substitution, DESIGN.md §2); a unit whose last writer is its
-// new home transfers locally, free of messages.
+// that just released: one HomeHandoff exchange per switched unit, from
+// the new home to the unit's last writer (settleMoves). The image
+// itself was installed in the home log at the barrier.
 func (a *adaptivePolicy) settle(p *Proc) {
 	hs := a.pending[p.id]
 	if len(hs) == 0 {
 		return
 	}
 	a.pending[p.id] = nil
-	for _, h := range hs {
-		if h.from == p.id {
-			continue
-		}
-		_, _, xt := p.sys.net.SendExchange(
-			simnet.HomeHandoff, simnet.HomeHandoff, p.id, h.from, 16, h.bytes, p.clock.Now())
-		p.clock.Advance(xt.Total())
-	}
+	settleMoves(p, simnet.HomeHandoff, hs)
 }
 
 // report fills a Result's adaptive accounting after the run.

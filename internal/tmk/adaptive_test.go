@@ -10,6 +10,9 @@ import (
 // every processor writes its own word of page 0 each phase (a
 // multi-writer, false-shared unit), while processor 1 alone writes
 // page 1 (a single-writer unit) and everyone reads both afterwards.
+// The contention gate is disabled: these tests exercise the signature
+// rule in isolation on the deterministic ideal network (the gate has
+// its own ideal-vs-bus coverage below).
 func adaptiveMixRun(t *testing.T, hysteresis, phases int) (*System, *Result) {
 	t.Helper()
 	sys, err := NewSystem(Config{
@@ -17,6 +20,7 @@ func adaptiveMixRun(t *testing.T, hysteresis, phases int) (*System, *Result) {
 		SegmentBytes:    2 * 4096,
 		Protocol:        "adaptive",
 		AdaptHysteresis: hysteresis,
+		AdaptQueueGate:  -1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +99,7 @@ func TestAdaptiveHysteresisNoThrash(t *testing.T) {
 			SegmentBytes:    4096,
 			Protocol:        "adaptive",
 			AdaptHysteresis: hysteresis,
+			AdaptQueueGate:  -1,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -158,6 +163,7 @@ func TestAdaptiveResetDeterminism(t *testing.T) {
 		SegmentBytes:    2 * 4096,
 		Protocol:        "adaptive",
 		AdaptHysteresis: 2,
+		AdaptQueueGate:  -1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -44,8 +44,8 @@ func init() {
 // service cost, as for homeless diff requests (DESIGN.md §5).
 type homeProtocol struct {
 	invalidator
-	nprocs int
-	up     int // unit size in pages
+	sys *System
+	up  int // unit size in pages
 	// retain keeps released diffs attached to the published interval in
 	// addition to flushing them home. Off for the static configuration
 	// (the writer discards after flushing, as in real HLRC); on under
@@ -76,17 +76,19 @@ type flushEntry struct {
 
 func newHomeProtocol(s *System) *homeProtocol {
 	return &homeProtocol{
-		nprocs: s.cfg.Procs,
-		up:     s.cfg.UnitPages,
-		log:    make(map[int][]flushEntry),
+		sys: s,
+		up:  s.cfg.UnitPages,
+		log: make(map[int][]flushEntry),
 	}
 }
 
 func (*homeProtocol) Name() string { return "home" }
 
-// homeOf statically assigns unit u to a home processor, round-robin —
-// the paper-era default (first-touch and migration are future policies).
-func (h *homeProtocol) homeOf(u int) int { return u % h.nprocs }
+// homeOf returns unit u's current home processor from the System-owned
+// home table — the placement policy's assignment ("rr" reproduces the
+// paper-era u % nprocs exactly), possibly moved at barriers by the
+// rehoming layer (see placement.go).
+func (h *homeProtocol) homeOf(u int) int { return h.sys.homeOf(u) }
 
 // Release flushes the diffs to each written unit's home — one one-way
 // HomeFlush message per remote home, appended to the home's versioned

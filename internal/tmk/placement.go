@@ -1,0 +1,376 @@
+package tmk
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lrc"
+	"repro/internal/simnet"
+	"repro/internal/vc"
+)
+
+// Placement decides the home processor of every consistency unit for
+// the home-based engines: the initial assignment at construction, and
+// an optional rehoming decision at each barrier. The home table itself
+// is System-owned per-unit state (homeTable, like the protocol
+// dispatch table), so the static home protocol and the adaptive hybrid
+// share one rehoming path; a Placement only supplies the policy.
+//
+// Placement instances serve one System build (Reset constructs fresh
+// ones) and are consulted only while every processor is blocked in a
+// barrier, so they need no internal synchronization.
+type Placement interface {
+	// Name returns the registry name ("rr", "block", "firsttouch",
+	// "migrate").
+	Name() string
+
+	// InitialHome returns unit u's home at construction.
+	InitialHome(u int) int
+
+	// Rehome is consulted at a barrier for every unit written during
+	// the phase that just ended: given the unit, its current home, and
+	// the phase's writer evidence, it returns the unit's home for the
+	// next phase and whether the move transfers home state over the
+	// wire (a priced exchange from the old home) or is a free binding
+	// (first-touch resolution, which assigns a home that never held
+	// state worth moving). Returning home == cur means no move.
+	Rehome(u, cur int, ev PhaseWriters) (home int, transfer bool)
+
+	// MayRehome reports whether Rehome can ever move a home. A policy
+	// returning false ("rr", "block") costs nothing at barriers: no
+	// rehoming driver is installed and no phase evidence is distilled
+	// for it — the pre-placement-layer engine's exact behavior.
+	MayRehome() bool
+
+	// Mobile reports whether the policy may move homes after
+	// construction. The adaptive protocol uses it to cheapen its
+	// homeless→home handoff: under a mobile placement the home migrates
+	// to the unit's last writer — where the image already lives — so no
+	// image travels; under a static placement the (fixed) home must
+	// pull the image from the last writer (DESIGN.md §8, §9).
+	Mobile() bool
+}
+
+// PhaseWriters is one unit's writer evidence for the barrier phase
+// that just ended, extracted from the interval store's causally sorted
+// delta — deterministic regardless of goroutine scheduling.
+type PhaseWriters struct {
+	// Phase is the 1-based barrier episode that just ended.
+	Phase int
+	// First and Last are the causally first and last processors to
+	// write the unit this phase.
+	First int
+	Last  int
+	// Dominant is the processor that closed the most intervals on the
+	// unit this phase (ties resolved toward the lowest processor id).
+	Dominant int
+	// Writers is the number of distinct writing processors, and
+	// Intervals the number of intervals closed on the unit.
+	Writers   int
+	Intervals int
+}
+
+// DefaultPlacement is the paper-era static assignment: round-robin.
+const DefaultPlacement = "rr"
+
+// A placement factory builds a policy instance for one System build.
+var placementFactories = map[string]func(nprocs, nunits int) Placement{}
+
+// RegisterPlacement adds a placement factory under a (case-insensitive)
+// name. Called from init; a duplicate name is a programming error.
+func RegisterPlacement(name string, factory func(nprocs, nunits int) Placement) {
+	key := strings.ToLower(name)
+	if key == "" || factory == nil {
+		panic("tmk: incomplete placement registration")
+	}
+	if _, dup := placementFactories[key]; dup {
+		panic(fmt.Sprintf("tmk: duplicate placement registration %q", key))
+	}
+	placementFactories[key] = factory
+}
+
+// PlacementNames returns the registered placement names, sorted.
+func PlacementNames() []string {
+	out := make([]string, 0, len(placementFactories))
+	for name := range placementFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KnownPlacement reports whether name (case-insensitive) is registered.
+func KnownPlacement(name string) bool {
+	_, ok := placementFactories[strings.ToLower(name)]
+	return ok
+}
+
+func init() {
+	RegisterPlacement("rr", func(nprocs, nunits int) Placement {
+		return rrPlacement{nprocs: nprocs}
+	})
+	RegisterPlacement("block", func(nprocs, nunits int) Placement {
+		return blockPlacement{nprocs: nprocs, nunits: nunits}
+	})
+	RegisterPlacement("firsttouch", func(nprocs, nunits int) Placement {
+		return &firstTouchPlacement{nprocs: nprocs, resolved: make([]bool, nunits)}
+	})
+	RegisterPlacement("migrate", func(nprocs, nunits int) Placement {
+		return &migratePlacement{
+			nprocs:  nprocs,
+			lastDom: make([]int32, nunits),
+			streak:  make([]uint8, nunits),
+		}
+	})
+}
+
+// rrPlacement is the paper-era default: unit u lives on processor
+// u % nprocs, forever. Bit-identical to the pre-placement engine.
+type rrPlacement struct{ nprocs int }
+
+func (rrPlacement) Name() string            { return "rr" }
+func (p rrPlacement) InitialHome(u int) int { return u % p.nprocs }
+func (rrPlacement) Rehome(u, cur int, ev PhaseWriters) (int, bool) {
+	return cur, false
+}
+func (rrPlacement) MayRehome() bool { return false }
+func (rrPlacement) Mobile() bool    { return false }
+
+// blockPlacement assigns contiguous unit ranges to processors —
+// nprocs nearly equal bands, matching the banded data decompositions
+// most of the paper's applications use.
+type blockPlacement struct{ nprocs, nunits int }
+
+func (blockPlacement) Name() string { return "block" }
+func (p blockPlacement) InitialHome(u int) int {
+	return u * p.nprocs / p.nunits
+}
+func (blockPlacement) Rehome(u, cur int, ev PhaseWriters) (int, bool) {
+	return cur, false
+}
+func (blockPlacement) MayRehome() bool { return false }
+func (blockPlacement) Mobile() bool    { return false }
+
+// firstTouchPlacement starts from the round-robin assignment and binds
+// each unit, once, to the causally first processor that wrote it —
+// resolved deterministically at the first barrier after the unit's
+// first write (reads do not publish intervals, so "first toucher"
+// means first writer; the §5.4 applications write what they own). The
+// binding is free: it is an assignment, not a migration — the real
+// systems it models bind the home at the first fault, before any home
+// state exists (the provisional home's flushes of the resolving phase
+// are the one-phase distortion DESIGN.md §9 accounts for).
+type firstTouchPlacement struct {
+	nprocs   int
+	resolved []bool
+}
+
+func (*firstTouchPlacement) Name() string            { return "firsttouch" }
+func (p *firstTouchPlacement) InitialHome(u int) int { return u % p.nprocs }
+func (p *firstTouchPlacement) Rehome(u, cur int, ev PhaseWriters) (int, bool) {
+	if p.resolved[u] {
+		return cur, false
+	}
+	p.resolved[u] = true
+	return ev.First, false
+}
+func (*firstTouchPlacement) MayRehome() bool { return true }
+func (*firstTouchPlacement) Mobile() bool    { return false }
+
+// migrateHysteresis is the number of consecutive evidence phases the
+// same non-home processor must dominate a unit's writes before the
+// unit's home migrates there. One-phase dominance is noise — an
+// initialization sweep, a boundary exchange — and each move costs a
+// home-state transfer on the wire, so migration demands the same
+// stability of evidence the adaptive protocol's switch rule does
+// (DefaultAdaptHysteresis).
+const migrateHysteresis = 2
+
+// migratePlacement is JIAJIA-style home migration: homes start
+// round-robin (the paper-era assignment), and a unit whose phase
+// writes were dominated by the same processor — not its current home —
+// for migrateHysteresis consecutive evidence phases moves there, the
+// move priced as a wire transfer of the unit's home state (the new
+// home pulls the versioned image from the old home). Homes chase the
+// writers, so sustained single-writer phases make that writer's
+// flushes local, while alternating-writer units (stencil boundaries)
+// never show stable dominance and stay put.
+type migratePlacement struct {
+	nprocs  int
+	lastDom []int32
+	streak  []uint8
+}
+
+func (*migratePlacement) Name() string            { return "migrate" }
+func (p *migratePlacement) InitialHome(u int) int { return u % p.nprocs }
+func (p *migratePlacement) Rehome(u, cur int, ev PhaseWriters) (int, bool) {
+	if ev.Dominant == cur {
+		p.streak[u] = 0
+		return cur, false
+	}
+	if int(p.lastDom[u]) != ev.Dominant {
+		p.lastDom[u] = int32(ev.Dominant)
+		p.streak[u] = 1
+	} else if p.streak[u] < migrateHysteresis {
+		p.streak[u]++
+	}
+	if p.streak[u] < migrateHysteresis {
+		return cur, false
+	}
+	p.streak[u] = 0
+	return ev.Dominant, true
+}
+func (*migratePlacement) MayRehome() bool { return true }
+func (*migratePlacement) Mobile() bool    { return true }
+
+// --- the System-side rehoming driver ---------------------------------------
+
+// rehomeMove is one scheduled home-state transfer: the new home pulls
+// unit's versioned image (bytes on the wire) from the old home — or,
+// for an adaptive ownership handoff, from the unit's last writer.
+type rehomeMove struct {
+	unit  int
+	from  int // the processor holding the state
+	bytes int // the state's wire size
+}
+
+// settleMoves pays for scheduled home-state moves on p's post-barrier
+// clock: one request/reply exchange of the given kind per move, from p
+// (the new home) to the holder. The state itself stays in the shared
+// versioned log (data moves through shared structures, timing through
+// clock charges — DESIGN.md §2); a move whose holder is p itself is a
+// local copy, free of messages.
+func settleMoves(p *Proc, kind simnet.MsgKind, moves []rehomeMove) {
+	for _, m := range moves {
+		if m.from == p.id {
+			continue
+		}
+		_, _, xt := p.sys.net.SendExchange(kind, kind, p.id, m.from, 16, m.bytes, p.clock.Now())
+		p.clock.Advance(xt.Total())
+	}
+}
+
+// rehomer drives barrier-time home moves for the installed home-based
+// engine: it distills the phase's writer evidence per unit, consults
+// the placement policy, mutates the System home table (race-free: every
+// processor is blocked in the barrier), and schedules the priced
+// transfers the moved-to processors pay after the release. It is
+// installed whenever a home-based engine is (protocols "home" and
+// "adaptive"); under "rr" it is a no-op by policy.
+type rehomer struct {
+	sys   *System
+	home  *homeProtocol
+	phase int
+	// pending[proc] holds the home-state transfers proc must pay for
+	// after the current barrier releases (proc is the new home).
+	pending [][]rehomeMove
+}
+
+func newRehomer(s *System, home *homeProtocol) *rehomer {
+	return &rehomer{sys: s, home: home, pending: make([][]rehomeMove, s.cfg.Procs)}
+}
+
+// atBarrier applies the placement policy to every unit written during
+// the phase that just ended. delta is the store's causally sorted
+// interval delta for the phase. Called with the barrier mutex held,
+// after the adaptive policy (if any) re-pointed units, and before any
+// grant is sent.
+func (r *rehomer) atBarrier(merged vc.Time, delta []*lrc.Interval) {
+	r.phase++
+	if len(delta) == 0 {
+		return
+	}
+	s := r.sys
+
+	// Distill each written unit's evidence from the causally sorted
+	// delta: first/last occurrence and per-processor interval counts.
+	type acc struct {
+		ev     PhaseWriters
+		counts map[int]int
+	}
+	byUnit := make(map[int]*acc)
+	for _, iv := range delta {
+		for _, u := range iv.Units {
+			a := byUnit[u]
+			if a == nil {
+				a = &acc{ev: PhaseWriters{Phase: r.phase, First: iv.ID.Proc}, counts: make(map[int]int)}
+				byUnit[u] = a
+			}
+			a.ev.Last = iv.ID.Proc
+			a.ev.Intervals++
+			a.counts[iv.ID.Proc]++
+		}
+	}
+
+	// Ascending unit order keeps the rehome schedule — and with it the
+	// message log — deterministic.
+	mobile := s.placement.Mobile()
+	for u := 0; u < s.numUnits; u++ {
+		a := byUnit[u]
+		if a == nil {
+			continue
+		}
+		// A mobile policy chases live home state, so it is consulted
+		// only for units the home engine currently owns and the
+		// adaptive policy did not just re-point: a freshly claimed unit
+		// was placed at its last writer by the switch itself, a freshly
+		// relinquished (or still-homeless) one has no home state worth
+		// chasing — and skipping the consult keeps the policy's
+		// dominance streaks from being consumed on decisions that could
+		// not apply. Binding policies (first-touch) are always
+		// consulted: a binding is free, valid for homeless-owned units
+		// (it decides where a later switch homes them), and must see
+		// the unit's true first-write evidence even when the adaptive
+		// policy switched the unit at this same barrier.
+		if mobile && (!s.unitIsHome(u) || (s.policy != nil && s.policy.justSwitched[u])) {
+			continue
+		}
+		a.ev.Writers = len(a.counts)
+		best, bestN := -1, 0
+		for pr := 0; pr < s.cfg.Procs; pr++ {
+			if n := a.counts[pr]; n > bestN {
+				best, bestN = pr, n
+			}
+		}
+		a.ev.Dominant = best
+
+		cur := s.homeOf(u)
+		nh, transfer := s.placement.Rehome(u, cur, a.ev)
+		if nh == cur || nh < 0 || nh >= s.cfg.Procs {
+			continue
+		}
+		if transfer && !s.unitIsHome(u) {
+			// No live home state to move (a non-mobile policy asked for
+			// a transfer on a homeless-owned unit): nothing to price,
+			// nothing to decide.
+			continue
+		}
+		s.homeTable[u] = int32(nh)
+		s.nRehomes++
+		if transfer {
+			// The new home pulls the unit's versioned state from the
+			// old one: priced as one exchange after the release,
+			// carrying the unit's pages reconstructed at the barrier's
+			// merged time (every flush in the log is covered by it).
+			bytes := 0
+			for pg := u * s.cfg.UnitPages; pg < (u+1)*s.cfg.UnitPages; pg++ {
+				bytes += r.home.pageImage(pg, merged).WireBytes()
+			}
+			s.nRehomeBytes += bytes
+			r.pending[nh] = append(r.pending[nh], rehomeMove{unit: u, from: cur, bytes: bytes})
+		}
+	}
+}
+
+// settle pays for the home-state transfers assigned to p at the
+// barrier that just released: one HomeMigrate exchange per moved unit,
+// from the new home to the old one (settleMoves).
+func (r *rehomer) settle(p *Proc) {
+	moves := r.pending[p.id]
+	if len(moves) == 0 {
+		return
+	}
+	r.pending[p.id] = nil
+	settleMoves(p, simnet.HomeMigrate, moves)
+}

@@ -138,12 +138,23 @@ func (p *Proc) Barrier() {
 	b.arrived++
 	if b.arrived == b.n {
 		// Every processor is blocked in this barrier: the adaptive
-		// policy (if any) may now re-point units between protocols.
-		// Its evaluation is folded into the manager cost below; the
-		// ownership handoffs it schedules are priced per-processor
-		// after the release (see adaptivePolicy.settle).
-		if p.sys.policy != nil {
-			p.sys.policy.atBarrier(b.vt)
+		// policy (if any) may now re-point units between protocols,
+		// and the placement rehomer (if a home-based engine is
+		// installed) may move unit homes. Both consume the same
+		// causally sorted phase delta; their evaluation is folded into
+		// the manager cost below, and the ownership handoffs and
+		// home-state transfers they schedule are priced per-processor
+		// after the release (see adaptivePolicy.settle and
+		// rehomer.settle).
+		if sys := p.sys; sys.policy != nil || sys.rehomer != nil {
+			delta := sys.store.Delta(sys.lastBarrierVT, b.vt)
+			if sys.policy != nil {
+				sys.policy.atBarrier(b.vt, delta)
+			}
+			if sys.rehomer != nil {
+				sys.rehomer.atBarrier(b.vt, delta)
+			}
+			sys.lastBarrierVT = b.vt.Clone()
 		}
 		// Manager cost: per-arrival servicing plus the merge/broadcast.
 		release := b.maxClock + cost.BarrierManager +
@@ -167,6 +178,9 @@ func (p *Proc) Barrier() {
 	p.clock.Advance(rt.Total)
 	if p.sys.policy != nil {
 		p.sys.policy.settle(p)
+	}
+	if p.sys.rehomer != nil {
+		p.sys.rehomer.settle(p)
 	}
 	p.rebuildGroups()
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/vc"
 )
 
 // Config describes one DSM instance.
@@ -54,6 +55,26 @@ type Config struct {
 	// a unit's current protocol required before the unit switches.
 	// Zero selects DefaultAdaptHysteresis; ignored by static protocols.
 	AdaptHysteresis int
+	// AdaptQueueGate is the adaptive protocol's contention gate: a unit
+	// migrates homeless→home only while the network's measured mean
+	// queue delay per message is at least this duration — on an
+	// uncontended interconnect the homeless protocol's extra messages
+	// cost little, so units are held homeless. Zero selects the default
+	// (MessageLeg/16 of the active cost model, which separates the
+	// contended models from ideal and the fast presets); a negative
+	// value disables the gate, making the switch rule signature-only.
+	// Ignored by static protocols.
+	AdaptQueueGate sim.Duration
+	// Placement selects the home-placement policy by registry name
+	// (case-insensitive): "rr" (round-robin, the paper-era default),
+	// "block" (contiguous unit ranges), "firsttouch" (home = the
+	// unit's causally first writer, bound at the first barrier after
+	// the first write), or "migrate" (JIAJIA-style: the home chases
+	// the dominant writer at each barrier, with the state transfer
+	// priced on the wire). Only home-based engines ("home",
+	// "adaptive") consult homes; under "homeless" the policy is inert.
+	// See PlacementNames for the full set.
+	Placement string
 	// Network selects the interconnect timing model by registry name
 	// (case-insensitive; see netmodel.Names). Empty selects "ideal",
 	// the paper's flat contention-free cost arithmetic; "bus" and
@@ -100,6 +121,14 @@ func (c *Config) fill() error {
 	if c.AdaptHysteresis == 0 {
 		c.AdaptHysteresis = DefaultAdaptHysteresis
 	}
+	c.Placement = strings.ToLower(c.Placement)
+	if c.Placement == "" {
+		c.Placement = DefaultPlacement
+	}
+	if !KnownPlacement(c.Placement) {
+		return fmt.Errorf("tmk: unknown placement %q (known: %s)",
+			c.Placement, strings.Join(PlacementNames(), ", "))
+	}
 	c.Network = strings.ToLower(c.Network)
 	if c.Network == "" {
 		c.Network = netmodel.Default
@@ -129,6 +158,15 @@ func (c Config) ProtocolName() string {
 	return strings.ToLower(c.Protocol)
 }
 
+// PlacementName returns the configured home-placement policy name with
+// the default filled in, without mutating the config.
+func (c Config) PlacementName() string {
+	if c.Placement == "" {
+		return DefaultPlacement
+	}
+	return strings.ToLower(c.Placement)
+}
+
 // UnitBytes returns the consistency-unit size in bytes.
 func (c Config) UnitBytes() int { return c.UnitPages * mem.PageSize }
 
@@ -149,6 +187,20 @@ type System struct {
 	protos    []Protocol
 	unitProto []uint8
 	policy    *adaptivePolicy
+
+	// The home-placement layer: homeTable[u] is unit u's current home
+	// processor (consulted only by home-based engines), placement the
+	// policy that assigned it, and rehomer the barrier-time driver that
+	// lets the policy move homes mid-run (nil when no home-based engine
+	// is installed). lastBarrierVT is the previous barrier's merged
+	// vector time — the lower bound of the phase delta both the
+	// placement layer and the adaptive policy evaluate.
+	placement     Placement
+	homeTable     []int32
+	rehomer       *rehomer
+	lastBarrierVT vc.Time
+	nRehomes      int
+	nRehomeBytes  int
 
 	segBytes int
 	numPages int
@@ -192,7 +244,9 @@ func NewSystem(cfg Config) (*System, error) {
 		numPages: segBytes / mem.PageSize,
 	}
 	s.numUnits = s.numPages / cfg.UnitPages
+	s.setupPlacement()
 	protocolSetups[cfg.Protocol](s)
+	s.setupRehomer()
 	if cfg.Collect {
 		s.col = instrument.NewCollector(cfg.Procs, segBytes)
 	}
@@ -222,7 +276,9 @@ func (s *System) Reset() {
 	model.Reset()
 	s.net = simnet.NewWithModel(s.cost, model, netOptions(s.cfg)...)
 	s.store = lrc.NewStore(s.cfg.Procs)
+	s.setupPlacement()
 	protocolSetups[s.cfg.Protocol](s)
+	s.setupRehomer()
 	if s.cfg.Collect {
 		s.col = instrument.NewCollector(s.cfg.Procs, s.segBytes)
 	}
@@ -253,6 +309,55 @@ func (s *System) Config() Config { return s.cfg }
 // Protocol returns the configured coherence protocol's registry name
 // ("homeless", "home", "adaptive").
 func (s *System) Protocol() string { return s.cfg.Protocol }
+
+// Placement returns the configured home-placement policy's registry
+// name ("rr", "block", "firsttouch", "migrate").
+func (s *System) Placement() string { return s.cfg.Placement }
+
+// setupPlacement builds a fresh placement policy and initial home
+// table for this System build. Called before the protocol setup
+// (engines read homes only at run time) in NewSystem and Reset.
+func (s *System) setupPlacement() {
+	s.placement = placementFactories[s.cfg.Placement](s.cfg.Procs, s.numUnits)
+	s.homeTable = make([]int32, s.numUnits)
+	for u := range s.homeTable {
+		s.homeTable[u] = int32(s.placement.InitialHome(u))
+	}
+	s.lastBarrierVT = vc.New(s.cfg.Procs)
+	s.nRehomes = 0
+	s.nRehomeBytes = 0
+	s.rehomer = nil
+}
+
+// setupRehomer installs the barrier-time rehoming driver when the
+// installed configuration includes a home-based engine and the
+// placement policy can actually move homes — under "rr"/"block" no
+// driver exists and barriers pay nothing for the placement layer.
+// Called after the protocol setup in NewSystem and Reset.
+func (s *System) setupRehomer() {
+	if !s.placement.MayRehome() {
+		return
+	}
+	for _, pr := range s.protos {
+		if hp, ok := pr.(*homeProtocol); ok {
+			s.rehomer = newRehomer(s, hp)
+			return
+		}
+	}
+}
+
+// homeOf returns the processor currently homing unit u. The home table
+// is only mutated while every processor is blocked in a barrier (see
+// rehomer and adaptivePolicy), so reads on processor goroutines are
+// race-free.
+func (s *System) homeOf(u int) int { return int(s.homeTable[u]) }
+
+// unitIsHome reports whether unit u is currently owned by a home-based
+// engine — i.e. whether live home state exists for it.
+func (s *System) unitIsHome(u int) bool {
+	_, ok := s.protoOf(u).(*homeProtocol)
+	return ok
+}
 
 // Network returns the active interconnect timing model's name.
 func (s *System) Network() string { return s.net.Model().Name() }
@@ -358,6 +463,17 @@ type Result struct {
 	ProtocolSwitches int
 	UnitSwitches     map[int]int
 	HomeUnits        int
+	// Placement names the home-placement policy of the run; Rehomes
+	// counts the home moves it made after construction (first-touch
+	// bindings, migrations, and adaptive home seedings under a mobile
+	// policy), and RehomeBytes the wire bytes of the priced home-state
+	// transfers among them. HandoffBytes is the wire total of the
+	// adaptive protocol's homeless→home image pulls (zero under a
+	// mobile placement, whose switches migrate the home instead).
+	Placement    string
+	Rehomes      int
+	RehomeBytes  int
+	HandoffBytes int
 }
 
 // Run executes body once per processor, concurrently, and returns the
@@ -397,6 +513,10 @@ func (s *System) Run(body func(p *Proc)) *Result {
 	res.Messages, res.Bytes = s.net.Counts()
 	res.Network = s.net.Model().Name()
 	res.QueueDelay = s.net.QueueTotal()
+	res.Placement = s.cfg.Placement
+	res.Rehomes = s.nRehomes
+	res.RehomeBytes = s.nRehomeBytes
+	res.HandoffBytes = s.net.CountsByKind()[simnet.HomeHandoff].Bytes
 	if s.policy != nil {
 		s.policy.report(res)
 	}

@@ -1,9 +1,13 @@
 //go:build !race
 
-// Golden-count regression tests for the protocol-layer refactor: the
-// homeless protocol must reproduce the pre-refactor engine's message
-// and byte counts exactly (values recorded from `dsmrun -json` at
-// commit 60f6268, before the Protocol interface was extracted).
+// Golden-count regression tests for the protocol- and placement-layer
+// refactors: the homeless protocol must reproduce the pre-refactor
+// engine's message and byte counts exactly (values recorded from
+// `dsmrun -json` at commit 60f6268, before the Protocol interface was
+// extracted), and the home protocol under the default round-robin
+// placement must reproduce the pre-placement-layer counts exactly
+// (values recorded at commit feb88a8, before homeOf moved behind the
+// Placement policy).
 //
 // Excluded under the race detector: the TSP counts depend on lock
 // hand-off order, which is deterministic in normal runs but perturbed
@@ -53,6 +57,47 @@ func TestHomelessGoldenCounts(t *testing.T) {
 			}
 			if g.time != 0 && res.Time != g.time {
 				t.Errorf("time = %v, want pre-refactor %v", res.Time, g.time)
+			}
+		})
+	}
+}
+
+func TestHomeRRGoldenCounts(t *testing.T) {
+	goldens := []struct {
+		app, dataset string
+		messages     int
+		bytes        int
+		time         sim.Duration // 0 = not asserted
+	}{
+		// dsmrun -app jacobi -dataset small -protocol home -json @ feb88a8
+		{"Jacobi", "small", 307, 848112, 67212680 * sim.Nanosecond},
+		// dsmrun -app tsp -dataset small -protocol home -json @ feb88a8
+		{"TSP", "small", 161, 78904, 0},
+	}
+	for _, g := range goldens {
+		g := g
+		t.Run(g.app, func(t *testing.T) {
+			e, ok := apps.Lookup(g.app, g.dataset)
+			if !ok {
+				t.Fatalf("%s/%s not registered", g.app, g.dataset)
+			}
+			res, err := apps.Run(e.Make(8), tmk.Config{
+				Procs: 8, UnitPages: 1, Protocol: "home", Placement: "rr", Collect: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Messages != g.messages {
+				t.Errorf("messages = %d, want pre-placement-layer %d", res.Messages, g.messages)
+			}
+			if res.Bytes != g.bytes {
+				t.Errorf("bytes = %d, want pre-placement-layer %d", res.Bytes, g.bytes)
+			}
+			if g.time != 0 && res.Time != g.time {
+				t.Errorf("time = %v, want pre-placement-layer %v", res.Time, g.time)
+			}
+			if res.Rehomes != 0 || res.RehomeBytes != 0 {
+				t.Errorf("rr placement rehomed: %d moves, %d bytes", res.Rehomes, res.RehomeBytes)
 			}
 		})
 	}

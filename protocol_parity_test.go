@@ -36,22 +36,23 @@ func TestProtocolParityOnApps(t *testing.T) {
 	}
 }
 
-// Bit-identical memory images across protocols: a program mixing
-// barrier phases (producer/consumer with false sharing) and lock-based
-// accumulation must leave every shared word identical under homeless
-// and home-based LRC.
+// Bit-identical memory images across protocols and placements: a
+// program mixing barrier phases (producer/consumer with false sharing)
+// and lock-based accumulation must leave every shared word identical
+// under homeless and home-based LRC, wherever the homes are placed and
+// however they move mid-run.
 func TestProtocolParityBitIdentical(t *testing.T) {
 	const (
 		procs = 8
 		pages = 16
 	)
-	image := func(protocol string) []int64 {
-		sys, err := New(
+	image := func(protocol string, extra ...Option) []int64 {
+		sys, err := New(append([]Option{
 			WithProcs(procs),
-			WithSegmentBytes(pages*PageSize),
+			WithSegmentBytes(pages * PageSize),
 			WithLocks(2),
 			WithProtocol(protocol),
-		)
+		}, extra...)...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,18 +100,31 @@ func TestProtocolParityBitIdentical(t *testing.T) {
 	if len(baseline) == 0 {
 		t.Fatal("empty baseline image")
 	}
-	for _, protocol := range Protocols() {
-		if protocol == "homeless" {
-			continue
-		}
-		got := image(protocol)
+	check := func(label string, got []int64) {
+		t.Helper()
 		if len(got) != len(baseline) {
-			t.Fatalf("%s: image length %d != %d", protocol, len(got), len(baseline))
+			t.Fatalf("%s: image length %d != %d", label, len(got), len(baseline))
 		}
 		for w := range got {
 			if got[w] != baseline[w] {
 				t.Fatalf("%s: word %d = %d, homeless has %d",
-					protocol, w, got[w], baseline[w])
+					label, w, got[w], baseline[w])
+			}
+		}
+	}
+	for _, protocol := range Protocols() {
+		if protocol == "homeless" {
+			continue
+		}
+		for _, placement := range Placements() {
+			check(protocol+"/"+placement, image(protocol, WithPlacement(placement)))
+		}
+		// The gate-disabled adaptive engine switches on ideal, exercising
+		// handoffs (static placements) and home migration (mobile).
+		if protocol == "adaptive" {
+			for _, placement := range Placements() {
+				check(protocol+"/nogate/"+placement,
+					image(protocol, WithPlacement(placement), WithAdaptiveQueueGate(-1)))
 			}
 		}
 	}
@@ -149,20 +163,126 @@ func TestAdaptiveParityAllApps(t *testing.T) {
 }
 
 // The adaptive protocol actually engages on the paper's false-sharing
-// workload: Barnes' falsely shared force pages must migrate to the home
-// engine, and the run must still verify against the sequential
-// reference (Check runs inside apps.Run).
+// workload: on a contended interconnect (the §8 contention gate holds
+// units homeless on the quiet ideal network), Barnes' falsely shared
+// force pages must migrate to the home engine, and the run must still
+// verify against the sequential reference (Check runs inside apps.Run).
 func TestAdaptiveSwitchesOnBarnes(t *testing.T) {
 	e, ok := apps.Lookup("Barnes", "512")
 	if !ok {
 		t.Fatal("Barnes/512 not registered")
 	}
-	res, err := apps.Run(e.Make(8), tmk.Config{Procs: 8, Protocol: "adaptive", Collect: true})
+	res, err := apps.Run(e.Make(8), tmk.Config{
+		Procs: 8, Protocol: "adaptive", Network: "bus", Collect: true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.SwitchedUnits == 0 || res.HomeUnits == 0 {
 		t.Fatalf("Barnes/512 did not migrate its false-shared units: %+v", res)
+	}
+}
+
+// The §8 contention gate is network-aware: the same Barnes run that
+// migrates units on the contended bus holds every unit homeless on the
+// contention-free ideal network (where homeless's extra messages cost
+// nothing extra), and behaves identically to plain homeless there.
+func TestAdaptiveContentionGateIdealVsBus(t *testing.T) {
+	e, ok := apps.Lookup("Barnes", "512")
+	if !ok {
+		t.Fatal("Barnes/512 not registered")
+	}
+	onIdeal, err := apps.Run(e.Make(8), tmk.Config{Procs: 8, Protocol: "adaptive", Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onIdeal.ProtocolSwitches != 0 || onIdeal.HomeUnits != 0 {
+		t.Fatalf("gate open on ideal: %d switches, %d home units",
+			onIdeal.ProtocolSwitches, onIdeal.HomeUnits)
+	}
+	homeless, err := apps.Run(e.Make(8), tmk.Config{Procs: 8, Protocol: "homeless", Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onIdeal.Messages != homeless.Messages || onIdeal.Bytes != homeless.Bytes {
+		t.Fatalf("held-homeless adaptive (%d msgs, %d bytes) != homeless (%d, %d)",
+			onIdeal.Messages, onIdeal.Bytes, homeless.Messages, homeless.Bytes)
+	}
+	onBus, err := apps.Run(e.Make(8), tmk.Config{
+		Procs: 8, Protocol: "adaptive", Network: "bus", Collect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onBus.ProtocolSwitches == 0 {
+		t.Fatal("gate closed on the contended bus: no switches")
+	}
+}
+
+// Placement parity on real applications: jacobi and water on the small
+// datasets must verify against the sequential reference under the
+// home-based engine for every registered placement — where the homes
+// live (and whether they move) never changes what the program computes.
+func TestPlacementParityOnApps(t *testing.T) {
+	for _, name := range []string{"Jacobi", "Water"} {
+		for _, placement := range tmk.PlacementNames() {
+			name, placement := name, placement
+			t.Run(name+"/"+placement, func(t *testing.T) {
+				t.Parallel()
+				e, ok := apps.Lookup(name, "small")
+				if !ok {
+					t.Fatalf("%s/small not registered", name)
+				}
+				res, err := apps.Run(e.Make(8),
+					tmk.Config{Procs: 8, Protocol: "home", Placement: placement, Collect: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Messages <= 0 || res.Time <= 0 {
+					t.Fatalf("implausible result: %+v", res)
+				}
+				if res.Placement != placement {
+					t.Fatalf("Result.Placement = %q, want %q", res.Placement, placement)
+				}
+				if res.RehomeBytes > 0 && res.Rehomes == 0 {
+					t.Fatalf("rehome accounting inconsistent: %+v", res)
+				}
+			})
+		}
+	}
+}
+
+// WithPlacement validates its argument and surfaces unknown placements
+// as errors from New, never panics; Placements lists the registry.
+func TestWithPlacementValidation(t *testing.T) {
+	for _, good := range []string{"rr", "Block", "FIRSTTOUCH", "migrate"} {
+		if _, err := New(WithPlacement(good)); err != nil {
+			t.Fatalf("WithPlacement(%s): %v", good, err)
+		}
+	}
+	_, err := New(WithPlacement("bogus"))
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want descriptive error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "firsttouch") {
+		t.Fatalf("error should list known placements, got %v", err)
+	}
+	want := []string{"block", "firsttouch", "migrate", "rr"}
+	got := Placements()
+	if len(got) != len(want) {
+		t.Fatalf("Placements() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Placements() = %v, want %v", got, want)
+		}
+	}
+	sys, err := New(WithProtocol("home"), WithPlacement("firsttouch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Config().Placement; got != "firsttouch" {
+		t.Fatalf("Config().Placement = %q, want firsttouch", got)
 	}
 }
 
