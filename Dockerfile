@@ -1,0 +1,16 @@
+# dsmd — the DSM experiment service (see README "Serving").
+#
+#   docker build -t dsmd .
+#   docker run -p 8080:8080 dsmd
+
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/dsmd ./cmd/dsmd
+
+FROM scratch
+COPY --from=build /out/dsmd /dsmd
+ENV DSMD_ADDR=:8080
+EXPOSE 8080
+ENTRYPOINT ["/dsmd"]

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench bench-check networks placements
+.PHONY: all test vet bench bench-check networks placements serve loadtest docker
 
 all: test
 
@@ -35,3 +35,18 @@ networks:
 # ideal and bus, every registered policy).
 placements:
 	$(GO) run ./cmd/dsmbench -placements
+
+# serve starts the experiment service on DSMD_ADDR (default :8080).
+# Configure with DSMD_ADDR / DSMD_CACHE_ENTRIES / DSMD_MAX_CONCURRENT_RUNS.
+serve:
+	$(GO) run ./cmd/dsmd
+
+# loadtest fires concurrent mixed hit/miss spec traffic at an in-process
+# experiment service backed by the real engine and reports requests/sec,
+# engine-run count, and cache hit rate.
+loadtest:
+	$(GO) test ./internal/expsvc/ -run NoTestsJustBench -bench BenchmarkServerMixed -benchtime 2s
+
+# docker builds the dsmd container image (static binary, FROM scratch).
+docker:
+	docker build -t dsmd .

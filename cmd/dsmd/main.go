@@ -1,0 +1,117 @@
+// Command dsmd is the DSM experiment service: a long-running HTTP
+// control plane over the workload registry and the simulation engine.
+// POST an experiment spec to /v1/run and get back the same JSON report
+// dsmrun -json emits; identical concurrent specs coalesce into one
+// engine execution, and completed cells are served from a
+// content-addressed result cache (GET /v1/cells/{hash}).
+//
+// Configuration is by environment:
+//
+//	DSMD_ADDR                 listen address       (default :8080)
+//	DSMD_CACHE_ENTRIES        result-cache LRU cap (default 1024)
+//	DSMD_MAX_CONCURRENT_RUNS  engine run pool      (default GOMAXPROCS)
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// requests finish (bounded by a drain timeout), then the process exits.
+//
+// Example:
+//
+//	dsmd &
+//	curl -s localhost:8080/v1/registry | head
+//	curl -s -X POST localhost:8080/v1/run -d '{"app":"jacobi","network":"bus"}'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/expsvc"
+)
+
+const drainTimeout = 30 * time.Second
+
+func main() {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+		Level: slog.LevelInfo,
+	}))
+	slog.SetDefault(logger)
+
+	addr := getenv("DSMD_ADDR", ":8080")
+	cacheEntries, err := getenvInt("DSMD_CACHE_ENTRIES", expsvc.DefaultCacheEntries)
+	if err != nil {
+		fatal(logger, err)
+	}
+	maxRuns, err := getenvInt("DSMD_MAX_CONCURRENT_RUNS", 0) // 0 = GOMAXPROCS
+	if err != nil {
+		fatal(logger, err)
+	}
+
+	svc := expsvc.New(expsvc.Config{
+		CacheEntries:      cacheEntries,
+		MaxConcurrentRuns: maxRuns,
+		Logger:            logger,
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Info("dsmd listening",
+		"addr", addr, "cache_entries", cacheEntries,
+		"max_concurrent_runs", svc.Stats().MaxConcurrentRuns)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(logger, err)
+		}
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		logger.Info("signal received; draining", "timeout", drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(logger, fmt.Errorf("drain: %w", err))
+		}
+		logger.Info("dsmd stopped")
+	}
+}
+
+func getenv(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}
+
+func getenvInt(key string, fallback int) (int, error) {
+	v := os.Getenv(key)
+	if v == "" {
+		return fallback, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: %w", key, v, err)
+	}
+	return n, nil
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("dsmd failed", "err", err)
+	os.Exit(1)
+}

@@ -15,17 +15,22 @@
 //	dsmrun -app jacobi -protocol home -placement firsttouch   # first-writer homes
 //	dsmrun -app jacobi -protocol home -placement migrate      # JIAJIA-style home migration
 //	dsmrun -list                                  # registered workloads + protocols + networks + placements
+//	dsmrun -list -json                            # the same registries, machine-readable (= GET /v1/registry on dsmd)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/apps"
 	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/expsvc"
 	"repro/internal/harness"
 	"repro/internal/netmodel"
 	"repro/internal/tmk"
@@ -49,6 +54,16 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		if *jsonOut {
+			// The same document the service's GET /v1/registry serves —
+			// one shared helper, so the two surfaces cannot drift.
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(expsvc.Registry()); err != nil {
+				fail(err)
+			}
+			return
+		}
 		for _, e := range apps.Entries() {
 			paper := ""
 			if e.Paper != "" {
@@ -84,7 +99,11 @@ func main() {
 		Protocol: *protocol, Network: *network, Placement: *placement,
 		Collect: true,
 	}
-	ts, err := apps.RunTrials(e.Make(*procs), cfg, *trials)
+	// Ctrl-C (or SIGTERM) stops the remaining trials instead of running
+	// the cell to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ts, err := apps.RunTrialsContext(ctx, e.Make(*procs), cfg, *trials)
 	if err != nil {
 		fail(err)
 	}

@@ -56,6 +56,7 @@
 package dsm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -358,6 +359,18 @@ func (s *System) Run(body func(p *Proc)) *Result { return s.eng.Run(body) }
 // all trials report bit-identical times. The System itself is left
 // untouched (its allocations and any prior Run's state survive).
 func (s *System) RunTrials(n int, body func(p *Proc)) (*Trials, error) {
+	return s.RunTrialsContext(context.Background(), n, body)
+}
+
+// RunTrialsContext is RunTrials with cancellation: ctx is consulted
+// before each trial starts, so an aborted caller (a closed HTTP
+// request, a Ctrl-C'd CLI) skips the trials not yet launched instead of
+// running them all to completion, and the call reports ctx's error. A
+// trial already executing runs to its end — the simulated processors
+// synchronize through barriers and locks that cannot be torn down
+// mid-phase — so cancellation latency is bounded by the in-flight
+// trials.
+func (s *System) RunTrialsContext(ctx context.Context, n int, body func(p *Proc)) (*Trials, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("dsm: RunTrials needs a positive trial count (got %d)", n)
 	}
@@ -376,6 +389,10 @@ func (s *System) RunTrials(n int, body func(p *Proc)) (*Trials, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			eng, err := tmk.NewSystem(cfg)
 			if err != nil {
 				errs[i] = err
@@ -385,6 +402,9 @@ func (s *System) RunTrials(n int, body func(p *Proc)) (*Trials, error) {
 		}(i)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dsm: RunTrials canceled: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,8 @@
 package dsm
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -311,5 +313,31 @@ func TestPublicAPIDynamicAggregation(t *testing.T) {
 	// Rounds 2 and 3 fetch the learned 4-page group in one exchange.
 	if res.Stats.Exchanges != 4+1+1 {
 		t.Fatalf("exchanges = %d, want 6", res.Stats.Exchanges)
+	}
+}
+
+// A context canceled before RunTrialsContext starts must abort the call
+// with the context's error and run no trials at all; the plain RunTrials
+// path keeps working unchanged.
+func TestPublicAPIRunTrialsContextCanceled(t *testing.T) {
+	sys, err := New(WithProcs(2), WithSegmentBytes(4*PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if _, err := sys.RunTrialsContext(ctx, 3, func(p *Proc) { ran = true; p.Barrier() }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunTrialsContext error = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("a trial body ran under a pre-canceled context")
+	}
+	res, err := sys.RunTrials(2, func(p *Proc) { p.Barrier() })
+	if err != nil {
+		t.Fatalf("RunTrials after canceled call: %v", err)
+	}
+	if len(res.Trials) != 2 {
+		t.Fatalf("trials = %d, want 2", len(res.Trials))
 	}
 }

@@ -12,6 +12,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mem"
@@ -71,6 +72,16 @@ func Run(w Workload, cfg tmk.Config) (*tmk.Result, error) {
 // between trials), verifying every trial against the sequential
 // reference, and returns the per-trial and aggregate results.
 func RunTrials(w Workload, cfg tmk.Config, n int) (*tmk.TrialSummary, error) {
+	return RunTrialsContext(context.Background(), w, cfg, n)
+}
+
+// RunTrialsContext is RunTrials with cancellation: ctx is consulted
+// before each trial, so an aborted caller (a closed HTTP request, a
+// Ctrl-C'd CLI) stops the remaining trials instead of running the cell
+// to completion. A trial already executing runs to its end — the
+// simulated processors synchronize through barriers and locks that
+// cannot be torn down mid-phase — so cancellation latency is one trial.
+func RunTrialsContext(ctx context.Context, w Workload, cfg tmk.Config, n int) (*tmk.TrialSummary, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("apps: trial count must be positive (got %d)", n)
 	}
@@ -80,6 +91,9 @@ func RunTrials(w Workload, cfg tmk.Config, n int) (*tmk.TrialSummary, error) {
 	}
 	trials := make([]*tmk.Result, 0, n)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("apps: canceled after %d/%d trials: %w", i, n, err)
+		}
 		trials = append(trials, sys.Run(w.Body))
 		if err := w.Check(); err != nil {
 			return nil, fmt.Errorf("trial %d/%d: %w", i+1, n, err)

@@ -1,9 +1,13 @@
 package apps
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/mem"
+	"repro/internal/tmk"
 )
 
 func TestBandBalanced(t *testing.T) {
@@ -74,5 +78,33 @@ func TestLocalMemRoundTrip(t *testing.T) {
 	m.Compute(100) // must be a no-op
 	if m.ReadF64(8) != 2.5 {
 		t.Fatal("Compute must not disturb memory")
+	}
+}
+
+// A context canceled partway through a cell's trials must stop the
+// remaining trials and report how far it got; a pre-canceled context
+// runs none.
+func TestRunTrialsContextCanceled(t *testing.T) {
+	e, ok := Lookup("jacobi", "small")
+	if !ok {
+		t.Fatal("jacobi/small not registered")
+	}
+	wl := e.Make(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunTrialsContext(ctx, wl, tmk.Config{Procs: 2}, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunTrialsContext error = %v, want context.Canceled", err)
+	}
+	if want := "canceled after 0/3 trials"; err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not report trial progress %q", err, want)
+	}
+	// The plain path still runs the cell.
+	sum, err := RunTrials(wl, tmk.Config{Procs: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Trials) != 2 {
+		t.Fatalf("trials = %d, want 2", len(sum.Trials))
 	}
 }

@@ -1,0 +1,91 @@
+package expsvc
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheEntries is the result cache's default LRU bound.
+const DefaultCacheEntries = 1024
+
+// Cache is the content-addressed result cache: canonical spec hash →
+// marshaled report. The engine is deterministic, so an entry can never
+// go stale — there is no TTL, only an LRU entry bound to keep a
+// long-running service from holding every cell of an unbounded
+// experiment grid.
+type Cache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type cacheEntry struct {
+	hash string
+	body []byte
+}
+
+// NewCache builds a cache bounded to max entries (max <= 0 selects
+// DefaultCacheEntries).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for a hash, refreshing its recency. The
+// returned slice is shared — callers must not mutate it.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[hash]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Add inserts (or refreshes) an entry and evicts from the LRU tail past
+// the bound.
+func (c *Cache) Add(hash string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[hash]; ok {
+		// Determinism means a re-run produced the same body; keep the
+		// newer slice anyway and refresh recency.
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[hash] = c.ll.PushFront(&cacheEntry{hash: hash, body: body})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).hash)
+		c.evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Capacity returns the LRU bound.
+func (c *Cache) Capacity() int { return c.max }
+
+// Evictions returns the number of entries dropped over the bound.
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

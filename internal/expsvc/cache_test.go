@@ -1,0 +1,247 @@
+package expsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUBound(t *testing.T) {
+	c := NewCache(3)
+	for i := 0; i < 5; i++ {
+		c.Add(fmt.Sprintf("h%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if c.Evictions() != 2 {
+		t.Fatalf("Evictions = %d, want 2", c.Evictions())
+	}
+	for _, gone := range []string{"h0", "h1"} {
+		if _, ok := c.Get(gone); ok {
+			t.Errorf("%s survived eviction", gone)
+		}
+	}
+	for _, kept := range []string{"h2", "h3", "h4"} {
+		if _, ok := c.Get(kept); !ok {
+			t.Errorf("%s was evicted out of LRU order", kept)
+		}
+	}
+}
+
+func TestCacheGetRefreshesRecency(t *testing.T) {
+	c := NewCache(2)
+	c.Add("a", []byte("a"))
+	c.Add("b", []byte("b"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Add("c", []byte("c")) // must evict b, not the just-touched a
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived; Get did not refresh recency of a")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite being most recently used")
+	}
+}
+
+func TestCacheAddExistingUpdates(t *testing.T) {
+	c := NewCache(2)
+	c.Add("a", []byte("old"))
+	c.Add("a", []byte("new"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if got, _ := c.Get("a"); string(got) != "new" {
+		t.Fatalf("Get = %q, want new", got)
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	if got := NewCache(0).Capacity(); got != DefaultCacheEntries {
+		t.Fatalf("Capacity = %d, want %d", got, DefaultCacheEntries)
+	}
+}
+
+// N concurrent Do calls under one key must execute fn exactly once and
+// all observe its result.
+func TestCoalesceSingleExecution(t *testing.T) {
+	var g group
+	var execs atomic.Int32
+	release := make(chan struct{})
+	const callers = 8
+
+	var wg sync.WaitGroup
+	var joins atomic.Int32
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, err, joined := g.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+				execs.Add(1)
+				<-release
+				return []byte("result"), nil
+			}, nil)
+			if err != nil || string(body) != "result" {
+				t.Errorf("Do = %q, %v", body, err)
+			}
+			if joined {
+				joins.Add(1)
+			}
+		}()
+	}
+	// Wait until every caller is either the executor or a waiter, then
+	// release the single execution.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		var waiters int
+		if f := g.flights["k"]; f != nil {
+			waiters = f.waiters
+		}
+		g.mu.Unlock()
+		if waiters == callers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("callers never converged on one flight (waiters=%d)", waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if execs.Load() != 1 {
+		t.Fatalf("fn executed %d times, want 1", execs.Load())
+	}
+	if joins.Load() != callers-1 {
+		t.Fatalf("joined = %d, want %d", joins.Load(), callers-1)
+	}
+}
+
+func TestCoalesceDistinctKeysRunIndependently(t *testing.T) {
+	var g group
+	var execs atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err, _ := g.Do(context.Background(), fmt.Sprintf("k%d", i), func(context.Context) ([]byte, error) {
+				execs.Add(1)
+				return nil, nil
+			}, nil)
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if execs.Load() != 3 {
+		t.Fatalf("execs = %d, want 3", execs.Load())
+	}
+}
+
+// A canceled caller stops waiting immediately; when the last waiter
+// leaves, the flight's context is canceled so the run can abort.
+func TestCoalesceLastWaiterCancelsFlight(t *testing.T) {
+	var g group
+	fnCtxDone := make(chan struct{})
+	started := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(ctx, "k", func(fctx context.Context) ([]byte, error) {
+			close(started)
+			<-fctx.Done()
+			close(fnCtxDone)
+			return nil, fctx.Err()
+		}, nil)
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("caller error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled caller kept waiting")
+	}
+	select {
+	case <-fnCtxDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context was not canceled after the last waiter left")
+	}
+}
+
+// A canceled caller must NOT cancel a flight other callers still wait on.
+func TestCoalesceSurvivingWaiterKeepsFlight(t *testing.T) {
+	var g group
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	// Patient caller starts the flight.
+	patientDone := make(chan error, 1)
+	go func() {
+		body, err, _ := g.Do(context.Background(), "k", func(fctx context.Context) ([]byte, error) {
+			close(started)
+			select {
+			case <-release:
+				return []byte("ok"), nil
+			case <-fctx.Done():
+				return nil, fctx.Err()
+			}
+		}, nil)
+		if string(body) != "ok" {
+			patientDone <- fmt.Errorf("body %q err %v", body, err)
+			return
+		}
+		patientDone <- err
+	}()
+	<-started
+
+	// Impatient caller joins, then aborts.
+	ctx, cancel := context.WithCancel(context.Background())
+	impatient := make(chan error, 1)
+	go func() {
+		_, err, joined := g.Do(ctx, "k", func(context.Context) ([]byte, error) {
+			return nil, errors.New("second execution must not happen")
+		}, nil)
+		if !joined {
+			err = errors.New("impatient caller did not join the flight")
+		}
+		impatient <- err
+	}()
+	// The impatient caller has joined once the flight has two waiters.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		f := g.flights["k"]
+		waiters := 0
+		if f != nil {
+			waiters = f.waiters
+		}
+		g.mu.Unlock()
+		if waiters == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second caller never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-impatient; !errors.Is(err, context.Canceled) {
+		t.Fatalf("impatient caller error = %v", err)
+	}
+	close(release)
+	if err := <-patientDone; err != nil {
+		t.Fatalf("patient caller: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package expsvc
+
+import (
+	"context"
+	"sync"
+)
+
+// group coalesces concurrent executions by key, singleflight-style: the
+// first caller of a key starts fn, every concurrent caller of the same
+// key waits for that one execution and shares its result. Unlike the
+// classic singleflight, callers carry contexts: a caller whose context
+// ends stops waiting immediately, and when the *last* waiter of a
+// flight walks away the flight's own context is canceled, so an engine
+// run nobody is waiting for anymore stops instead of running its grid
+// cell to completion.
+type group struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{} // closed when fn has returned
+	body    []byte
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// Do executes fn under key, coalescing with any in-flight execution of
+// the same key. It returns fn's result, and joined=true when this
+// caller shared another caller's execution rather than starting its
+// own. onJoin (optional) fires as soon as this caller joins an existing
+// flight — before any waiting — so live gauges can observe coalescing
+// while the shared execution is still running. On ctx expiry Do returns
+// ctx.Err() without waiting for fn.
+//
+// fn runs on a context detached from any single caller (canceled only
+// when every waiter has left), because its result is shared.
+func (g *group) Do(ctx context.Context, key string, fn func(context.Context) ([]byte, error), onJoin func()) (body []byte, err error, joined bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	f, ok := g.flights[key]
+	if ok {
+		f.waiters++
+		g.mu.Unlock()
+		if onJoin != nil {
+			onJoin()
+		}
+	} else {
+		fctx, cancel := context.WithCancel(context.Background())
+		f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		g.flights[key] = f
+		g.mu.Unlock()
+		go func() {
+			body, err := fn(fctx)
+			g.mu.Lock()
+			f.body, f.err = body, err
+			delete(g.flights, key)
+			g.mu.Unlock()
+			cancel()
+			close(f.done)
+		}()
+	}
+
+	select {
+	case <-f.done:
+		return f.body, f.err, ok
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		abandoned := f.waiters == 0
+		g.mu.Unlock()
+		if abandoned {
+			f.cancel()
+		}
+		return nil, ctx.Err(), ok
+	}
+}

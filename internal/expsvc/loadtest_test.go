@@ -1,0 +1,75 @@
+package expsvc
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkServerMixed is the service's load test (`make loadtest`): it
+// fires concurrent mixed hit/miss spec traffic at an httptest-mounted
+// server backed by the real engine and reports requests/sec. The spec
+// pool cycles a handful of small real cells, so the first pass through
+// the pool is all engine executions (misses, possibly coalesced) and
+// steady state is cache hits — the capacity-planning question a serving
+// cache answers: what does repeat sweep traffic cost once the grid's
+// hot cells are resident?
+func BenchmarkServerMixed(b *testing.B) {
+	s := New(Config{Logger: quietLogger()})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	specs := []string{
+		`{"app":"jacobi","dataset":"small"}`,
+		`{"app":"jacobi","dataset":"small","network":"bus"}`,
+		`{"app":"water","dataset":"small"}`,
+		`{"app":"water","dataset":"small","protocol":"home"}`,
+		`{"app":"tsp","dataset":"small"}`,
+		`{"app":"mgs","dataset":"small","network":"myrinet"}`,
+		`{"app":"jacobi","dataset":"small","protocol":"adaptive","network":"bus"}`,
+		`{"app":"shallow","dataset":"small","unit_pages":2}`,
+	}
+
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			spec := specs[int(next.Add(1))%len(specs)]
+			resp, err := client.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(spec))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+			}
+			_ = resp.Body.Close()
+		}
+	})
+	b.StopTimer()
+
+	st := s.Stats()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(st.Runs), "engine-runs")
+	b.ReportMetric(100*float64(st.Hits)/float64(max64(st.Hits+st.Misses, 1)), "hit%")
+	if b.N >= 2*len(specs) && st.Runs > uint64(len(specs)) {
+		// Determinism + content addressing: each distinct cell executes
+		// at most once (coalescing may even make it fewer than N cells
+		// under concurrency).
+		b.Fatalf("engine ran %d times for %d distinct cells", st.Runs, len(specs))
+	}
+	if testing.Verbose() {
+		fmt.Printf("stats: %+v\n", st)
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+package expsvc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+)
+
+// Runner executes one resolved spec and returns the marshaled report
+// body (a harness.TrialsJSON — byte-for-byte what dsmrun -json emits).
+// The server's default is EngineRunner; tests substitute counting or
+// blocking runners to pin the coalescing and caching invariants.
+type Runner func(ctx context.Context, r *Resolved) ([]byte, error)
+
+// EngineRunner runs the spec through the real simulation engine: build
+// the workload from its registry factory, run the configured trials
+// (verifying each against the sequential reference), and marshal the
+// trial report. Cancellation of ctx stops remaining trials.
+func EngineRunner(ctx context.Context, r *Resolved) ([]byte, error) {
+	w := r.Entry.Make(r.Procs())
+	cfg := r.EngineConfig()
+	ts, err := apps.RunTrialsContext(ctx, w, cfg, r.Trials())
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", r.Entry.App, r.Entry.Dataset, err)
+	}
+	rep := harness.TrialsReport(r.Entry.App, r.Entry.Dataset, r.Entry.Paper, cfg, ts)
+	return json.Marshal(rep)
+}

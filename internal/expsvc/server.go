@@ -1,0 +1,279 @@
+package expsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures a Server.
+type Config struct {
+	// CacheEntries bounds the result cache (<= 0 selects
+	// DefaultCacheEntries).
+	CacheEntries int
+	// MaxConcurrentRuns bounds simultaneous engine executions (<= 0
+	// selects GOMAXPROCS). Each execution already runs one goroutine
+	// per simulated processor, so admitting every request at once would
+	// oversubscribe the machine under sweep traffic; excess runs queue
+	// on the pool.
+	MaxConcurrentRuns int
+	// Runner substitutes the engine execution (nil selects
+	// EngineRunner; tests inject counting/blocking runners).
+	Runner Runner
+	// Logger receives request and run logs (nil selects slog.Default).
+	Logger *slog.Logger
+}
+
+// Server is the experiment service's HTTP surface. It is an
+// http.Handler; cmd/dsmd mounts it in an http.Server with env
+// configuration and graceful shutdown.
+//
+//	POST /v1/run          run (or serve from cache) an experiment spec
+//	GET  /v1/cells/{hash} look up a completed cell by canonical hash
+//	GET  /v1/registry     discover apps/datasets/protocols/networks/placements
+//	GET  /v1/stats        cache, coalescing, and run counters
+//	GET  /healthz         liveness
+type Server struct {
+	mux      *http.ServeMux
+	cache    *Cache
+	coalesce group
+	run      Runner
+	runSlots chan struct{}
+	log      *slog.Logger
+	started  time.Time
+
+	hits      atomic.Uint64 // /v1/run requests served straight from cache
+	misses    atomic.Uint64 // /v1/run requests that had to execute or join a flight
+	coalesced atomic.Uint64 // subset of misses that joined another caller's flight
+	runs      atomic.Uint64 // engine executions completed
+	runErrors atomic.Uint64 // engine executions that failed (incl. canceled)
+	inFlight  atomic.Int64  // engine executions currently holding a run slot
+	runNanos  atomic.Int64  // cumulative engine wall time
+}
+
+// New builds the service.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrentRuns <= 0 {
+		cfg.MaxConcurrentRuns = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = EngineRunner
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		mux:      http.NewServeMux(),
+		cache:    NewCache(cfg.CacheEntries),
+		run:      cfg.Runner,
+		runSlots: make(chan struct{}, cfg.MaxConcurrentRuns),
+		log:      cfg.Logger,
+		started:  time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/cells/{hash}", s.handleCell)
+	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Response headers carrying the cache identity and disposition of a
+// /v1/run answer (the body stays exactly the CLI report type).
+const (
+	// HeaderCell carries the canonical spec hash — the /v1/cells address
+	// of the answered cell.
+	HeaderCell = "Dsm-Cell"
+	// HeaderCache reports how the request was satisfied: "hit" (served
+	// from cache), "miss" (this request executed the engine), or
+	// "coalesced" (shared a concurrent identical request's execution).
+	HeaderCache = "Dsm-Cache"
+)
+
+// maxSpecBytes bounds a /v1/run request body; a spec is a handful of
+// short fields.
+const maxSpecBytes = 1 << 16
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.writeError(w, http.StatusBadRequest, "", fmt.Sprintf("malformed spec: %v", err))
+		return
+	}
+	res, err := Resolve(spec)
+	if err != nil {
+		var fe *FieldError
+		if errors.As(err, &fe) {
+			s.writeError(w, http.StatusBadRequest, fe.Field, fe.Msg)
+		} else {
+			s.writeError(w, http.StatusBadRequest, "", err.Error())
+		}
+		return
+	}
+	hash := res.Hash()
+	log := s.log.With("app", res.Entry.App, "dataset", res.Entry.Dataset, "cell", hash[:12])
+
+	if body, ok := s.cache.Get(hash); ok {
+		s.hits.Add(1)
+		log.Debug("cell served from cache")
+		s.writeCell(w, hash, "hit", body)
+		return
+	}
+	s.misses.Add(1)
+
+	body, err, joined := s.coalesce.Do(r.Context(), hash, func(ctx context.Context) ([]byte, error) {
+		// A flight for this hash may have completed between the cache
+		// check and Do; re-check so the engine never re-runs a cell that
+		// was cached in the gap.
+		if body, ok := s.cache.Get(hash); ok {
+			return body, nil
+		}
+		return s.execute(ctx, res, hash, log)
+	}, func() { s.coalesced.Add(1) })
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone; nothing useful can be written.
+			log.Info("run abandoned", "err", err)
+			s.writeError(w, statusClientClosedRequest, "", err.Error())
+			return
+		}
+		log.Error("run failed", "err", err)
+		s.writeError(w, http.StatusInternalServerError, "", err.Error())
+		return
+	}
+	disposition := "miss"
+	if joined {
+		disposition = "coalesced"
+	}
+	s.writeCell(w, hash, disposition, body)
+}
+
+// statusClientClosedRequest mirrors nginx's non-standard 499 for
+// requests abandoned by the client mid-run.
+const statusClientClosedRequest = 499
+
+// execute runs one engine execution under the bounded run pool.
+func (s *Server) execute(ctx context.Context, res *Resolved, hash string, log *slog.Logger) ([]byte, error) {
+	select {
+	case s.runSlots <- struct{}{}:
+		defer func() { <-s.runSlots }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	start := time.Now()
+	body, err := s.run(ctx, res)
+	elapsed := time.Since(start)
+	if err != nil {
+		s.runErrors.Add(1)
+		return nil, err
+	}
+	s.runs.Add(1)
+	s.runNanos.Add(int64(elapsed))
+	s.cache.Add(hash, body)
+	log.Info("cell executed", "wall_ms", elapsed.Milliseconds(), "bytes", len(body))
+	return body, nil
+}
+
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	body, ok := s.cache.Get(hash)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "", fmt.Sprintf("no cached cell %s", hash))
+		return
+	}
+	s.writeCell(w, hash, "hit", body)
+}
+
+func (s *Server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, Registry())
+}
+
+// StatsJSON is the /v1/stats document.
+type StatsJSON struct {
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	CacheEntries      int     `json:"cache_entries"`
+	CacheCapacity     int     `json:"cache_capacity"`
+	CacheEvictions    uint64  `json:"cache_evictions"`
+	Hits              uint64  `json:"hits"`
+	Misses            uint64  `json:"misses"`
+	Coalesced         uint64  `json:"coalesced"`
+	Runs              uint64  `json:"runs"`
+	RunErrors         uint64  `json:"run_errors"`
+	InFlightRuns      int64   `json:"in_flight_runs"`
+	MaxConcurrentRuns int     `json:"max_concurrent_runs"`
+	TotalRunSeconds   float64 `json:"total_run_seconds"`
+	MeanRunSeconds    float64 `json:"mean_run_seconds"`
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() StatsJSON {
+	st := StatsJSON{
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		CacheEntries:      s.cache.Len(),
+		CacheCapacity:     s.cache.Capacity(),
+		CacheEvictions:    s.cache.Evictions(),
+		Hits:              s.hits.Load(),
+		Misses:            s.misses.Load(),
+		Coalesced:         s.coalesced.Load(),
+		Runs:              s.runs.Load(),
+		RunErrors:         s.runErrors.Load(),
+		InFlightRuns:      s.inFlight.Load(),
+		MaxConcurrentRuns: cap(s.runSlots),
+		TotalRunSeconds:   time.Duration(s.runNanos.Load()).Seconds(),
+	}
+	if st.Runs > 0 {
+		st.MeanRunSeconds = st.TotalRunSeconds / float64(st.Runs)
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) writeCell(w http.ResponseWriter, hash, disposition string, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set(HeaderCell, hash)
+	h.Set(HeaderCache, disposition)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, field, msg string) {
+	s.writeJSON(w, status, errorJSON{Error: msg, Field: field})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("response encode failed", "err", err)
+	}
+}

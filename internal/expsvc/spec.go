@@ -1,0 +1,293 @@
+// Package expsvc is the DSM experiment service: a long-running HTTP
+// control plane over the workload registry and the simulation engine.
+// A client POSTs an experiment spec (application × dataset × protocol ×
+// network × placement × unit size × trials) to /v1/run and receives the
+// same JSON report the CLIs emit (harness.TrialsJSON). Between the
+// handlers and the engine sit the two mechanisms that make the service
+// cheaper than one-shot CLI runs under repeat and concurrent traffic:
+//
+//   - a content-addressed result cache keyed by a canonical spec hash
+//     (registry-resolved defaults and stable field ordering, so
+//     "network":"ideal" and an omitted network address the same cell).
+//     Runs are deterministic, so entries never go stale — the cache is
+//     TTL-free and bounded only by an LRU entry count; and
+//
+//   - a singleflight coalescer: N identical concurrent specs execute
+//     the engine exactly once, and every caller shares the one result.
+//
+// cmd/dsmd wraps the service in env-var configuration and graceful
+// shutdown; see DESIGN.md §10.
+package expsvc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/harness"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+// Service-side bounds on a spec. The engine itself accepts anything
+// positive; a shared server does not hand one request an unbounded
+// slice of the machine.
+const (
+	// MaxProcs bounds the simulated processor count of one request.
+	MaxProcs = 128
+	// MaxTrials bounds the independent trials of one request.
+	MaxTrials = 64
+	// MaxUnitPages bounds the static consistency unit of one request.
+	MaxUnitPages = 64
+)
+
+// Spec is the wire form of one experiment request: which registry cell
+// to run and under which engine configuration. Every field except App
+// is optional; omitted fields take the same defaults the CLIs use, and
+// the canonical hash is computed after defaulting, so a spec that spells
+// a default out loud addresses the same cached cell as one that omits
+// it.
+type Spec struct {
+	// App is the application name, case-insensitive ("jacobi", "MGS").
+	App string `json:"app"`
+	// Dataset selects the input size exactly as dsmrun -dataset does:
+	// exact name, substring ("1024"), or small/medium/large; empty is
+	// the app's default (primary paper) dataset.
+	Dataset string `json:"dataset,omitempty"`
+	// UnitPages is the static consistency unit in 4 KB pages (default 1).
+	UnitPages int `json:"unit_pages,omitempty"`
+	// Dynamic enables §4 dynamic aggregation (requires unit_pages ≤ 1).
+	Dynamic bool `json:"dynamic,omitempty"`
+	// Protocol, Network, and Placement name the coherence protocol,
+	// interconnect model, and home-placement policy (case-insensitive;
+	// empty = registry defaults: homeless, ideal, rr).
+	Protocol  string `json:"protocol,omitempty"`
+	Network   string `json:"network,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	// Procs is the simulated processor count (default 8, the paper's).
+	Procs int `json:"procs,omitempty"`
+	// Trials is the number of independent trials (default 1).
+	Trials int `json:"trials,omitempty"`
+	// AdaptHysteresis and AdaptQueueGateUS tune the adaptive protocol
+	// (ignored — and canonicalized away — under static protocols).
+	// A zero hysteresis selects the engine default; a negative gate
+	// disables the contention gate, zero selects the calibrated default.
+	AdaptHysteresis  int     `json:"adapt_hysteresis,omitempty"`
+	AdaptQueueGateUS float64 `json:"adapt_queue_gate_us,omitempty"`
+	// Collect enables the §5.3 instrumentation; the full Stats breakdown
+	// rides along in every trial of the report. Off (the default) runs
+	// are faster and responses smaller.
+	Collect bool `json:"collect,omitempty"`
+}
+
+// FieldError is a spec validation failure tied to the offending field,
+// so a 400 response can name exactly what to fix.
+type FieldError struct {
+	Field string `json:"field"`
+	Msg   string `json:"error"`
+}
+
+func (e *FieldError) Error() string { return "spec." + e.Field + ": " + e.Msg }
+
+func fieldErrf(field, format string, args ...any) *FieldError {
+	return &FieldError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// canonical is the resolved spec in hashing form: every field explicit,
+// registry-canonical names, defaults filled. Two Specs that resolve to
+// the same canonical struct are the same experiment cell — json.Marshal
+// over a struct emits fields in declaration order, so the serialization
+// (and therefore the hash) is stable by construction.
+type canonical struct {
+	App              string  `json:"app"`
+	Dataset          string  `json:"dataset"`
+	UnitPages        int     `json:"unit_pages"`
+	Dynamic          bool    `json:"dynamic"`
+	Protocol         string  `json:"protocol"`
+	Network          string  `json:"network"`
+	Placement        string  `json:"placement"`
+	Procs            int     `json:"procs"`
+	Trials           int     `json:"trials"`
+	AdaptHysteresis  int     `json:"adapt_hysteresis"`
+	AdaptQueueGateUS float64 `json:"adapt_queue_gate_us"`
+	Collect          bool    `json:"collect"`
+}
+
+// Resolved is a validated spec bound to its registry entry, ready to
+// hash and to run.
+type Resolved struct {
+	// Entry is the workload factory the spec named.
+	Entry apps.Entry
+	c     canonical
+}
+
+// Resolve validates a spec against the workload, protocol, network, and
+// placement registries and fills every default, returning the resolved
+// form or a *FieldError naming the offending field. Resolution is the
+// canonicalization step: after it, equivalent specs (defaulted vs.
+// explicit, substring vs. full dataset name, any name casing) are
+// byte-identical.
+func Resolve(s Spec) (*Resolved, error) {
+	if strings.TrimSpace(s.App) == "" {
+		return nil, fieldErrf("app", "application name is required (see /v1/registry)")
+	}
+	entry, ok := apps.Lookup(s.App, s.Dataset)
+	if !ok {
+		field, msg := "app", fmt.Sprintf("unknown application %q (known: %s)",
+			s.App, strings.Join(apps.Apps(), ", "))
+		for _, name := range apps.Apps() {
+			if strings.EqualFold(name, s.App) {
+				field = "dataset"
+				msg = fmt.Sprintf("application %s has no dataset matching %q (see /v1/registry)",
+					name, s.Dataset)
+				break
+			}
+		}
+		return nil, fieldErrf(field, "%s", msg)
+	}
+
+	c := canonical{App: entry.App, Dataset: entry.Dataset}
+
+	switch {
+	case s.UnitPages < 0:
+		return nil, fieldErrf("unit_pages", "must be positive (got %d)", s.UnitPages)
+	case s.UnitPages > MaxUnitPages:
+		return nil, fieldErrf("unit_pages", "at most %d pages (got %d)", MaxUnitPages, s.UnitPages)
+	case s.UnitPages == 0:
+		c.UnitPages = 1
+	default:
+		c.UnitPages = s.UnitPages
+	}
+	c.Dynamic = s.Dynamic
+	if c.Dynamic && c.UnitPages != 1 {
+		return nil, fieldErrf("unit_pages", "dynamic aggregation requires unit_pages == 1 (got %d)", c.UnitPages)
+	}
+
+	c.Protocol = strings.ToLower(strings.TrimSpace(s.Protocol))
+	if c.Protocol == "" {
+		c.Protocol = tmk.DefaultProtocol
+	}
+	if !tmk.KnownProtocol(c.Protocol) {
+		return nil, fieldErrf("protocol", "unknown protocol %q (known: %s)",
+			s.Protocol, strings.Join(tmk.ProtocolNames(), ", "))
+	}
+	c.Network = strings.ToLower(strings.TrimSpace(s.Network))
+	if c.Network == "" {
+		c.Network = netmodel.Default
+	}
+	if !netmodel.Known(c.Network) {
+		return nil, fieldErrf("network", "unknown network model %q (known: %s)",
+			s.Network, strings.Join(netmodel.Names(), ", "))
+	}
+	c.Placement = strings.ToLower(strings.TrimSpace(s.Placement))
+	if c.Placement == "" {
+		c.Placement = tmk.DefaultPlacement
+	}
+	if !tmk.KnownPlacement(c.Placement) {
+		return nil, fieldErrf("placement", "unknown placement %q (known: %s)",
+			s.Placement, strings.Join(tmk.PlacementNames(), ", "))
+	}
+
+	switch {
+	case s.Procs < 0:
+		return nil, fieldErrf("procs", "must be positive (got %d)", s.Procs)
+	case s.Procs > MaxProcs:
+		return nil, fieldErrf("procs", "at most %d (got %d)", MaxProcs, s.Procs)
+	case s.Procs == 0:
+		c.Procs = harness.Procs
+	default:
+		c.Procs = s.Procs
+	}
+	switch {
+	case s.Trials < 0:
+		return nil, fieldErrf("trials", "must be positive (got %d)", s.Trials)
+	case s.Trials > MaxTrials:
+		return nil, fieldErrf("trials", "at most %d (got %d)", MaxTrials, s.Trials)
+	case s.Trials == 0:
+		c.Trials = 1
+	default:
+		c.Trials = s.Trials
+	}
+
+	if s.AdaptHysteresis < 0 {
+		return nil, fieldErrf("adapt_hysteresis", "cannot be negative (got %d)", s.AdaptHysteresis)
+	}
+	if c.Protocol == "adaptive" {
+		c.AdaptHysteresis = s.AdaptHysteresis
+		if c.AdaptHysteresis == 0 {
+			c.AdaptHysteresis = tmk.DefaultAdaptHysteresis
+		}
+		c.AdaptQueueGateUS = s.AdaptQueueGateUS
+		if c.AdaptQueueGateUS < 0 {
+			// Every negative value means "gate disabled"; collapse them
+			// to one representative so they share a cache cell.
+			c.AdaptQueueGateUS = -1
+		}
+	}
+	// Under a static protocol the adaptive knobs are inert: canonicalize
+	// them to zero so spelling them changes neither behaviour nor hash.
+
+	c.Collect = s.Collect
+	return &Resolved{Entry: entry, c: c}, nil
+}
+
+// Hash is the spec's content address: the hex SHA-256 of the canonical
+// serialization. Equal hash ⇔ equal resolved spec ⇔ (determinism) equal
+// result — the property that lets the result cache skip TTLs entirely.
+func (r *Resolved) Hash() string {
+	b, err := json.Marshal(r.c)
+	if err != nil {
+		// canonical is a flat struct of marshalable fields; this cannot
+		// fail at run time.
+		panic(fmt.Sprintf("expsvc: canonical spec marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Canonical returns the resolved spec in wire form — what the service
+// actually ran after defaulting, echoed back to clients.
+func (r *Resolved) Canonical() Spec {
+	return Spec{
+		App:              r.c.App,
+		Dataset:          r.c.Dataset,
+		UnitPages:        r.c.UnitPages,
+		Dynamic:          r.c.Dynamic,
+		Protocol:         r.c.Protocol,
+		Network:          r.c.Network,
+		Placement:        r.c.Placement,
+		Procs:            r.c.Procs,
+		Trials:           r.c.Trials,
+		AdaptHysteresis:  r.c.AdaptHysteresis,
+		AdaptQueueGateUS: r.c.AdaptQueueGateUS,
+		Collect:          r.c.Collect,
+	}
+}
+
+// Procs returns the resolved processor count.
+func (r *Resolved) Procs() int { return r.c.Procs }
+
+// Trials returns the resolved trial count.
+func (r *Resolved) Trials() int { return r.c.Trials }
+
+// EngineConfig maps the resolved spec onto the engine configuration.
+// Segment size and lock count are workload properties that
+// apps.NewSystem fills in.
+func (r *Resolved) EngineConfig() tmk.Config {
+	return tmk.Config{
+		Procs:           r.c.Procs,
+		UnitPages:       r.c.UnitPages,
+		Dynamic:         r.c.Dynamic,
+		Protocol:        r.c.Protocol,
+		Network:         r.c.Network,
+		Placement:       r.c.Placement,
+		AdaptHysteresis: r.c.AdaptHysteresis,
+		AdaptQueueGate:  sim.Duration(r.c.AdaptQueueGateUS * float64(sim.Microsecond)),
+		Collect:         r.c.Collect,
+	}
+}
