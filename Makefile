@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench bench-check networks placements serve loadtest docker
+.PHONY: all test vet bench bench-check perf-check networks placements serve loadtest docker profile alloc-check
 
 all: test
 
@@ -26,6 +26,30 @@ bench:
 # this on every push.
 bench-check:
 	$(GO) run ./cmd/dsmbench -check-baseline BENCH_baseline.json
+
+# perf-check is the wall-clock trajectory gate: BENCH_after.json
+# carries a perf section (host-normalized -networks sweep wall time),
+# so -check-baseline additionally re-runs the sweep and fails on >25%
+# normalized slowdown — a lost optimization, not scheduler jitter.
+perf-check:
+	$(GO) run ./cmd/dsmbench -check-baseline BENCH_after.json
+
+# profile runs the -networks sweep under the std runtime/pprof
+# collectors and prints the top CPU and allocation sinks. The raw
+# profiles land in ./prof/ for interactive `go tool pprof` sessions —
+# this is how every before/after claim in DESIGN.md §11 is reproduced.
+profile:
+	mkdir -p prof
+	$(GO) build -o prof/dsmbench ./cmd/dsmbench
+	./prof/dsmbench -networks -cpuprofile prof/cpu.prof -memprofile prof/mem.prof > prof/networks.txt
+	$(GO) tool pprof -top -nodecount 15 prof/dsmbench prof/cpu.prof
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space prof/dsmbench prof/mem.prof
+
+# alloc-check runs only the allocation-budget tests: steady-state
+# allocs/op in the lrc interval path, mem diff path, vc operations, and
+# the homeless jacobi inner loop must stay under the pinned budgets.
+alloc-check:
+	$(GO) test ./internal/lrc/ ./internal/mem/ ./internal/vc/ ./internal/simnet/ ./internal/tmk/ -run 'Alloc|Budget' -v
 
 # networks prints the interconnect sensitivity sweep.
 networks:

@@ -31,12 +31,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	_ "repro/internal/apps/all" // populate the workload registry
+	_ "repro/internal/expsvc"   // canonical cell keys for sweep dedup
 	"repro/internal/harness"
 	"repro/internal/netmodel"
+	"repro/internal/prof"
 	"repro/internal/tmk"
 )
 
@@ -50,6 +54,19 @@ type document struct {
 	Networks   []harness.NetworkComparisonJSON   `json:"networks,omitempty"`
 	Placements []harness.PlacementComparisonJSON `json:"placements,omitempty"`
 	Baseline   []harness.CellJSON                `json:"baseline,omitempty"`
+	Perf       *perfJSON                         `json:"perf,omitempty"`
+}
+
+// perfJSON records how long the -networks sweep took on the machine that
+// generated the document, normalized by a fixed single-core calibration
+// loop so the number is comparable across hosts. The committed
+// BENCH_before.json / BENCH_after.json pair carries the before/after
+// wall-clock claim; -check-baseline gates on networks_norm.
+type perfJSON struct {
+	NetworksWallSeconds float64 `json:"networks_wall_seconds"`
+	CalibSeconds        float64 `json:"calib_seconds"`
+	NetworksNorm        float64 `json:"networks_norm"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
 }
 
 func main() {
@@ -70,10 +87,20 @@ func main() {
 		"home-placement policy for tables/figures: "+strings.Join(tmk.PlacementNames(), ", "))
 	all := flag.Bool("all", false, "regenerate everything")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to FILE at exit")
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		check(err)
+	}
+	defer stopProf()
+
 	if *checkBaseline != "" {
-		os.Exit(runCheckBaseline(*checkBaseline))
+		code := runCheckBaseline(*checkBaseline)
+		stopProf()
+		os.Exit(code)
 	}
 	if !*all && *table == 0 && *figure == 0 && !*micro && !*protocols && !*networks && !*placements && !*baseline {
 		flag.Usage()
@@ -160,12 +187,22 @@ func main() {
 		}
 	}
 	if *networks || *all {
+		sweepStart := time.Now()
 		ncs, err := harness.RunNetworkComparison(harness.Table1(), harness.Procs, nil)
+		wall := time.Since(sweepStart).Seconds()
 		check(err)
+		calib := hostCalibration()
+		doc.Perf = &perfJSON{
+			NetworksWallSeconds: wall,
+			CalibSeconds:        calib,
+			NetworksNorm:        wall / calib,
+			GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		}
 		if text {
 			fmt.Println("=== Network sensitivity: the protocol and aggregation trades per interconnect ===")
 			harness.RenderNetworkComparison(os.Stdout, ncs)
-			fmt.Println()
+			fmt.Printf("(sweep wall clock %.2fs, host-normalized %.1f, GOMAXPROCS %d)\n\n",
+				doc.Perf.NetworksWallSeconds, doc.Perf.NetworksNorm, doc.Perf.GOMAXPROCS)
 		} else {
 			for _, nc := range ncs {
 				doc.Networks = append(doc.Networks, harness.NetworkComparisonReport(nc))
@@ -235,6 +272,42 @@ func runBaseline() ([]harness.CellJSON, error) {
 // drift is a real engine change; 2% gives refactors that legitimately move
 // a rounding edge a little room while catching performance regressions.
 const regressionTolerance = 0.02
+
+// wallTolerance is the relative host-normalized wall-clock slowdown the
+// -networks sweep may show against the committed BENCH_after.json before
+// -check-baseline fails. Wall clock is noisy in ways simulated time is
+// not (CI neighbors, turbo states), so the gate is deliberately loose:
+// 25% catches a lost optimization, not scheduler jitter.
+const wallTolerance = 0.25
+
+// calibSink keeps the calibration loop from being optimized away.
+var calibSink uint64
+
+// hostCalibration times a fixed single-core integer loop and returns the
+// best of three runs in seconds. Dividing a measured wall clock by this
+// number yields a host-independent figure: the same engine on a machine
+// with cores twice as fast produces (roughly) the same networks_norm.
+// Single-threaded on purpose — the sweep's per-cell work is also
+// single-threaded, and core count is reported separately as GOMAXPROCS.
+func hostCalibration() float64 {
+	const iters = 1 << 27
+	best := 0.0
+	for run := 0; run < 3; run++ {
+		acc := uint64(0x9e3779b97f4a7c15) + calibSink
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			acc ^= acc << 13
+			acc ^= acc >> 7
+			acc ^= acc << 17
+		}
+		elapsed := time.Since(start).Seconds()
+		calibSink = acc
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best
+}
 
 // runCheckBaseline re-runs the baseline suite and diffs it against the
 // committed baseline file, returning the process exit code: 0 when every
@@ -310,11 +383,34 @@ func runCheckBaseline(path string) int {
 			failed = true
 		}
 	}
+
+	// Wall-clock gate: when the committed file carries a perf section
+	// (BENCH_after.json does; the original BENCH_baseline.json does not),
+	// re-run the -networks sweep and compare host-normalized wall time.
+	if committed.Perf != nil && committed.Perf.NetworksNorm > 0 {
+		start := time.Now()
+		if _, err := harness.RunNetworkComparison(harness.Table1(), harness.Procs, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			return 1
+		}
+		wall := time.Since(start).Seconds()
+		calib := hostCalibration()
+		norm := wall / calib
+		slow := norm/committed.Perf.NetworksNorm - 1
+		verdict := "ok"
+		if slow > wallTolerance {
+			verdict = "WALL-CLOCK REGRESSION"
+			failed = true
+		}
+		fmt.Printf("\nnetworks sweep wall clock: %.2fs (calib %.3fs, norm %.1f) vs committed norm %.1f  %+.1f%%  %s\n",
+			wall, calib, norm, committed.Perf.NetworksNorm, 100*slow, verdict)
+	}
+
 	if failed {
-		fmt.Println("\nbaseline check FAILED (tolerance ±2% simulated time)")
+		fmt.Println("\nbaseline check FAILED (tolerance ±2% simulated time, +25% normalized wall clock)")
 		return 1
 	}
-	fmt.Println("\nbaseline check passed (tolerance ±2% simulated time)")
+	fmt.Println("\nbaseline check passed (tolerance ±2% simulated time, +25% normalized wall clock)")
 	return 0
 }
 

@@ -33,6 +33,7 @@ import (
 	"repro/internal/expsvc"
 	"repro/internal/harness"
 	"repro/internal/netmodel"
+	"repro/internal/prof"
 	"repro/internal/tmk"
 )
 
@@ -51,7 +52,15 @@ func main() {
 	trials := flag.Int("trials", 1, "independent trials on one reused system")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
 	list := flag.Bool("list", false, "list registered application/dataset pairs")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to FILE at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
 
 	if *list {
 		if *jsonOut {

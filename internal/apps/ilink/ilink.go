@@ -25,6 +25,11 @@ import (
 	"repro/internal/tmk"
 )
 
+// seqMemo shares the sequential reference across workload instances of
+// the same configuration (see apps.SeqMemo); Check treats the returned
+// slice as read-only.
+var seqMemo apps.SeqMemo[[]float64]
+
 // Config selects the dataset.
 type Config struct {
 	Genarrays int // number of sparse arrays in the pool
@@ -184,7 +189,7 @@ func (a *App) Check() error {
 	if a.out == nil {
 		return fmt.Errorf("ilink: no output captured")
 	}
-	want := a.Sequential()
+	want := seqMemo.Get(fmt.Sprintf("%+v", a.cfg), a.Sequential)
 	if len(a.out) != len(want) {
 		return fmt.Errorf("ilink: %d values, want %d", len(a.out), len(want))
 	}

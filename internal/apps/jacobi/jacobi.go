@@ -21,6 +21,11 @@ import (
 	"repro/internal/tmk"
 )
 
+// seqMemo shares the sequential reference across workload instances of
+// the same configuration (see apps.SeqMemo); Check treats the returned
+// slice as read-only.
+var seqMemo apps.SeqMemo[[]float64]
+
 // Config selects the dataset.
 type Config struct {
 	Rows, Cols int // grid dimensions (Cols float64 per row)
@@ -153,7 +158,7 @@ func (a *App) Check() error {
 	if a.out == nil {
 		return fmt.Errorf("jacobi: no output captured (Body not run?)")
 	}
-	want := a.Sequential()
+	want := seqMemo.Get(fmt.Sprintf("%+v", a.cfg), a.Sequential)
 	for i := range want {
 		if a.out[i] != want[i] {
 			return fmt.Errorf("jacobi: cell %d = %v, want %v", i, a.out[i], want[i])

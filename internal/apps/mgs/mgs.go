@@ -24,6 +24,11 @@ import (
 	"repro/internal/tmk"
 )
 
+// seqMemo shares the sequential reference across workload instances of
+// the same configuration (see apps.SeqMemo); Check treats the returned
+// slice as read-only.
+var seqMemo apps.SeqMemo[[]float64]
+
 // Config selects the dataset.
 type Config struct {
 	Dim     int // vector dimension (float64 words; 512 = 1 page)
@@ -172,7 +177,7 @@ func (a *App) Check() error {
 	if a.out == nil {
 		return fmt.Errorf("mgs: no output captured")
 	}
-	want := a.Sequential()
+	want := seqMemo.Get(fmt.Sprintf("%+v", a.cfg), a.Sequential)
 	for i := range want {
 		if a.out[i] != want[i] {
 			return fmt.Errorf("mgs: element %d = %v, want %v", i, a.out[i], want[i])

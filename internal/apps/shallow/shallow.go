@@ -28,6 +28,11 @@ import (
 	"repro/internal/tmk"
 )
 
+// seqMemo shares the sequential reference across workload instances of
+// the same configuration (see apps.SeqMemo); Check treats the returned
+// slice as read-only.
+var seqMemo apps.SeqMemo[[]float64]
+
 // Config selects the dataset.
 type Config struct {
 	Rows  int // column height in float64 (512 = 1 page)
@@ -247,7 +252,7 @@ func (a *App) Check() error {
 	if a.out == nil {
 		return fmt.Errorf("shallow: no output captured")
 	}
-	want := a.Sequential()
+	want := seqMemo.Get(fmt.Sprintf("%+v", a.cfg), a.Sequential)
 	for i := range want {
 		if a.out[i] != want[i] {
 			return fmt.Errorf("shallow: value %d = %v, want %v", i, a.out[i], want[i])

@@ -24,6 +24,11 @@ import (
 	"repro/internal/tmk"
 )
 
+// seqMemo shares the exact sequential optimum across workload instances
+// of the same configuration (see apps.SeqMemo) — the exhaustive solver
+// dominated sweep time when recomputed per cell.
+var seqMemo apps.SeqMemo[int64]
+
 // Tour record layout: 16 words (cost, depth, cities...).
 const (
 	tCost = iota
@@ -200,7 +205,7 @@ func (a *App) Sequential() int64 {
 // Check implements apps.Workload: the parallel search must find the
 // exact optimum regardless of work order.
 func (a *App) Check() error {
-	want := a.Sequential()
+	want := seqMemo.Get(fmt.Sprintf("%+v", a.cfg), a.Sequential)
 	if a.out != want {
 		return fmt.Errorf("tsp: best = %d, want %d", a.out, want)
 	}

@@ -24,6 +24,11 @@ import (
 	"repro/internal/tmk"
 )
 
+// seqMemo shares the sequential reference across workload instances of
+// the same configuration (see apps.SeqMemo); Check treats the returned
+// slice as read-only.
+var seqMemo apps.SeqMemo[[]float64]
+
 // Molecule layout: 16 words.
 const (
 	mX = iota
@@ -265,7 +270,7 @@ func (a *App) Check() error {
 	if a.out == nil {
 		return fmt.Errorf("water: no output captured")
 	}
-	want := a.Sequential()
+	want := seqMemo.Get(fmt.Sprintf("%+v", a.cfg), a.Sequential)
 	for i := range want {
 		if err := apps.CheckClose(fmt.Sprintf("water: coord %d", i),
 			a.out[i], want[i], 1e-9); err != nil {

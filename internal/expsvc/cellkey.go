@@ -1,0 +1,26 @@
+package expsvc
+
+import "repro/internal/harness"
+
+// The harness's sweep batches dedup cells by a key function; install
+// the service's canonical spec hash as that function, so any binary
+// linking the service (dsmrun, dsmd, dsmbench) dedups grid cells by
+// the same content address the result cache uses. Aliased spellings —
+// an empty network and "ideal", an empty placement and the registered
+// default — then share one engine execution per batch.
+func init() {
+	harness.RegisterCellKey(func(app, dataset string, c harness.Config, procs int, collect bool) string {
+		r, err := Resolve(Spec{
+			App: app, Dataset: dataset,
+			UnitPages: c.Unit, Dynamic: c.Dynamic,
+			Protocol: c.Protocol, Network: c.Network, Placement: c.Placement,
+			Procs: procs, Collect: collect,
+		})
+		if err != nil {
+			// Outside the service's spec bounds (e.g. a huge ad-hoc
+			// procs count): unkeyed, the cell just runs unshared.
+			return ""
+		}
+		return r.Hash()
+	})
+}

@@ -7,9 +7,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sweep"
 )
 
 // Config configures a Server.
@@ -21,7 +22,8 @@ type Config struct {
 	// selects GOMAXPROCS). Each execution already runs one goroutine
 	// per simulated processor, so admitting every request at once would
 	// oversubscribe the machine under sweep traffic; excess runs queue
-	// on the pool.
+	// on the pool (a sweep.Pool — the same scheduler the harness's
+	// comparison grids run on).
 	MaxConcurrentRuns int
 	// Runner substitutes the engine execution (nil selects
 	// EngineRunner; tests inject counting/blocking runners).
@@ -44,7 +46,7 @@ type Server struct {
 	cache    *Cache
 	coalesce group
 	run      Runner
-	runSlots chan struct{}
+	pool     *sweep.Pool
 	log      *slog.Logger
 	started  time.Time
 
@@ -59,9 +61,6 @@ type Server struct {
 
 // New builds the service.
 func New(cfg Config) *Server {
-	if cfg.MaxConcurrentRuns <= 0 {
-		cfg.MaxConcurrentRuns = runtime.GOMAXPROCS(0)
-	}
 	if cfg.Runner == nil {
 		cfg.Runner = EngineRunner
 	}
@@ -69,12 +68,12 @@ func New(cfg Config) *Server {
 		cfg.Logger = slog.Default()
 	}
 	s := &Server{
-		mux:      http.NewServeMux(),
-		cache:    NewCache(cfg.CacheEntries),
-		run:      cfg.Runner,
-		runSlots: make(chan struct{}, cfg.MaxConcurrentRuns),
-		log:      cfg.Logger,
-		started:  time.Now(),
+		mux:     http.NewServeMux(),
+		cache:   NewCache(cfg.CacheEntries),
+		run:     cfg.Runner,
+		pool:    sweep.New(cfg.MaxConcurrentRuns),
+		log:     cfg.Logger,
+		started: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/cells/{hash}", s.handleCell)
@@ -163,29 +162,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // requests abandoned by the client mid-run.
 const statusClientClosedRequest = 499
 
-// execute runs one engine execution under the bounded run pool.
+// execute runs one engine execution under the bounded run pool (the
+// miss path rides the sweep scheduler's budget, so service traffic
+// and any in-process comparison grids share one machine's worth of
+// concurrency).
 func (s *Server) execute(ctx context.Context, res *Resolved, hash string, log *slog.Logger) ([]byte, error) {
-	select {
-	case s.runSlots <- struct{}{}:
-		defer func() { <-s.runSlots }()
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
+	v, err := s.pool.Do(ctx, func(ctx context.Context) (any, error) {
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
 
-	start := time.Now()
-	body, err := s.run(ctx, res)
-	elapsed := time.Since(start)
+		start := time.Now()
+		body, err := s.run(ctx, res)
+		elapsed := time.Since(start)
+		if err != nil {
+			s.runErrors.Add(1)
+			return nil, err
+		}
+		s.runs.Add(1)
+		s.runNanos.Add(int64(elapsed))
+		s.cache.Add(hash, body)
+		log.Info("cell executed", "wall_ms", elapsed.Milliseconds(), "bytes", len(body))
+		return body, nil
+	})
 	if err != nil {
-		s.runErrors.Add(1)
 		return nil, err
 	}
-	s.runs.Add(1)
-	s.runNanos.Add(int64(elapsed))
-	s.cache.Add(hash, body)
-	log.Info("cell executed", "wall_ms", elapsed.Milliseconds(), "bytes", len(body))
-	return body, nil
+	return v.([]byte), nil
 }
 
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
@@ -232,7 +234,7 @@ func (s *Server) Stats() StatsJSON {
 		Runs:              s.runs.Load(),
 		RunErrors:         s.runErrors.Load(),
 		InFlightRuns:      s.inFlight.Load(),
-		MaxConcurrentRuns: cap(s.runSlots),
+		MaxConcurrentRuns: s.pool.Workers(),
 		TotalRunSeconds:   time.Duration(s.runNanos.Load()).Seconds(),
 	}
 	if st.Runs > 0 {

@@ -12,6 +12,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/tmk"
 )
 
@@ -104,6 +106,16 @@ type Cell struct {
 
 // Run executes one experiment under one configuration with verification.
 func Run(e Experiment, c Config, procs int) (Cell, error) {
+	return runCell(e, c, procs, true)
+}
+
+// runCell is Run with the §5.3 instrumentation switchable: the
+// network- and placement-sensitivity sweeps render and serialize only
+// timing and protocol accounting (no Stats), so they run with
+// collection off — the engine then skips the word-usefulness collector
+// and keeps only O(1) network totals, identical output for a fraction
+// of the work. Anything that reads Cell.Stats must pass collect=true.
+func runCell(e Experiment, c Config, procs int, collect bool) (Cell, error) {
 	w := e.Make(procs)
 	res, err := apps.Run(w, tmk.Config{
 		Procs:     procs,
@@ -112,7 +124,7 @@ func Run(e Experiment, c Config, procs int) (Cell, error) {
 		Protocol:  c.Protocol,
 		Network:   c.Network,
 		Placement: c.Placement,
-		Collect:   true,
+		Collect:   collect,
 	})
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s %s [%s]: %w", e.App, e.Dataset, c.Label, err)
@@ -126,6 +138,50 @@ func Run(e Experiment, c Config, procs int) (Cell, error) {
 		HandoffBytes:  res.HandoffBytes,
 		Stats:         res.Stats,
 	}, nil
+}
+
+// --- sweep scheduling --------------------------------------------------------
+
+// sweepPool is the shared work-stealing scheduler the comparison
+// grids run on: one pool of GOMAXPROCS workers for the process, so
+// concurrent comparisons share the machine's run budget instead of
+// multiplying it.
+var sweepPool = sweep.New(0)
+
+// cellKey computes the dedup key of one cell in a sweep batch: two
+// grid entries with the same key run the engine once and share the
+// result. The default key is the raw configuration tuple; the
+// experiment service upgrades it to its canonical spec hash (see
+// RegisterCellKey), which also collapses aliased names — an empty
+// network and "ideal", an empty placement and the registered default.
+var cellKey = func(app, dataset string, c Config, procs int, collect bool) string {
+	return fmt.Sprintf("%s|%s|p%d|u%d|dyn%t|%s|%s|%s|col%t",
+		app, dataset, procs, c.Unit, c.Dynamic, c.Protocol, c.Network, c.Placement, collect)
+}
+
+// RegisterCellKey replaces the sweep dedup key function, typically
+// with the experiment service's canonical spec hash (expsvc installs
+// it from init, so any binary linking the service gets content-
+// addressed keys). The function must map equal cells to equal keys;
+// returning "" marks a cell unshareable (it always runs).
+func RegisterCellKey(fn func(app, dataset string, c Config, procs int, collect bool) string) {
+	if fn != nil {
+		cellKey = fn
+	}
+}
+
+// cellTask wraps one (experiment, config) cell as a sweep task.
+func cellTask(e Experiment, c Config, procs int, collect bool, wrap func(error) error) sweep.Task {
+	return sweep.Task{
+		Key: cellKey(e.App, e.Dataset, c, procs, collect),
+		Do: func(context.Context) (any, error) {
+			cell, err := runCell(e, c, procs, collect)
+			if err != nil {
+				return nil, wrap(err)
+			}
+			return cell, nil
+		},
+	}
 }
 
 // --- experiment definitions -------------------------------------------------
@@ -370,16 +426,29 @@ type ProtocolComparison struct {
 // coherence protocol at the paper's base configuration (4 KB units)
 // and returns one comparison per experiment, protocols in sorted name
 // order. Every cell is verified against the sequential reference.
+// Cells run in parallel on the sweep pool.
 func RunProtocolComparison(es []Experiment, procs int) ([]ProtocolComparison, error) {
-	var out []ProtocolComparison
+	protos := tmk.ProtocolNames()
+	var tasks []sweep.Task
 	for _, e := range es {
+		for _, proto := range protos {
+			c := Config{Label: "4K", Unit: 1, Protocol: proto}
+			tasks = append(tasks, cellTask(e, c, procs, true, func(err error) error {
+				return fmt.Errorf("protocol %s: %w", proto, err)
+			}))
+		}
+	}
+	cells, err := sweepPool.Run(context.Background(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	var out []ProtocolComparison
+	for i, e := range es {
 		pc := ProtocolComparison{App: e.App, Dataset: e.Dataset, Config: "4K"}
-		for _, proto := range tmk.ProtocolNames() {
-			cell, err := Run(e, Config{Label: "4K", Unit: 1, Protocol: proto}, procs)
-			if err != nil {
-				return nil, fmt.Errorf("protocol %s: %w", proto, err)
-			}
-			pc.Rows = append(pc.Rows, ProtocolRow{Protocol: proto, Cell: cell})
+		for j, proto := range protos {
+			pc.Rows = append(pc.Rows, ProtocolRow{
+				Protocol: proto, Cell: cells[i*len(protos)+j].(Cell),
+			})
 		}
 		out = append(out, pc)
 	}
@@ -441,20 +510,35 @@ func RunNetworkComparison(es []Experiment, procs int, networks []string) ([]Netw
 				network, strings.Join(netmodel.Names(), ", "))
 		}
 	}
+	// Flatten the experiments × networks × configurations grid onto
+	// the sweep pool, then reassemble rows in grid order.
+	configs := networkCellConfigs()
+	var tasks []sweep.Task
+	for _, e := range es {
+		for _, network := range networks {
+			for _, c := range configs {
+				c.Network = network
+				tasks = append(tasks, cellTask(e, c, procs, false, func(err error) error {
+					return fmt.Errorf("network %s: %w", network, err)
+				}))
+			}
+		}
+	}
+	cells, err := sweepPool.Run(context.Background(), tasks)
+	if err != nil {
+		return nil, err
+	}
 	var out []NetworkComparison
+	next := 0
 	for _, e := range es {
 		nc := NetworkComparison{App: e.App, Dataset: e.Dataset}
 		for _, network := range networks {
 			row := NetworkRow{Network: network}
-			for _, c := range networkCellConfigs() {
-				c.Network = network
-				cell, err := Run(e, c, procs)
-				if err != nil {
-					return nil, fmt.Errorf("network %s: %w", network, err)
-				}
+			for _, c := range configs {
 				row.Cells = append(row.Cells, NetworkCell{
-					Protocol: c.Protocol, Config: c.Label, Cell: cell,
+					Protocol: c.Protocol, Config: c.Label, Cell: cells[next].(Cell),
 				})
+				next++
 			}
 			nc.Rows = append(nc.Rows, row)
 		}
@@ -567,31 +651,51 @@ func RunPlacementComparison(es []Experiment, procs int, placements, networks []s
 				network, strings.Join(netmodel.Names(), ", "))
 		}
 	}
-	var out []PlacementComparison
+	// Flatten the grid — per network, one homeless baseline then the
+	// placements × protocols cells — onto the sweep pool, recording
+	// each task's PlacementCell identity for reassembly.
+	type slot struct{ placement, protocol, network string }
+	var (
+		tasks []sweep.Task
+		slots []slot
+	)
 	for _, e := range es {
-		pc := PlacementComparison{App: e.App, Dataset: e.Dataset}
 		for _, network := range networks {
-			base, err := Run(e, Config{Label: "4K", Unit: 1, Protocol: "homeless", Network: network}, procs)
-			if err != nil {
-				return nil, fmt.Errorf("network %s: %w", network, err)
-			}
-			pc.Cells = append(pc.Cells, PlacementCell{
-				Placement: tmk.DefaultPlacement, Protocol: "homeless", Network: network, Cell: base,
-			})
+			c := Config{Label: "4K", Unit: 1, Protocol: "homeless", Network: network}
+			tasks = append(tasks, cellTask(e, c, procs, false, func(err error) error {
+				return fmt.Errorf("network %s: %w", network, err)
+			}))
+			slots = append(slots, slot{tmk.DefaultPlacement, "homeless", network})
 			for _, placement := range placements {
 				for _, protocol := range placementProtocols {
-					cell, err := Run(e, Config{
+					c := Config{
 						Label: "4K", Unit: 1,
 						Protocol: protocol, Network: network, Placement: placement,
-					}, procs)
-					if err != nil {
-						return nil, fmt.Errorf("placement %s/%s: %w", placement, protocol, err)
 					}
-					pc.Cells = append(pc.Cells, PlacementCell{
-						Placement: placement, Protocol: protocol, Network: network, Cell: cell,
-					})
+					tasks = append(tasks, cellTask(e, c, procs, false, func(err error) error {
+						return fmt.Errorf("placement %s/%s: %w", placement, protocol, err)
+					}))
+					slots = append(slots, slot{placement, protocol, network})
 				}
 			}
+		}
+	}
+	if len(es) == 0 {
+		return nil, nil
+	}
+	cells, err := sweepPool.Run(context.Background(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	perExp := len(slots) / len(es)
+	var out []PlacementComparison
+	for i, e := range es {
+		pc := PlacementComparison{App: e.App, Dataset: e.Dataset}
+		for j := i * perExp; j < (i+1)*perExp; j++ {
+			pc.Cells = append(pc.Cells, PlacementCell{
+				Placement: slots[j].placement, Protocol: slots[j].protocol,
+				Network: slots[j].network, Cell: cells[j].(Cell),
+			})
 		}
 		out = append(out, pc)
 	}

@@ -1,0 +1,55 @@
+package lrc
+
+import (
+	"testing"
+
+	"repro/internal/vc"
+)
+
+// TestAllocBudgetDeltaPath pins the interval-store read path at zero
+// steady-state allocations: an acquire's delta computation refills a
+// caller-owned slice (DeltaInto), the causal sort is in-place
+// insertion over precomputed keys, and per-unit diff lookups are
+// subslice views into the interval's page-sorted diff table.
+func TestAllocBudgetDeltaPath(t *testing.T) {
+	const nprocs = 4
+	s := NewStore(nprocs)
+	ts := vc.New(nprocs)
+	for p := 0; p < nprocs; p++ {
+		for i := int32(1); i <= 8; i++ {
+			ts.Tick(p)
+			s.Publish(MakeInterval(
+				vc.IntervalID{Proc: p, Seq: i}, ts.Clone(),
+				[]int{int(i) % 4},
+				[]PageDiff{{Page: int(i) % 4}, {Page: 4 + int(i)%4}},
+			))
+		}
+	}
+	from, to := vc.New(nprocs), ts.Clone()
+
+	var buf []*Interval
+	buf = s.DeltaInto(from, to, buf) // size the buffer once
+	if len(buf) != nprocs*8 {
+		t.Fatalf("delta covers %d intervals, want %d", len(buf), nprocs*8)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		buf = s.DeltaInto(from, to, buf)
+	}); n != 0 {
+		t.Errorf("DeltaInto (reused buffer): %v allocs/op, want 0", n)
+	}
+
+	iv := buf[0]
+	if n := testing.AllocsPerRun(100, func() {
+		_, _ = iv.Diff(iv.Diffs[0].Page)
+		_ = iv.DiffsInUnit(iv.Units[0], 1)
+		_, _, _ = iv.CausalKey()
+	}); n != 0 {
+		t.Errorf("interval lookups: %v allocs/op, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		SortCausally(buf)
+	}); n != 0 {
+		t.Errorf("SortCausally: %v allocs/op, want 0", n)
+	}
+}

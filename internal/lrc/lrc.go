@@ -44,30 +44,50 @@ type Interval struct {
 	// exactly these units.
 	Units []int
 	// Diffs holds the non-empty page diffs of the interval, ordered by
-	// page number.
+	// page number — the sorted order is the index: page lookups binary
+	// search it and per-unit views are contiguous subslices, so the
+	// engine's fetch path needs no per-interval map.
 	Diffs []PageDiff
 
-	diffByPage map[int]mem.Diff
+	// sum is the precomputed vector-entry sum of TS — the first
+	// component of CausalKey, fixed at interval close.
+	sum int64
+}
+
+// pageIndex returns the position of page in the sorted Diffs, or
+// (insertion point, false) if the page has no diff. A hand-rolled
+// binary search: no closure, no allocation on the fault path.
+func (iv *Interval) pageIndex(page int) (int, bool) {
+	lo, hi := 0, len(iv.Diffs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if iv.Diffs[mid].Page < page {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(iv.Diffs) && iv.Diffs[lo].Page == page
 }
 
 // Diff returns the interval's diff for the given 4 KB page; ok is false
 // if the page has no modifications in this interval.
 func (iv *Interval) Diff(page int) (mem.Diff, bool) {
-	d, ok := iv.diffByPage[page]
-	return d, ok
+	if i, ok := iv.pageIndex(page); ok {
+		return iv.Diffs[i].D, true
+	}
+	return mem.Diff{}, false
 }
 
 // DiffsInUnit returns the interval's page diffs that fall inside
-// consistency unit u, where each unit spans unitPages pages.
+// consistency unit u, where each unit spans unitPages pages. The result
+// is a view into the interval's sorted diff list (callers must not
+// modify it): unit pages are contiguous, so the matching diffs are one
+// subslice and no per-call allocation happens.
 func (iv *Interval) DiffsInUnit(u, unitPages int) []PageDiff {
-	lo, hi := u*unitPages, (u+1)*unitPages
-	var out []PageDiff
-	for _, pd := range iv.Diffs {
-		if pd.Page >= lo && pd.Page < hi {
-			out = append(out, pd)
-		}
-	}
-	return out
+	lo, _ := iv.pageIndex(u * unitPages)
+	hi, _ := iv.pageIndex((u + 1) * unitPages)
+	return iv.Diffs[lo:hi]
 }
 
 // NoticeBytes returns the wire size of the interval's write notices: the
@@ -82,26 +102,44 @@ func (iv *Interval) NoticeBytes() int {
 // order that is also deterministic for concurrent intervals (whose diffs
 // touch disjoint words in race-free programs).
 func (iv *Interval) CausalKey() (sum int64, proc int, seq int32) {
-	for _, v := range iv.TS {
-		sum += int64(v)
+	return iv.sum, iv.ID.Proc, iv.ID.Seq
+}
+
+// causallyBefore reports whether a orders before b under CausalKey.
+func causallyBefore(a, b *Interval) bool {
+	if a.sum != b.sum {
+		return a.sum < b.sum
 	}
-	return sum, iv.ID.Proc, iv.ID.Seq
+	if a.ID.Proc != b.ID.Proc {
+		return a.ID.Proc < b.ID.Proc
+	}
+	return a.ID.Seq < b.ID.Seq
 }
 
 // SortCausally orders intervals by CausalKey, a linear extension of
-// happens-before.
+// happens-before. Binary-insertion sort over the precomputed keys: the
+// inputs the engine builds are concatenations of per-processor runs
+// that are each already causally ascending, so the scan is near-linear
+// in practice and performs no allocation (no sort.Slice closure).
 func SortCausally(ivs []*Interval) {
-	sort.Slice(ivs, func(i, j int) bool {
-		si, pi, qi := ivs[i].CausalKey()
-		sj, pj, qj := ivs[j].CausalKey()
-		if si != sj {
-			return si < sj
+	for i := 1; i < len(ivs); i++ {
+		iv := ivs[i]
+		if !causallyBefore(iv, ivs[i-1]) {
+			continue
 		}
-		if pi != pj {
-			return pi < pj
+		// Binary search for iv's position in the sorted prefix.
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if causallyBefore(iv, ivs[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
 		}
-		return qi < qj
-	})
+		copy(ivs[lo+1:i+1], ivs[lo:i])
+		ivs[lo] = iv
+	}
 }
 
 // Store is the global registry of closed intervals. It models the
@@ -145,7 +183,17 @@ func (s *Store) Get(p int, seq int32) *Interval {
 // the write notices an acquirer moving from vector time 'from' to 'to'
 // must consume, in causal order.
 func (s *Store) Delta(from, to vc.Time) []*Interval {
-	var out []*Interval
+	return s.DeltaInto(from, to, nil)
+}
+
+// DeltaInto is Delta reusing the caller's buffer: out is truncated,
+// refilled, and returned (grown only when the delta outsizes its
+// capacity). The per-processor sequence runs in the store are each
+// causally ascending, so one SortCausally pass over the concatenation
+// is near-linear. Hot acquire paths keep a per-processor scratch buffer
+// and pay zero steady-state allocation here.
+func (s *Store) DeltaInto(from, to vc.Time, out []*Interval) []*Interval {
+	out = out[:0]
 	s.mu.RLock()
 	for p := range s.byPid {
 		lo, hi := from[p], to[p]
@@ -159,21 +207,43 @@ func (s *Store) Delta(from, to vc.Time) []*Interval {
 }
 
 // MakeInterval builds an interval from the written units and the
-// non-empty page diffs produced at its close.
+// non-empty page diffs produced at its close, copying both (callers
+// reuse their scratch buffers across intervals).
 func MakeInterval(id vc.IntervalID, ts vc.Time, units []int, diffs []PageDiff) *Interval {
 	iv := &Interval{
-		ID:         id,
-		TS:         ts,
-		Units:      append([]int(nil), units...),
-		Diffs:      append([]PageDiff(nil), diffs...),
-		diffByPage: make(map[int]mem.Diff, len(diffs)),
+		ID:    id,
+		TS:    ts,
+		Units: append([]int(nil), units...),
+		Diffs: append([]PageDiff(nil), diffs...),
 	}
-	sort.Slice(iv.Diffs, func(i, j int) bool { return iv.Diffs[i].Page < iv.Diffs[j].Page })
-	for _, pd := range iv.Diffs {
-		if _, dup := iv.diffByPage[pd.Page]; dup {
+	for _, v := range ts {
+		iv.sum += int64(v)
+	}
+	// Keep Diffs sorted by page — the lookup index. closeInterval emits
+	// diffs in first-write unit order, which is already ascending for
+	// the common sweep patterns, so the insertion pass is usually one
+	// comparison per element; duplicates are a protocol bug.
+	for i := 1; i < len(iv.Diffs); i++ {
+		pd := iv.Diffs[i]
+		if iv.Diffs[i-1].Page < pd.Page {
+			continue
+		}
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if pd.Page < iv.Diffs[mid].Page {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		copy(iv.Diffs[lo+1:i+1], iv.Diffs[lo:i])
+		iv.Diffs[lo] = pd
+	}
+	for i := 1; i < len(iv.Diffs); i++ {
+		if iv.Diffs[i].Page == iv.Diffs[i-1].Page {
 			panic("lrc: duplicate page diff in interval")
 		}
-		iv.diffByPage[pd.Page] = pd.D
 	}
 	return iv
 }

@@ -44,8 +44,8 @@ func TestDiffsInUnit(t *testing.T) {
 	if len(in3) != 1 || in3[0].Page != 7 {
 		t.Fatalf("DiffsInUnit(3,2) = %v", in3)
 	}
-	if got := iv.DiffsInUnit(0, 2); got != nil {
-		t.Fatalf("DiffsInUnit(0,2) = %v, want nil", got)
+	if got := iv.DiffsInUnit(0, 2); len(got) != 0 {
+		t.Fatalf("DiffsInUnit(0,2) = %v, want empty", got)
 	}
 }
 

@@ -8,10 +8,20 @@ type Twin []byte
 
 // MakeTwin copies the current contents of a page.
 func MakeTwin(page []byte) Twin {
+	return MakeTwinInto(nil, page)
+}
+
+// MakeTwinInto is MakeTwin reusing t's storage when it is page-sized —
+// the engine keeps discarded twins on a per-processor free list, so
+// steady-state twinning allocates nothing.
+func MakeTwinInto(t Twin, page []byte) Twin {
 	if len(page) != PageSize {
 		panic(fmt.Sprintf("mem: twin of %d-byte page", len(page)))
 	}
-	t := make(Twin, PageSize)
+	if cap(t) < PageSize {
+		t = make(Twin, PageSize)
+	}
+	t = t[:PageSize]
 	copy(t, page)
 	return t
 }
@@ -43,10 +53,31 @@ const (
 // values are captured at encode time, so the diff remains valid if the
 // page is modified afterwards (next interval).
 func EncodeDiff(twin Twin, page []byte) Diff {
+	var s DiffScratch
+	return EncodeDiffInto(&s, twin, page)
+}
+
+// DiffScratch is reusable working storage for EncodeDiffInto. The zero
+// value is ready to use; it grows to at most one page's worth of words
+// and is typically kept per processor.
+type DiffScratch struct {
+	offs  []uint16 // word offset of each run
+	lens  []int    // word count of each run
+	words []uint64 // concatenated modified-word values
+}
+
+// EncodeDiffInto is EncodeDiff using caller-owned scratch storage for
+// the comparison pass. The returned Diff's run list and word arena are
+// freshly allocated at exact size (diffs are retained by published
+// intervals, so their storage cannot be reused), but an empty diff
+// allocates nothing, and the scan itself never does.
+func EncodeDiffInto(s *DiffScratch, twin Twin, page []byte) Diff {
 	if len(twin) != PageSize || len(page) != PageSize {
 		panic("mem: EncodeDiff on non-page-sized input")
 	}
-	var d Diff
+	s.offs = s.offs[:0]
+	s.lens = s.lens[:0]
+	s.words = s.words[:0]
 	w := 0
 	for w < WordsPerPage {
 		if wordAt(twin, w) == wordAt(page, w) {
@@ -57,13 +88,28 @@ func EncodeDiff(twin Twin, page []byte) Diff {
 		for w < WordsPerPage && wordAt(twin, w) != wordAt(page, w) {
 			w++
 		}
-		run := Run{Off: uint16(start), Words: make([]uint64, w-start)}
+		// Record the run's extent in scratch; word values are captured
+		// now so the page may keep changing afterwards.
+		s.offs = append(s.offs, uint16(start))
+		s.lens = append(s.lens, w-start)
 		for i := start; i < w; i++ {
-			run.Words[i-start] = wordAt(page, i)
+			s.words = append(s.words, wordAt(page, i))
 		}
-		d.runs = append(d.runs, run)
 	}
-	return d
+	if len(s.offs) == 0 {
+		return Diff{}
+	}
+	// Copy out at exact size: one arena for all words, one run list.
+	arena := make([]uint64, len(s.words))
+	copy(arena, s.words)
+	runs := make([]Run, len(s.offs))
+	off := 0
+	for i := range runs {
+		n := s.lens[i]
+		runs[i] = Run{Off: s.offs[i], Words: arena[off : off+n : off+n]}
+		off += n
+	}
+	return Diff{runs: runs}
 }
 
 func wordAt(b []byte, w int) uint64 {
@@ -150,6 +196,23 @@ func FullPageDiff(page []byte) Diff {
 		run.Words[i] = wordAt(page, i)
 	}
 	return Diff{runs: []Run{run}}
+}
+
+// FullPageDiffInto is FullPageDiff carving the image's storage from
+// caller-owned buffers: words (length WordsPerPage) receives the page's
+// word values and runs backs the one-run list (capacity >= 1 avoids
+// allocating it). The returned Diff aliases both, so the caller must
+// not reuse them while the diff is live — the engine's fetch path
+// carves per-page regions out of a pre-sized arena.
+func FullPageDiffInto(words []uint64, runs []Run, page []byte) Diff {
+	if len(page) != PageSize || len(words) != WordsPerPage {
+		panic("mem: FullPageDiffInto on mis-sized input")
+	}
+	for i := range words {
+		words[i] = wordAt(page, i)
+	}
+	runs = append(runs[:0], Run{Off: 0, Words: words})
+	return Diff{runs: runs}
 }
 
 // CoalesceDiffs merges an ordered sequence of diffs of the same page

@@ -59,6 +59,13 @@ func NewReplica(size int) *Replica {
 // Size returns the replica size in bytes (a page multiple).
 func (r *Replica) Size() int { return len(r.data) }
 
+// Zero resets every byte of the replica in place, reusing its storage —
+// the allocation-free equivalent of NewReplica when a system is reset
+// between trials of the same configuration.
+func (r *Replica) Zero() {
+	clear(r.data)
+}
+
 // NumPages returns the number of pages in the replica.
 func (r *Replica) NumPages() int { return len(r.data) >> PageShift }
 

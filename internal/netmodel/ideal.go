@@ -17,6 +17,10 @@ type ideal struct {
 
 func (ideal) Name() string { return "ideal" }
 
+// StatelessPricing marks the model's pricing as pure: it keeps no
+// occupancy state, so concurrent callers need no serialization.
+func (ideal) StatelessPricing() {}
+
 func (m ideal) Leg(src, dst, bytes int, at sim.Duration) Timing {
 	return Timing{Total: m.cost.MessageLeg + sim.Duration(bytes)*m.cost.PerByte}
 }

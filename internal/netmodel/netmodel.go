@@ -80,6 +80,24 @@ type Model interface {
 	Reset()
 }
 
+// Stateless marks models whose pricing is a pure function of its
+// arguments: Leg and Exchange read no mutable occupancy state, so
+// callers may invoke them concurrently without serialization. The
+// ideal model qualifies; contention-aware occupancy models do not.
+// internal/simnet uses this capability to drop its recording lock in
+// counts-only mode.
+type Stateless interface {
+	Model
+	// StatelessPricing is a marker; implementations do nothing.
+	StatelessPricing()
+}
+
+// IsStateless reports whether m's pricing is pure (see Stateless).
+func IsStateless(m Model) bool {
+	_, ok := m.(Stateless)
+	return ok
+}
+
 // Default is the model of the paper's cost calibration: the flat
 // arithmetic the engine used before this subsystem existed.
 const Default = "ideal"

@@ -17,6 +17,7 @@ package simnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/netmodel"
 	"repro/internal/sim"
@@ -121,9 +122,19 @@ type KindCount struct {
 // QueueTotal — can cap retention with WithRecordCap (Snapshot then
 // returns the newest window) or drop it entirely with WithCountsOnly;
 // the totals stay exact either way.
+//
+// When nothing needs the lock — counts-only retention over a
+// stateless pricing model (see netmodel.Stateless) — the send paths
+// skip the mutex entirely: no Record is built, and the running totals
+// advance with atomics. The totals are order-independent sums, so
+// they stay exact; only message-ID adjacency within an exchange is
+// lost, which no counts-only consumer observes.
 type Network struct {
 	cost  sim.CostModel
 	model netmodel.Model
+	// lockFree is set at construction when the send paths need neither
+	// record retention nor occupancy serialization.
+	lockFree bool
 
 	mu      sync.Mutex
 	records []Record
@@ -132,12 +143,14 @@ type Network struct {
 	// ring (ringHead is the oldest retained record once full).
 	recordCap int
 	ringHead  int
-	// Running totals, maintained on append so the per-report Counts
+	// Running totals, maintained on every send so the per-report Counts
 	// calls never rescan a log that can grow to millions of records.
-	totalMsgs  int
-	totalBytes int
-	kindTotals [numKinds]KindCount
-	totalQueue sim.Duration
+	// Atomics so the lock-free mode shares them with the locked paths.
+	totalMsgs  atomic.Int64
+	totalBytes atomic.Int64
+	kindMsgs   [numKinds]atomic.Int64
+	kindBytes  [numKinds]atomic.Int64
+	totalQueue atomic.Int64
 }
 
 // Option configures a Network under construction.
@@ -173,6 +186,7 @@ func NewWithModel(cost sim.CostModel, m netmodel.Model, opts ...Option) *Network
 	for _, opt := range opts {
 		opt(n)
 	}
+	n.lockFree = n.recordCap == 0 && netmodel.IsStateless(m)
 	return n
 }
 
@@ -182,35 +196,47 @@ func (n *Network) Cost() sim.CostModel { return n.cost }
 // Model returns the network's timing model.
 func (n *Network) Model() netmodel.Model { return n.model }
 
+// count advances the running totals for one message and returns its
+// ID. Atomic, so both the locked and lock-free send paths share it.
+func (n *Network) count(kind MsgKind, bytes int, queue sim.Duration) MsgID {
+	id := MsgID(n.totalMsgs.Add(1))
+	n.totalBytes.Add(int64(bytes))
+	n.kindMsgs[kind].Add(1)
+	n.kindBytes[kind].Add(int64(bytes))
+	if queue != 0 {
+		n.totalQueue.Add(int64(queue))
+	}
+	return id
+}
+
 // append records one message under n.mu (caller must hold it).
 func (n *Network) append(kind MsgKind, src, dst, bytes int, at, queue sim.Duration) MsgID {
-	id := MsgID(n.totalMsgs + 1)
+	id := n.count(kind, bytes, queue)
+	if n.recordCap == 0 {
+		// Counts only: nothing retained, no Record built.
+		return id
+	}
 	rec := Record{
 		ID: id, Kind: kind, Src: src, Dst: dst, Bytes: bytes,
 		SendAt: at, Queue: queue,
 	}
 	switch {
-	case n.recordCap < 0:
-		n.records = append(n.records, rec)
-	case n.recordCap == 0:
-		// Counts only: nothing retained.
-	case len(n.records) < n.recordCap:
+	case n.recordCap < 0 || len(n.records) < n.recordCap:
 		n.records = append(n.records, rec)
 	default:
 		n.records[n.ringHead] = rec
 		n.ringHead = (n.ringHead + 1) % n.recordCap
 	}
-	n.totalMsgs++
-	n.totalBytes += bytes
-	n.kindTotals[kind].Messages++
-	n.kindTotals[kind].Bytes += bytes
-	n.totalQueue += queue
 	return id
 }
 
 // SendLeg records one one-way message departing at the sender's virtual
 // time at, priced by the network model, and returns its ID and timing.
 func (n *Network) SendLeg(kind MsgKind, src, dst, bytes int, at sim.Duration) (MsgID, netmodel.Timing) {
+	if n.lockFree {
+		t := n.model.Leg(src, dst, bytes, at)
+		return n.count(kind, bytes, t.Queue), t
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	t := n.model.Leg(src, dst, bytes, at)
@@ -222,6 +248,10 @@ func (n *Network) SendLeg(kind MsgKind, src, dst, bytes int, at sim.Duration) (M
 // cost, matching the pre-netmodel engine's arithmetic, while the
 // recorded size still reflects the bytes on the wire.
 func (n *Network) SendControl(kind MsgKind, src, dst, bytes int, at sim.Duration) (MsgID, netmodel.Timing) {
+	if n.lockFree {
+		t := n.model.Leg(src, dst, 0, at)
+		return n.count(kind, bytes, t.Queue), t
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	t := n.model.Leg(src, dst, 0, at)
@@ -233,6 +263,12 @@ func (n *Network) SendControl(kind MsgKind, src, dst, bytes int, at sim.Duration
 // exchange, and returns both IDs and the exchange timing (the caller
 // charges ExchangeTiming.Total, which includes the remote service).
 func (n *Network) SendExchange(reqKind, repKind MsgKind, src, dst, reqBytes, replyBytes int, at sim.Duration) (reqID, repID MsgID, t netmodel.ExchangeTiming) {
+	if n.lockFree {
+		t = n.model.Exchange(src, dst, reqBytes, replyBytes, at)
+		reqID = n.count(reqKind, reqBytes, t.Request.Queue)
+		repID = n.count(repKind, replyBytes, t.Reply.Queue)
+		return reqID, repID, t
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	t = n.model.Exchange(src, dst, reqBytes, replyBytes, at)
@@ -258,24 +294,22 @@ func (n *Network) Snapshot() []Record {
 func (n *Network) Dropped() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.totalMsgs - len(n.records)
+	return int(n.totalMsgs.Load()) - len(n.records)
 }
 
 // Counts returns the total number of messages and payload bytes.
 func (n *Network) Counts() (messages, bytes int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.totalMsgs, n.totalBytes
+	return int(n.totalMsgs.Load()), int(n.totalBytes.Load())
 }
 
 // CountsByKind returns per-kind message and byte totals.
 func (n *Network) CountsByKind() map[MsgKind]KindCount {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	out := make(map[MsgKind]KindCount, numKinds)
-	for k, c := range n.kindTotals {
-		if c.Messages > 0 {
-			out[MsgKind(k)] = c
+	for k := range n.kindMsgs {
+		if m := n.kindMsgs[k].Load(); m > 0 {
+			out[MsgKind(k)] = KindCount{
+				Messages: int(m), Bytes: int(n.kindBytes[k].Load()),
+			}
 		}
 	}
 	return out
@@ -284,9 +318,7 @@ func (n *Network) CountsByKind() map[MsgKind]KindCount {
 // QueueTotal returns the cumulative contention delay across all
 // recorded messages (zero on the ideal model).
 func (n *Network) QueueTotal() sim.Duration {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.totalQueue
+	return sim.Duration(n.totalQueue.Load())
 }
 
 // ExchangeCost prices one request/reply exchange on the ideal

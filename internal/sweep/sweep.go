@@ -1,0 +1,219 @@
+// Package sweep is the experiment-grid scheduler: a work-stealing
+// pool that runs the independent cells of a sweep (experiments ×
+// networks × protocols × placements) across the machine's cores.
+//
+// The shape is the classic per-worker deque design: a batch is
+// sharded into contiguous blocks, one deque per worker, and each
+// worker drains its own deque from the bottom (LIFO — the block it
+// was given, in order) while idle workers steal from the *top* of a
+// victim's deque (FIFO — the work its owner will reach last). Blocks
+// keep neighbouring grid cells (same experiment, same app state in
+// cache) on one worker; stealing keeps every core busy when cell
+// costs are wildly uneven, which they are — a TSP cell costs ~100× a
+// Barnes cell, so static sharding alone would leave most cores idle
+// behind one unlucky worker.
+//
+// Tasks carry an optional dedup key: two tasks with the same
+// non-empty key share one execution and both receive its result. The
+// harness keys cells by the experiment service's canonical spec hash
+// (see expsvc), so aliased configurations — an empty network and
+// "ideal", an empty placement and the registered default — never run
+// twice in one batch.
+//
+// A Pool is also the machine's run budget: the experiment service's
+// cache-miss path executes through Do on the same pool semantics the
+// batch path uses, so HTTP-driven runs and grid sweeps share one
+// bounded concurrency story.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Task is one independent unit of a sweep batch.
+type Task struct {
+	// Key dedups: tasks with the same non-empty Key share one
+	// execution (and its result). An empty Key is never shared.
+	Key string
+	// Do computes the task's value. It must be safe to run
+	// concurrently with other tasks' Do.
+	Do func(ctx context.Context) (any, error)
+}
+
+// Pool runs tasks on a bounded number of workers.
+type Pool struct {
+	workers int
+	// slots is the shared run budget: batch workers and Do callers
+	// each hold one slot while executing.
+	slots chan struct{}
+}
+
+// New builds a pool of the given width; workers <= 0 selects
+// GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, slots: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Do runs one task under the pool's budget, waiting for a free slot
+// first — the experiment service's miss path. Waiting respects ctx.
+func (p *Pool) Do(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
+	select {
+	case p.slots <- struct{}{}:
+		defer func() { <-p.slots }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return fn(ctx)
+}
+
+// job is one deduplicated execution and the task indices it serves.
+type job struct {
+	do      func(ctx context.Context) (any, error)
+	indices []int
+}
+
+// deque is one worker's job queue. The owner pops from the bottom
+// (its block in order); thieves steal from the top. A mutex suffices:
+// steals only happen once a thief's own deque is empty, so the lock
+// is all but uncontended in the steady state.
+type deque struct {
+	mu   sync.Mutex
+	jobs []*job
+}
+
+func (d *deque) popBottom() *job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n := len(d.jobs); n > 0 {
+		j := d.jobs[n-1]
+		d.jobs = d.jobs[:n-1]
+		return j
+	}
+	return nil
+}
+
+func (d *deque) stealTop() *job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) > 0 {
+		j := d.jobs[0]
+		d.jobs = d.jobs[1:]
+		return j
+	}
+	return nil
+}
+
+// Run executes a batch and returns one value per task, in task order.
+// Tasks sharing a non-empty Key execute once. The first task error
+// cancels the rest of the batch (in-flight tasks finish; queued ones
+// are dropped) and is returned; ctx cancellation does the same.
+func (p *Pool) Run(ctx context.Context, tasks []Task) ([]any, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+
+	// Dedup into jobs, preserving first-appearance order so block
+	// sharding keeps grid neighbours together.
+	jobs := make([]*job, 0, len(tasks))
+	byKey := make(map[string]*job, len(tasks))
+	for i, t := range tasks {
+		if t.Key != "" {
+			if j, ok := byKey[t.Key]; ok {
+				j.indices = append(j.indices, i)
+				continue
+			}
+		}
+		j := &job{do: t.Do, indices: []int{i}}
+		if t.Key != "" {
+			byKey[t.Key] = j
+		}
+		jobs = append(jobs, j)
+	}
+
+	nw := p.workers
+	if nw > len(jobs) {
+		nw = len(jobs)
+	}
+
+	// Shard contiguous blocks across the workers' deques. The owner
+	// pops from the bottom, so each block is pushed in reverse to
+	// execute in order.
+	deques := make([]deque, nw)
+	for w := 0; w < nw; w++ {
+		lo, hi := len(jobs)*w/nw, len(jobs)*(w+1)/nw
+		block := deques[w].jobs[:0]
+		for i := hi - 1; i >= lo; i-- {
+			block = append(block, jobs[i])
+		}
+		deques[w].jobs = block
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]any, len(tasks))
+	var (
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstEr = err; cancel() })
+	}
+
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(self int) {
+			defer wg.Done()
+			// A worker holds one pool slot for its whole tenure, so
+			// concurrent batches and Do callers share the budget.
+			select {
+			case p.slots <- struct{}{}:
+				defer func() { <-p.slots }()
+			case <-ctx.Done():
+				fail(ctx.Err())
+				return
+			}
+			for {
+				if ctx.Err() != nil {
+					fail(ctx.Err())
+					return
+				}
+				j := deques[self].popBottom()
+				if j == nil {
+					// Own block drained: steal the oldest queued job
+					// from the first non-empty victim, scanning from
+					// the next worker around the ring.
+					for k := 1; k < nw && j == nil; k++ {
+						j = deques[(self+k)%nw].stealTop()
+					}
+				}
+				if j == nil {
+					return
+				}
+				v, err := j.do(ctx)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for _, i := range j.indices {
+					results[i] = v
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return results, nil
+}

@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderAndValues(t *testing.T) {
+	p := New(4)
+	tasks := make([]Task, 20)
+	for i := range tasks {
+		tasks[i] = Task{Do: func(context.Context) (any, error) { return i * i, nil }}
+	}
+	got, err := p.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v.(int) != i*i {
+			t.Fatalf("result[%d] = %v, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunDedupByKey(t *testing.T) {
+	p := New(4)
+	var execs atomic.Int64
+	tasks := make([]Task, 12)
+	for i := range tasks {
+		key := fmt.Sprintf("cell-%d", i%3) // 3 distinct keys, 4 aliases each
+		tasks[i] = Task{Key: key, Do: func(context.Context) (any, error) {
+			execs.Add(1)
+			return key, nil
+		}}
+	}
+	got, err := p.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := execs.Load(); n != 3 {
+		t.Fatalf("executions = %d, want 3 (dedup by key)", n)
+	}
+	for i, v := range got {
+		if want := fmt.Sprintf("cell-%d", i%3); v.(string) != want {
+			t.Fatalf("result[%d] = %v, want %s", i, v, want)
+		}
+	}
+}
+
+func TestRunEmptyKeyNeverShared(t *testing.T) {
+	p := New(2)
+	var execs atomic.Int64
+	tasks := make([]Task, 5)
+	for i := range tasks {
+		tasks[i] = Task{Do: func(context.Context) (any, error) {
+			execs.Add(1)
+			return nil, nil
+		}}
+	}
+	if _, err := p.Run(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	if n := execs.Load(); n != 5 {
+		t.Fatalf("executions = %d, want 5", n)
+	}
+}
+
+// TestRunFirstErrorCancelsBatch uses a width-1 pool so the failing
+// task deterministically precedes the queued ones: a wider pool's
+// other workers may legitimately drain their blocks before the
+// failure lands (cancellation is advisory for in-flight work).
+func TestRunFirstErrorCancelsBatch(t *testing.T) {
+	p := New(1)
+	boom := errors.New("boom")
+	var after atomic.Int64
+	tasks := []Task{
+		{Do: func(context.Context) (any, error) { return nil, boom }},
+	}
+	for i := 0; i < 50; i++ {
+		tasks = append(tasks, Task{Do: func(context.Context) (any, error) {
+			after.Add(1)
+			return nil, nil
+		}})
+	}
+	if _, err := p.Run(context.Background(), tasks); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := after.Load(); n != 0 {
+		t.Fatalf("%d queued tasks ran despite batch failure", n)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	p := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Run(ctx, []Task{
+		{Do: func(context.Context) (any, error) { return 1, nil }},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStealing pins that an idle worker takes work from a loaded
+// victim's block: with 2 workers and a first block that parks on a
+// channel, the second worker must execute its own block and then
+// steal the parked worker's remaining jobs, or the batch (released
+// only after the fast jobs finish) never completes.
+func TestStealing(t *testing.T) {
+	p := New(2)
+	release := make(chan struct{})
+	var fast atomic.Int64
+	const fastJobs = 9
+	tasks := []Task{
+		// Job 0: first in worker 0's block; parks until the fast jobs
+		// are done. Worker 0 contributes nothing else to the batch.
+		{Do: func(context.Context) (any, error) {
+			<-release
+			return "slow", nil
+		}},
+	}
+	for i := 0; i < fastJobs; i++ {
+		tasks = append(tasks, Task{Do: func(context.Context) (any, error) {
+			if fast.Add(1) == fastJobs {
+				close(release)
+			}
+			return "fast", nil
+		}})
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := p.Run(context.Background(), tasks); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch deadlocked: fast jobs behind the parked worker were never stolen")
+	}
+}
+
+// TestDoSharesBudget pins that Do callers and batch workers draw from
+// one slot pool: a pool of width 1 never runs two executions at once.
+func TestDoSharesBudget(t *testing.T) {
+	p := New(1)
+	var inFlight, maxFlight atomic.Int64
+	body := func(context.Context) (any, error) {
+		if f := inFlight.Add(1); f > maxFlight.Load() {
+			maxFlight.Store(f)
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Do(context.Background(), body); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		tasks[i] = Task{Do: body}
+	}
+	if _, err := p.Run(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if m := maxFlight.Load(); m > 1 {
+		t.Fatalf("max concurrent executions = %d on a width-1 pool", m)
+	}
+}
+
+func TestDoCanceledWhileWaiting(t *testing.T) {
+	p := New(1)
+	hold := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) (any, error) {
+		<-hold
+		return nil, nil
+	})
+	// Wait until the slot is taken.
+	for len(p.slots) == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Do(ctx, func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(hold)
+}

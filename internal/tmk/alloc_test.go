@@ -1,0 +1,63 @@
+package tmk_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/apps"
+	_ "repro/internal/apps/all"
+	"repro/internal/tmk"
+)
+
+// trialMallocs runs one trial on an already-warm system and returns
+// the number of heap allocations it performed.
+func trialMallocs(sys *tmk.System, body func(*tmk.Proc)) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sys.Run(body)
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestAllocBudgetSteadyStateRun pins the whole-engine steady-state
+// allocation budget: after a cold trial has sized every per-processor
+// scratch structure (twin free lists, diff scratch, fetch index
+// tables, delta buffers), a further homeless jacobi trial on the
+// reused System must stay under 700 heap allocations.
+//
+// The pre-scratch engine measured 7226 mallocs (5.9 MB) for the same
+// trial; the rebuilt inner loops measure ~383 (0.75 MB). The 700
+// ceiling pins the >10× reduction with headroom for scheduler noise —
+// what remains is goroutine startup, interval records retained by the
+// published store (they must outlive the trial), and the trial's
+// Result.
+func TestAllocBudgetSteadyStateRun(t *testing.T) {
+	e, ok := apps.Lookup("jacobi", "small")
+	if !ok {
+		t.Fatal("jacobi/small is not registered")
+	}
+	w := e.Make(8)
+	sys, err := apps.NewSystem(w, tmk.Config{Procs: 8, UnitPages: 1, Protocol: "homeless"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(w.Body) // cold: sizes the scratch
+	sys.Run(w.Body) // settle free lists at their steady population
+
+	// Take the minimum of a few trials: a GC mid-run or an unlucky
+	// scheduling can only add allocations, never hide any.
+	best := trialMallocs(sys, w.Body)
+	for i := 0; i < 2; i++ {
+		if m := trialMallocs(sys, w.Body); m < best {
+			best = m
+		}
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 700
+	if best > budget {
+		t.Errorf("steady-state homeless jacobi trial: %d mallocs, budget %d", best, budget)
+	}
+}

@@ -1,7 +1,6 @@
 package tmk
 
 import (
-	"sort"
 	"sync"
 
 	"repro/internal/instrument"
@@ -109,17 +108,21 @@ func (h *homeProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []in
 		sum += int64(v)
 	}
 
-	// Group this interval's page diffs by the home of their unit.
-	perHome := make(map[int][]lrc.PageDiff)
+	// Tally this interval's flush payload by the home of each diff's
+	// unit — a per-processor scratch array, not a map: releases close
+	// every writing interval and must not allocate.
+	nprocs := p.sys.cfg.Procs
+	fs := &p.fs
+	if len(fs.homeBytes) < nprocs {
+		fs.homeBytes = make([]int, nprocs)
+	}
+	hb := fs.homeBytes[:nprocs]
+	for i := range hb {
+		hb[i] = 0
+	}
 	for _, pd := range diffs {
-		home := h.homeOf(pd.Page / h.up)
-		perHome[home] = append(perHome[home], pd)
+		hb[h.homeOf(pd.Page/h.up)] += pd.D.WireBytes()
 	}
-	homes := make([]int, 0, len(perHome))
-	for home := range perHome {
-		homes = append(homes, home)
-	}
-	sort.Ints(homes)
 
 	h.mu.Lock()
 	for _, pd := range diffs {
@@ -131,14 +134,11 @@ func (h *homeProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []in
 
 	// One flush message per remote home, in ascending home order for a
 	// deterministic message log; the writer's own home units are local.
-	for _, home := range homes {
-		if home == p.id {
+	for home := 0; home < nprocs; home++ {
+		if hb[home] == 0 || home == p.id {
 			continue
 		}
-		bytes := 8 // flush header: interval id
-		for _, pd := range perHome[home] {
-			bytes += pd.D.WireBytes()
-		}
+		bytes := 8 + hb[home] // flush header: interval id
 		_, t := p.sys.net.SendLeg(simnet.HomeFlush, p.id, home, bytes, p.clock.Now())
 		p.clock.Advance(t.Total)
 	}
@@ -158,37 +158,88 @@ func (h *homeProtocol) seed(page int, sum int64, img mem.Diff) {
 	h.mu.Unlock()
 }
 
+// sortFlushEntries stably orders covered log entries by their causal
+// key (sum, proc, seq) via binary-insertion sort — no closure, no
+// allocation, near-linear on the arrival-ordered runs a home log holds.
+func sortFlushEntries(es []flushEntry) {
+	less := func(a, b *flushEntry) bool {
+		if a.sum != b.sum {
+			return a.sum < b.sum
+		}
+		if a.proc != b.proc {
+			return a.proc < b.proc
+		}
+		return a.seq < b.seq
+	}
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		if !less(&e, &es[i-1]) {
+			continue
+		}
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if less(&e, &es[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		copy(es[lo+1:i+1], es[lo:i])
+		es[lo] = e
+	}
+}
+
 // pageImage reconstructs the page's contents at vector time vt: the
 // flushed diffs of intervals covered by vt, applied in causal order
-// over the zeroed initial page. Only the log snapshot runs under h.mu;
-// the sort and the diff applications do not. The log is append-only
-// for the length of a run (like lrc.Store, garbage collection is
-// omitted: runs are short and home GC is orthogonal to the study), so
-// a hot page's reconstruction cost grows with its flush history.
+// over the zeroed initial page. Used by the occasional barrier-time
+// paths (rehoming cost pricing); the fetch path calls pageImageInto
+// with per-processor scratch instead.
 func (h *homeProtocol) pageImage(page int, vt vc.Time) mem.Diff {
+	var fs fetchScratch
+	return h.pageImageInto(&fs, page, vt)
+}
+
+// pageImageInto is pageImage using fs for every intermediate: the
+// covered-entry list, the reconstruction buffer, and — when the image
+// arenas have room (Fetch pre-sizes them) — the returned diff's word
+// and run storage. Only the log snapshot runs under h.mu; the sort and
+// the diff applications do not. The log is append-only for the length
+// of a run (like lrc.Store, garbage collection is omitted: runs are
+// short and home GC is orthogonal to the study), so a hot page's
+// reconstruction cost grows with its flush history.
+func (h *homeProtocol) pageImageInto(fs *fetchScratch, page int, vt vc.Time) mem.Diff {
 	h.mu.Lock()
 	entries := h.log[page]
 	h.mu.Unlock()
-	var covered []flushEntry
+	fs.covered = fs.covered[:0]
 	for _, e := range entries {
 		if e.seed || vt.KnowsInterval(e.proc, e.seq) {
-			covered = append(covered, e)
+			fs.covered = append(fs.covered, e)
 		}
 	}
-	sort.SliceStable(covered, func(i, j int) bool {
-		if covered[i].sum != covered[j].sum {
-			return covered[i].sum < covered[j].sum
-		}
-		if covered[i].proc != covered[j].proc {
-			return covered[i].proc < covered[j].proc
-		}
-		return covered[i].seq < covered[j].seq
-	})
-	buf := make([]byte, mem.PageSize)
-	for _, e := range covered {
+	sortFlushEntries(fs.covered)
+	if len(fs.imgBuf) < mem.PageSize {
+		fs.imgBuf = make([]byte, mem.PageSize)
+	}
+	buf := fs.imgBuf[:mem.PageSize]
+	clear(buf)
+	for _, e := range fs.covered {
 		e.d.Apply(buf)
 	}
-	return mem.FullPageDiff(buf)
+	var words []uint64
+	if n := len(fs.imgWords); cap(fs.imgWords)-n >= mem.WordsPerPage {
+		fs.imgWords = fs.imgWords[:n+mem.WordsPerPage]
+		words = fs.imgWords[n : n+mem.WordsPerPage : n+mem.WordsPerPage]
+	} else {
+		words = make([]uint64, mem.WordsPerPage)
+	}
+	var runs []mem.Run
+	if fs.nImgRuns < len(fs.imgRuns) {
+		runs = fs.imgRuns[fs.nImgRuns : fs.nImgRuns : fs.nImgRuns+1]
+		fs.nImgRuns++
+	}
+	return mem.FullPageDiffInto(words, runs, buf)
 }
 
 // Fetch implements the home-based miss policy: each stale unit is
@@ -198,69 +249,88 @@ func (h *homeProtocol) pageImage(page int, vt vc.Time) mem.Diff {
 // processor are copied locally, without messages.
 func (h *homeProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 	cost := p.sys.cost
+	nprocs := p.sys.cfg.Procs
+	fs := &p.fs
+	fs.init(p.sys)
 
-	var fetch []int
+	fetch := fs.fetchUnits[:0]
 	for _, u := range units {
 		if len(p.missing[u]) > 0 {
 			fetch = append(fetch, u)
 		}
 	}
+	fs.fetchUnits = fetch
 	if len(fetch) == 0 {
 		return nil
 	}
 
-	perHome := make(map[int][]int)
+	for hm := 0; hm < nprocs; hm++ {
+		fs.homeUnits[hm] = fs.homeUnits[hm][:0]
+	}
 	for _, u := range fetch {
 		home := h.homeOf(u)
-		perHome[home] = append(perHome[home], u)
+		fs.homeUnits[home] = append(fs.homeUnits[home], u)
 	}
-	homes := make([]int, 0, len(perHome))
-	for home := range perHome {
-		homes = append(homes, home)
-	}
-	sort.Ints(homes)
 
 	// Reconstruct the fetched units' pages at p's vector time — the
 	// reply payloads. Per-page reconstruction needs no cross-page
 	// atomicity: every interval covered by p's vector time was flushed
 	// before the synchronization that extended the vector time handed
 	// off, so it is already in the log, and concurrent flushes are
-	// never covered.
-	snap := make(map[int]mem.Diff, len(fetch)*h.up)
+	// never covered. The images' word and run storage is carved from
+	// arenas sized for the whole fetch up front, so no reallocation
+	// invalidates an earlier image.
+	needPages := len(fetch) * h.up
+	if cap(fs.imgWords) < needPages*mem.WordsPerPage {
+		fs.imgWords = make([]uint64, 0, needPages*mem.WordsPerPage)
+	}
+	fs.imgWords = fs.imgWords[:0]
+	if len(fs.imgRuns) < needPages {
+		fs.imgRuns = make([]mem.Run, needPages)
+	}
+	fs.nImgRuns = 0
+	fs.gen++
+	fs.snapDiffs = fs.snapDiffs[:0]
 	for _, u := range fetch {
 		for s := 0; s < h.up; s++ {
 			page := u*h.up + s
-			snap[page] = h.pageImage(page, p.vt)
+			fs.pageMark[page] = fs.gen
+			fs.pageSlot[page] = int32(len(fs.snapDiffs))
+			fs.snapDiffs = append(fs.snapDiffs, h.pageImageInto(fs, page, p.vt))
 		}
 	}
 
-	type applyItem struct {
-		page int
-		msg  *instrument.DataMsg
-	}
-	var items []applyItem
+	// One exchange per distinct home, in ascending home order for a
+	// deterministic message log; units homed locally are a free copy.
+	fs.items = fs.items[:0]
 	var msgs []*instrument.DataMsg
 	var maxCost sim.Duration
-	for _, home := range homes {
-		us := perHome[home]
+	for home := 0; home < nprocs; home++ {
+		us := fs.homeUnits[home]
+		if len(us) == 0 {
+			continue
+		}
 		if home == p.id {
 			// Local home: the processor is reading its own
 			// authoritative storage — a copy, no messages.
 			for _, u := range us {
 				for s := 0; s < h.up; s++ {
-					items = append(items, applyItem{page: u*h.up + s})
+					page := u*h.up + s
+					fs.items = append(fs.items, fetchItem{
+						page: page, d: fs.snapDiffs[fs.pageSlot[page]]})
 				}
 			}
 			continue
 		}
 		reqBytes := 16 + 8*len(us)
 		replyBytes := 0
-		var homeItems []applyItem
+		hStart := len(fs.items)
 		for _, u := range us {
 			for s := 0; s < h.up; s++ {
 				page := u*h.up + s
-				replyBytes += snap[page].WireBytes()
-				homeItems = append(homeItems, applyItem{page: page})
+				d := fs.snapDiffs[fs.pageSlot[page]]
+				replyBytes += d.WireBytes()
+				fs.items = append(fs.items, fetchItem{page: page, d: d})
 			}
 		}
 		reqID, repID, xt := p.sys.net.SendExchange(
@@ -268,11 +338,10 @@ func (h *homeProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 		if p.sys.col != nil {
 			dm := p.sys.col.NewDataMsg(reqID, repID, home, p.id)
 			msgs = append(msgs, dm)
-			for i := range homeItems {
-				homeItems[i].msg = dm
+			for i := hStart; i < len(fs.items); i++ {
+				fs.items[i].msg = dm
 			}
 		}
-		items = append(items, homeItems...)
 		if c := xt.Total(); c > maxCost {
 			maxCost = c
 		}
@@ -281,17 +350,18 @@ func (h *homeProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 
 	// Apply the page images. Each page arrives whole from one
 	// reconstruction, so page order suffices for determinism.
-	for _, it := range items {
-		d := snap[it.page]
-		d.Apply(p.rep.Page(it.page))
-		p.clock.Advance(sim.Duration(d.WordCount()) * cost.ApplyPerWord)
+	for _, it := range fs.items {
+		it.d.Apply(p.rep.Page(it.page))
+		p.clock.Advance(sim.Duration(it.d.WordCount()) * cost.ApplyPerWord)
 		if p.sys.col != nil && it.msg != nil {
-			p.sys.col.TagDiff(p.id, it.page, d, it.msg)
+			p.sys.col.TagDiff(p.id, it.page, it.d, it.msg)
 		}
 	}
 
 	for _, u := range fetch {
-		delete(p.missing, u)
+		// Keep the map entry (and its slice capacity) for the next
+		// acquire's notices; only the consumed contents are dropped.
+		p.missing[u] = p.missing[u][:0]
 	}
 	return msgs
 }

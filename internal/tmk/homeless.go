@@ -1,8 +1,6 @@
 package tmk
 
 import (
-	"sort"
-
 	"repro/internal/instrument"
 	"repro/internal/lrc"
 	"repro/internal/mem"
@@ -43,6 +41,123 @@ type fetchItem struct {
 	sq   int32
 }
 
+// writerNeed is one missing (interval, unit) pair owed by one writer.
+type writerNeed struct {
+	iv   *lrc.Interval
+	unit int
+}
+
+// pageAcc accumulates, per page within one writer's reply, the diffs to
+// apply and whether coalescing is legal (single-writer unit).
+type pageAcc struct {
+	page         int
+	coalesceable bool
+	items        []fetchItem
+}
+
+// fetchScratch is the per-processor working storage of the fetch paths.
+// Every slice and index table below is reused across faults: the maps
+// the original implementation allocated per fault (per-writer needs,
+// per-unit writer counts, per-page accumulators) are replaced by arrays
+// indexed by writer/unit/page with generation marks, so the steady-state
+// miss path allocates nothing.
+type fetchScratch struct {
+	needs      [][]writerNeed // indexed by writer processor
+	fetchUnits []int
+	unitWr     []int32 // distinct writers per unit (this call only)
+
+	writerMark []int64 // per-writer generation mark (distinct count)
+	pageMark   []int64 // per-page generation mark
+	pageSlot   []int32 // per-page index into accs, valid when marked
+	gen        int64
+
+	accs  []pageAcc
+	nAccs int
+	items []fetchItem
+	ds    []mem.Diff
+
+	// Home-based fetch scratch (see homebased.go).
+	homeUnits [][]int      // indexed by home processor
+	homeBytes []int        // Release: flush payload bytes per home
+	snapDiffs []mem.Diff   // page images, indexed via pageSlot
+	covered   []flushEntry // pageImage: covered log entries
+	imgWords  []uint64     // arena backing the page images' words
+	imgRuns   []mem.Run    // arena backing the page images' run lists
+	nImgRuns  int
+	imgBuf    []byte // pageImage: reconstruction buffer
+}
+
+// init sizes the scratch for the system's geometry (idempotent).
+func (fs *fetchScratch) init(s *System) {
+	if len(fs.writerMark) >= s.cfg.Procs && len(fs.pageMark) >= s.numPages &&
+		len(fs.unitWr) >= s.numUnits {
+		return
+	}
+	fs.needs = make([][]writerNeed, s.cfg.Procs)
+	fs.writerMark = make([]int64, s.cfg.Procs)
+	fs.unitWr = make([]int32, s.numUnits)
+	fs.pageMark = make([]int64, s.numPages)
+	fs.pageSlot = make([]int32, s.numPages)
+	fs.homeUnits = make([][]int, s.cfg.Procs)
+	fs.gen = 0
+}
+
+// accFor returns the accumulator slot for page, creating (or recycling)
+// one on first touch in the current generation.
+func (fs *fetchScratch) accFor(page int, coalesceable bool) *pageAcc {
+	if fs.pageMark[page] == fs.gen {
+		return &fs.accs[fs.pageSlot[page]]
+	}
+	fs.pageMark[page] = fs.gen
+	fs.pageSlot[page] = int32(fs.nAccs)
+	if fs.nAccs < len(fs.accs) {
+		a := &fs.accs[fs.nAccs]
+		a.page, a.coalesceable, a.items = page, coalesceable, a.items[:0]
+	} else {
+		fs.accs = append(fs.accs, pageAcc{page: page, coalesceable: coalesceable})
+	}
+	fs.nAccs++
+	return &fs.accs[fs.nAccs-1]
+}
+
+// sortFetchItems stably orders items by (sum, proc, seq, page) — the
+// causal application order — via binary-insertion sort: no closure, no
+// allocation, near-linear on the per-writer runs the fetch path builds
+// (each writer's items are already seq-ascending).
+func sortFetchItems(items []fetchItem) {
+	less := func(a, b *fetchItem) bool {
+		if a.sum != b.sum {
+			return a.sum < b.sum
+		}
+		if a.prc != b.prc {
+			return a.prc < b.prc
+		}
+		if a.sq != b.sq {
+			return a.sq < b.sq
+		}
+		return a.page < b.page
+	}
+	for i := 1; i < len(items); i++ {
+		it := items[i]
+		if !less(&it, &items[i-1]) {
+			continue
+		}
+		// Upper bound: first position whose element orders after it, so
+		// equal elements keep their relative order (stability).
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if less(&it, &items[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		copy(items[lo+1:i+1], items[lo:i])
+		items[lo] = it
+	}
+}
+
 // Fetch implements the homeless miss policy: gather the unseen remote
 // intervals that wrote the stale units, fetch their diffs — one
 // exchange per concurrent writer, issued in parallel — and apply them
@@ -50,6 +165,9 @@ type fetchItem struct {
 func (*homelessProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 	cost := p.sys.cost
 	cfg := p.sys.cfg
+	nprocs := cfg.Procs
+	fs := &p.fs
+	fs.init(p.sys)
 
 	// Gather missing (interval, unit) pairs per writer across all
 	// fetched units. Each unit's missing list holds a given interval at
@@ -57,95 +175,83 @@ func (*homelessProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 	// fetched twice. Also count distinct writers per unit: a unit whose
 	// missing intervals all come from one writer is served coalesced
 	// (TreadMarks' single-writer remedy for diff accumulation).
-	type need struct {
-		iv   *lrc.Interval
-		unit int
+	for w := 0; w < nprocs; w++ {
+		fs.needs[w] = fs.needs[w][:0]
 	}
-	needs := make(map[int][]need)
-	unitWriters := make(map[int]int)
-	var fetchUnits []int
+	fs.fetchUnits = fs.fetchUnits[:0]
 	for _, u := range units {
 		miss := p.missing[u]
 		if len(miss) == 0 {
 			continue
 		}
-		fetchUnits = append(fetchUnits, u)
-		seen := make(map[int]bool)
+		fs.fetchUnits = append(fs.fetchUnits, u)
+		fs.gen++
+		distinct := int32(0)
 		for _, mw := range miss {
 			w := mw.Interval.ID.Proc
-			needs[w] = append(needs[w], need{iv: mw.Interval, unit: u})
-			seen[w] = true
+			fs.needs[w] = append(fs.needs[w], writerNeed{iv: mw.Interval, unit: u})
+			if fs.writerMark[w] != fs.gen {
+				fs.writerMark[w] = fs.gen
+				distinct++
+			}
 		}
-		unitWriters[u] = len(seen)
+		fs.unitWr[u] = distinct
 	}
 
 	// One request/reply exchange per concurrent writer, in ascending
 	// writer order for determinism; charged as the max (parallel fetch).
-	writers := make([]int, 0, len(needs))
-	for w := range needs {
-		writers = append(writers, w)
-	}
-	sort.Ints(writers)
-
-	var items []fetchItem
+	fs.items = fs.items[:0]
 	var msgs []*instrument.DataMsg
 	var maxCost sim.Duration
-	for _, w := range writers {
-		reqBytes := 16 + 8*len(needs[w])
+	for w := 0; w < nprocs; w++ {
+		wNeeds := fs.needs[w]
+		if len(wNeeds) == 0 {
+			continue
+		}
+		reqBytes := 16 + 8*len(wNeeds)
 		replyBytes := 0
-		var wItems []fetchItem
-		// Per page, the writer's diffs in interval order (needs[w]
+		wStart := len(fs.items)
+		// Per page, the writer's diffs in interval order (wNeeds
 		// preserves causal order, so same-writer diffs are seq-ordered),
 		// each carrying its own interval's causal key.
-		type pageAcc struct {
-			items        []fetchItem
-			coalesceable bool
-		}
-		perPage := make(map[int]*pageAcc)
-		var pageOrder []int
-		for _, n := range needs[w] {
+		fs.gen++
+		fs.nAccs = 0
+		for _, n := range wNeeds {
 			for _, pd := range n.iv.DiffsInUnit(n.unit, cfg.UnitPages) {
-				acc := perPage[pd.Page]
-				if acc == nil {
-					acc = &pageAcc{coalesceable: unitWriters[n.unit] == 1}
-					perPage[pd.Page] = acc
-					pageOrder = append(pageOrder, pd.Page)
-				}
+				acc := fs.accFor(pd.Page, fs.unitWr[n.unit] == 1)
 				sum, prc, sq := n.iv.CausalKey()
 				acc.items = append(acc.items, fetchItem{
 					page: pd.Page, d: pd.D, sum: sum, prc: prc, sq: sq,
 				})
 			}
 		}
-		for _, page := range pageOrder {
-			acc := perPage[page]
+		for ai := 0; ai < fs.nAccs; ai++ {
+			acc := &fs.accs[ai]
 			if acc.coalesceable && len(acc.items) > 1 {
-				ds := make([]mem.Diff, len(acc.items))
-				for i, it := range acc.items {
-					ds[i] = it.d
+				fs.ds = fs.ds[:0]
+				for _, it := range acc.items {
+					fs.ds = append(fs.ds, it.d)
 				}
 				last := acc.items[len(acc.items)-1]
-				last.d = mem.CoalesceDiffs(ds)
+				last.d = mem.CoalesceDiffs(fs.ds)
 				replyBytes += last.d.WireBytes()
-				wItems = append(wItems, last)
+				fs.items = append(fs.items, last)
 				continue
 			}
 			for _, it := range acc.items {
 				replyBytes += it.d.WireBytes()
-				wItems = append(wItems, it)
+				fs.items = append(fs.items, it)
 			}
 		}
 		reqID, repID, xt := p.sys.net.SendExchange(
 			simnet.DiffRequest, simnet.DiffReply, p.id, w, reqBytes, replyBytes, p.clock.Now())
-		var dm *instrument.DataMsg
 		if p.sys.col != nil {
-			dm = p.sys.col.NewDataMsg(reqID, repID, w, p.id)
+			dm := p.sys.col.NewDataMsg(reqID, repID, w, p.id)
 			msgs = append(msgs, dm)
+			for i := wStart; i < len(fs.items); i++ {
+				fs.items[i].msg = dm
+			}
 		}
-		for i := range wItems {
-			wItems[i].msg = dm
-		}
-		items = append(items, wItems...)
 		if c := xt.Total(); c > maxCost {
 			maxCost = c
 		}
@@ -155,19 +261,8 @@ func (*homelessProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 	// Apply in causal order (monotone linearization of happens-before).
 	// The sort must be stable: a coalesced item keeps only its writer's
 	// latest key, and same-key items must retain per-writer list order.
-	sort.SliceStable(items, func(i, j int) bool {
-		if items[i].sum != items[j].sum {
-			return items[i].sum < items[j].sum
-		}
-		if items[i].prc != items[j].prc {
-			return items[i].prc < items[j].prc
-		}
-		if items[i].sq != items[j].sq {
-			return items[i].sq < items[j].sq
-		}
-		return items[i].page < items[j].page
-	})
-	for _, it := range items {
+	sortFetchItems(fs.items)
+	for _, it := range fs.items {
 		it.d.Apply(p.rep.Page(it.page))
 		p.clock.Advance(sim.Duration(it.d.WordCount()) * cost.ApplyPerWord)
 		if p.sys.col != nil && it.msg != nil {
@@ -175,8 +270,10 @@ func (*homelessProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 		}
 	}
 
-	for _, u := range fetchUnits {
-		delete(p.missing, u)
+	for _, u := range fs.fetchUnits {
+		// Keep the map entry (and its slice capacity) for the next
+		// acquire's notices; only the consumed contents are dropped.
+		p.missing[u] = p.missing[u][:0]
 	}
 	return msgs
 }

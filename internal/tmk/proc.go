@@ -39,6 +39,22 @@ type Proc struct {
 	nTwins     int
 	nDiffs     int
 	nIntervals int
+
+	// Reusable hot-path storage. Every buffer below is scratch that the
+	// steady state recycles instead of reallocating: the engine's inner
+	// loops (fault → fetch → apply, close → diff → publish, acquire →
+	// delta) run allocation-free once these have grown to the workload's
+	// high-water mark (see the AllocBudget tests).
+	diffScr   mem.DiffScratch // closeInterval: diff encoding scratch
+	twinFree  []mem.Twin      // free list of discarded twin pages
+	twinLists [][]mem.Twin    // free list of per-unit twin slices
+	unitsBuf  []int           // closeInterval: units written
+	diffsBuf  []lrc.PageDiff  // closeInterval: non-empty diffs
+	deltaBuf  []*lrc.Interval // applyAcquire: store delta
+	faultUnit [1]int          // readFault: single-unit fetch list
+	barrierCh chan barrierGrant
+	lockCh    chan lockGrant
+	fs        fetchScratch // homeless/home fetch scratch
 }
 
 func newProc(s *System, id int) *Proc {
@@ -59,7 +75,36 @@ func newProc(s *System, id int) *Proc {
 		p.tracker = aggregate.NewTracker()
 		p.groups = aggregate.New(s.cfg.MaxGroupPages)
 	}
+	p.barrierCh = make(chan barrierGrant, 1)
+	p.lockCh = make(chan lockGrant, 1)
 	return p
+}
+
+// reset returns the processor to its post-newProc state while keeping
+// every allocation — replica storage, page table, scratch buffers, twin
+// free lists — so a multi-trial benchmark rebuilds no per-processor
+// memory between trials.
+func (p *Proc) reset() {
+	p.clock = sim.Clock{}
+	p.rep.Zero()
+	p.vt.Zero()
+	for u, tw := range p.twins {
+		p.twinFree = append(p.twinFree, tw...)
+		p.twinLists = append(p.twinLists, tw[:0])
+		delete(p.twins, u)
+	}
+	p.writeOrder = p.writeOrder[:0]
+	for u := range p.missing {
+		p.missing[u] = p.missing[u][:0]
+	}
+	for u := 0; u < p.sys.numUnits; u++ {
+		p.pt.Set(u, mem.ReadOnly)
+	}
+	if p.sys.cfg.Dynamic {
+		p.tracker = aggregate.NewTracker()
+		p.groups = aggregate.New(p.sys.cfg.MaxGroupPages)
+	}
+	p.nFaults, p.nTwins, p.nDiffs, p.nIntervals = 0, 0, 0, 0
 }
 
 // ID returns the processor number (0-based).
@@ -144,9 +189,18 @@ func (p *Proc) writeFault(u, page int) {
 		p.readFault(page)
 	}
 	up := p.sys.cfg.UnitPages
-	tw := make([]mem.Twin, 0, up)
+	var tw []mem.Twin
+	if n := len(p.twinLists); n > 0 {
+		tw, p.twinLists = p.twinLists[n-1][:0], p.twinLists[:n-1]
+	} else {
+		tw = make([]mem.Twin, 0, up)
+	}
 	for s := 0; s < up; s++ {
-		tw = append(tw, mem.MakeTwin(p.rep.Page(u*up+s)))
+		var buf mem.Twin
+		if n := len(p.twinFree); n > 0 {
+			buf, p.twinFree = p.twinFree[n-1], p.twinFree[:n-1]
+		}
+		tw = append(tw, mem.MakeTwinInto(buf, p.rep.Page(u*up+s)))
 		p.clock.Advance(cost.TwinPerPage)
 		p.nTwins++
 	}
@@ -168,7 +222,9 @@ func (p *Proc) readFault(page int) {
 	cfg := p.sys.cfg
 	faultUnit := p.unitOf(page)
 
-	// The set of units to fetch together.
+	// The set of units to fetch together. The single-unit case reuses a
+	// fixed one-element buffer on the Proc: read faults are the hottest
+	// engine path and must not allocate.
 	var units []int
 	if cfg.Dynamic {
 		// Units are single pages; fetch the page's group.
@@ -176,10 +232,12 @@ func (p *Proc) readFault(page int) {
 		if g := p.groups.GroupOf(page); g != nil {
 			units = g
 		} else {
-			units = []int{page}
+			p.faultUnit[0] = page
+			units = p.faultUnit[:]
 		}
 	} else {
-		units = []int{faultUnit}
+		p.faultUnit[0] = faultUnit
+		units = p.faultUnit[:]
 	}
 
 	// Each stale unit's owning protocol fetches its data (messages,

@@ -26,24 +26,29 @@ func (p *Proc) closeInterval() {
 	up := p.sys.cfg.UnitPages
 	seq := p.vt.Tick(p.id)
 
-	units := make([]int, 0, len(p.writeOrder))
-	var diffs []lrc.PageDiff
+	units := p.unitsBuf[:0]
+	diffs := p.diffsBuf[:0]
 	for _, u := range p.writeOrder {
 		tw := p.twins[u]
 		for s := 0; s < up; s++ {
 			page := u*up + s
-			d := mem.EncodeDiff(tw[s], p.rep.Page(page))
+			d := mem.EncodeDiffInto(&p.diffScr, tw[s], p.rep.Page(page))
 			p.clock.Advance(cost.DiffPerPage)
 			p.nDiffs++
 			if !d.Empty() {
 				diffs = append(diffs, lrc.PageDiff{Page: page, D: d})
 			}
 		}
+		// Recycle the unit's twins: pages to the page free list, the
+		// slice header to the list free list.
+		p.twinFree = append(p.twinFree, tw...)
+		p.twinLists = append(p.twinLists, tw[:0])
 		delete(p.twins, u)
 		p.pt.Set(u, mem.ReadOnly)
 		p.clock.Advance(cost.ProtOp)
 		units = append(units, u)
 	}
+	p.unitsBuf, p.diffsBuf = units, diffs
 	id := vc.IntervalID{Proc: p.id, Seq: seq}
 	ts := p.vt.Clone()
 	keep := p.sys.releaseInterval(p, id, ts, units, diffs)
@@ -62,7 +67,8 @@ func (p *Proc) applyAcquire(sourceVT vc.Time) int {
 	if sourceVT == nil {
 		return 0
 	}
-	delta := p.sys.store.Delta(p.vt, sourceVT)
+	p.deltaBuf = p.sys.store.DeltaInto(p.vt, sourceVT, p.deltaBuf)
+	delta := p.deltaBuf
 	bytes := 0
 	for _, iv := range delta {
 		bytes += iv.NoticeBytes()
@@ -128,7 +134,7 @@ func (p *Proc) Barrier() {
 	_, t := p.sys.net.SendLeg(simnet.BarrierArrive, p.id, b.manager, arriveBytes, p.clock.Now())
 	p.clock.Advance(t.Total)
 
-	ch := make(chan barrierGrant, 1)
+	ch := p.barrierCh
 	b.mu.Lock()
 	b.vt.Merge(p.vt)
 	if p.clock.Now() > b.maxClock {
@@ -159,13 +165,15 @@ func (p *Proc) Barrier() {
 		// Manager cost: per-arrival servicing plus the merge/broadcast.
 		release := b.maxClock + cost.BarrierManager +
 			sim.Duration(b.n)*cost.RequestService
-		g := barrierGrant{vt: b.vt.Clone(), release: release}
+		// The merged time is handed off to the grant (read-only from
+		// here on); the next episode starts on a fresh vector.
+		g := barrierGrant{vt: b.vt, release: release}
 		for _, w := range b.waiters {
 			w <- g
 		}
 		// Reset for the next barrier episode.
 		b.arrived = 0
-		b.waiters = nil
+		b.waiters = b.waiters[:0]
 		b.vt = vc.New(b.n)
 		b.maxClock = 0
 	}
@@ -257,7 +265,7 @@ func (p *Proc) Lock(l int) {
 		p.finishAcquire(lk, lockGrant{vt: vt, at: grantAt, from: prevHolder})
 		return
 	}
-	ch := make(chan lockGrant, 1)
+	ch := p.lockCh
 	lk.queue = append(lk.queue, lockWaiter{ch: ch, proc: p.id, reqArrival: reqArrival})
 	lk.mu.Unlock()
 	g := <-ch
@@ -286,7 +294,14 @@ func (p *Proc) Unlock(l int) {
 		lk.mu.Unlock()
 		panic("tmk: Unlock by non-holder")
 	}
-	lk.lastVT = p.vt.Clone()
+	// Reuse the release-time snapshot's storage: only the current grant
+	// holder ever reads lastVT, and the next overwrite (by that holder's
+	// own Unlock) happens after its acquire consumed the snapshot.
+	if lk.lastVT == nil {
+		lk.lastVT = p.vt.Clone()
+	} else {
+		lk.lastVT.CopyFrom(p.vt)
+	}
 	lk.releaseClock = p.clock.Now()
 	if len(lk.queue) > 0 {
 		w := lk.queue[0]

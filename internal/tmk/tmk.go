@@ -286,8 +286,8 @@ func (s *System) Reset() {
 	for i := range s.locks {
 		s.locks[i] = newLock(i, i%s.cfg.Procs)
 	}
-	for p := range s.procs {
-		s.procs[p] = newProc(s, p)
+	for _, p := range s.procs {
+		p.reset()
 	}
 	s.ran = false
 }

@@ -1,0 +1,31 @@
+package vc
+
+import "testing"
+
+// TestAllocBudgetOps pins the engine-hot vector operations at zero
+// steady-state allocations: the inner loops clone timestamps into
+// reusable scratch (CopyFrom/Zero) instead of allocating (Clone), and
+// every comparison walks the vectors in place.
+func TestAllocBudgetOps(t *testing.T) {
+	a, b, dst := New(8), New(8), New(8)
+	for i := range a {
+		a[i] = int32(i)
+		b[i] = int32(8 - i)
+	}
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"CopyFrom", func() { dst.CopyFrom(a) }},
+		{"Zero", func() { dst.Zero() }},
+		{"Merge", func() { dst.Merge(b) }},
+		{"Covers", func() { _ = a.Covers(b) }},
+		{"Equal", func() { _ = a.Equal(b) }},
+		{"Tick", func() { dst.Tick(3) }},
+	}
+	for _, c := range cases {
+		if n := testing.AllocsPerRun(100, c.op); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", c.name, n)
+		}
+	}
+}

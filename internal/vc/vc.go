@@ -25,6 +25,24 @@ func (t Time) Clone() Time {
 	return c
 }
 
+// CopyFrom sets t to an entrywise copy of u. Both timestamps must have
+// the same length: this is the allocation-free alternative to Clone for
+// hot paths that own a reusable destination.
+func (t Time) CopyFrom(u Time) {
+	if len(t) != len(u) {
+		panic(fmt.Sprintf("vc: length mismatch %d vs %d", len(t), len(u)))
+	}
+	copy(t, u)
+}
+
+// Zero resets every entry of t, reusing the storage (the allocation-free
+// alternative to New for reinitialization, e.g. a barrier epoch reset).
+func (t Time) Zero() {
+	for i := range t {
+		t[i] = 0
+	}
+}
+
 // Covers reports whether t dominates u entrywise (t >= u): every interval
 // known to u is known to t. Both timestamps must have the same length.
 func (t Time) Covers(u Time) bool {
