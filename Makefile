@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench bench-check perf-check networks placements serve loadtest docker profile alloc-check
+.PHONY: all test vet bench bench-check perf-check networks placements serve loadtest docker profile alloc-check trace-smoke
 
 all: test
 
@@ -50,6 +50,15 @@ profile:
 # the homeless jacobi inner loop must stay under the pinned budgets.
 alloc-check:
 	$(GO) test ./internal/lrc/ ./internal/mem/ ./internal/vc/ ./internal/simnet/ ./internal/tmk/ -run 'Alloc|Budget' -v
+
+# trace-smoke captures one traced run and checks that a same-model
+# replay reproduces its totals bit-identically (dsmtrace exits 1 if
+# not), then re-prices the capture across the other interconnects.
+trace-smoke:
+	$(GO) run ./cmd/dsmrun -app jacobi -dataset small -network bus -trace /tmp/dsm-trace-smoke.jsonl -json > /dev/null
+	$(GO) run ./cmd/dsmtrace -replay /tmp/dsm-trace-smoke.jsonl
+	$(GO) run ./cmd/dsmtrace -replay -network ideal /tmp/dsm-trace-smoke.jsonl
+	$(GO) run ./cmd/dsmtrace /tmp/dsm-trace-smoke.jsonl | head -20
 
 # networks prints the interconnect sensitivity sweep.
 networks:

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/netmodel"
 	"repro/internal/prof"
 	"repro/internal/tmk"
+	"repro/internal/trace"
 )
 
 // document is the -json output: only the requested sections are set.
@@ -87,6 +89,7 @@ func main() {
 		"home-placement policy for tables/figures: "+strings.Join(tmk.PlacementNames(), ", "))
 	all := flag.Bool("all", false, "regenerate everything")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document")
+	traceOut := flag.String("trace", "", "with -baseline: capture a JSONL trace of the suite's runs to FILE (one run id per app)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to FILE at exit")
 	flag.Parse()
@@ -120,6 +123,11 @@ func main() {
 	}
 	if *table != 0 && *table != 1 {
 		check(fmt.Errorf("unknown table %d (only Table 1 exists)", *table))
+	}
+	if *traceOut != "" && !*baseline {
+		// The sweeps run cells concurrently on the shared scheduler;
+		// only the sequential baseline suite produces a clean capture.
+		check(fmt.Errorf("-trace requires -baseline"))
 	}
 	if *figure < 0 || *figure > 3 {
 		check(fmt.Errorf("unknown figure %d (want 1, 2, or 3)", *figure))
@@ -223,8 +231,23 @@ func main() {
 		}
 	}
 	if *baseline {
-		cells, err := runBaseline()
+		var tw *trace.Writer
+		var traceFile *os.File
+		var traceBuf *bufio.Writer
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			check(err)
+			traceFile = f
+			traceBuf = bufio.NewWriter(f)
+			tw = trace.NewWriter(traceBuf)
+		}
+		cells, err := runBaseline(tw)
 		check(err)
+		if tw != nil {
+			check(tw.Close())
+			check(traceBuf.Flush())
+			check(traceFile.Close())
+		}
 		if text {
 			fmt.Println("=== Baseline: small datasets, 4 KB units, homeless, ideal network ===")
 			fmt.Printf("%-8s  %-8s  %9s  %10s  %12s\n",
@@ -248,15 +271,22 @@ func main() {
 
 // runBaseline runs every registered application's "small" dataset under
 // the default configuration (4 KB units, homeless, ideal network) —
-// the comparison point future performance work measures against.
-func runBaseline() ([]harness.CellJSON, error) {
+// the comparison point future performance work measures against. A
+// non-nil tw captures every run into one trace stream (the suite is
+// sequential, so the per-app label is race-free).
+func runBaseline(tw *trace.Writer) ([]harness.CellJSON, error) {
 	var out []harness.CellJSON
 	for _, app := range apps.Apps() {
 		e, ok := apps.Lookup(app, "small")
 		if !ok {
 			return nil, fmt.Errorf("%s has no small dataset", app)
 		}
-		res, err := apps.Run(e.Make(harness.Procs), tmk.Config{Procs: harness.Procs, UnitPages: 1})
+		cfg := tmk.Config{Procs: harness.Procs, UnitPages: 1}
+		if tw != nil {
+			tw.SetLabel(e.App, e.Dataset)
+			cfg.Trace = tw
+		}
+		res, err := apps.Run(e.Make(harness.Procs), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s/small: %w", app, err)
 		}
@@ -330,7 +360,7 @@ func runCheckBaseline(path string) int {
 		fmt.Fprintf(os.Stderr, "dsmbench: -check-baseline: %s has no baseline section (regenerate with 'make bench')\n", path)
 		return 1
 	}
-	current, err := runBaseline()
+	current, err := runBaseline(nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmbench:", err)
 		return 1

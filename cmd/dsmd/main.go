@@ -10,6 +10,18 @@
 //	DSMD_ADDR                 listen address       (default :8080)
 //	DSMD_CACHE_ENTRIES        result-cache LRU cap (default 1024)
 //	DSMD_MAX_CONCURRENT_RUNS  engine run pool      (default GOMAXPROCS)
+//	DSMD_DEBUG_ADDR           debug listener (pprof + flight recorder);
+//	                          off when empty — the debug surface binds
+//	                          separately so it is never exposed on the
+//	                          service address
+//	DSMD_FLIGHT_EVENTS        flight-recorder ring capacity in events
+//	                          (default 65536; 0 disables the recorder)
+//
+// The service address also serves GET /metrics (Prometheus text). With
+// DSMD_DEBUG_ADDR set, the debug address serves net/http/pprof under
+// /debug/pprof/ and the flight-recorder window at GET /debug/trace
+// (summarize with dsmtrace; it is a trailing window, not a replayable
+// capture).
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
 // requests finish (bounded by a drain timeout), then the process exits.
@@ -20,6 +32,7 @@
 //	curl -s localhost:8080/v1/registry | head
 //	curl -s -X POST localhost:8080/v1/run -d '{"app":"jacobi","network":"bus"}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics | grep dsmd_cache
 package main
 
 import (
@@ -28,6 +41,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -35,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/expsvc"
+	"repro/internal/trace"
 )
 
 const drainTimeout = 30 * time.Second
@@ -54,11 +69,21 @@ func main() {
 	if err != nil {
 		fatal(logger, err)
 	}
+	debugAddr := os.Getenv("DSMD_DEBUG_ADDR")
+	flightEvents, err := getenvInt("DSMD_FLIGHT_EVENTS", 1<<16)
+	if err != nil {
+		fatal(logger, err)
+	}
 
+	var flight *trace.Ring
+	if flightEvents > 0 {
+		flight = trace.NewRing(flightEvents)
+	}
 	svc := expsvc.New(expsvc.Config{
 		CacheEntries:      cacheEntries,
 		MaxConcurrentRuns: maxRuns,
 		Logger:            logger,
+		Flight:            flight,
 	})
 	srv := &http.Server{
 		Addr:              addr,
@@ -73,7 +98,25 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("dsmd listening",
 		"addr", addr, "cache_entries", cacheEntries,
-		"max_concurrent_runs", svc.Stats().MaxConcurrentRuns)
+		"max_concurrent_runs", svc.Stats().MaxConcurrentRuns,
+		"flight_events", flightEvents)
+
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              debugAddr,
+			Handler:           debugMux(svc),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			// The debug listener is best-effort: its failure is logged but
+			// does not take the service down.
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", debugAddr, "err", err)
+			}
+		}()
+		logger.Info("dsmd debug listening", "addr", debugAddr)
+	}
 
 	select {
 	case err := <-errCh:
@@ -88,8 +131,37 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fatal(logger, fmt.Errorf("drain: %w", err))
 		}
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutdownCtx)
+		}
 		logger.Info("dsmd stopped")
 	}
+}
+
+// debugMux builds the debug listener's handler: the stdlib pprof
+// surface plus the engine flight recorder. Registered explicitly (not
+// via the net/http/pprof DefaultServeMux side effect) so nothing leaks
+// onto the service mux.
+func debugMux(svc *expsvc.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		ring := svc.Flight()
+		if ring == nil {
+			http.Error(w, "flight recorder disabled (DSMD_FLIGHT_EVENTS=0)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := ring.Dump(w); err != nil {
+			// Headers are already out; all we can do is cut the stream.
+			return
+		}
+	})
+	return mux
 }
 
 func getenv(key, fallback string) string {

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/netmodel"
 	"repro/internal/prof"
 	"repro/internal/tmk"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -51,6 +53,7 @@ func main() {
 	procs := flag.Int("procs", harness.Procs, "number of processors")
 	trials := flag.Int("trials", 1, "independent trials on one reused system")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	traceOut := flag.String("trace", "", "capture a JSONL run trace to FILE (analyze/replay with dsmtrace)")
 	list := flag.Bool("list", false, "list registered application/dataset pairs")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to FILE at exit")
@@ -108,6 +111,19 @@ func main() {
 		Protocol: *protocol, Network: *network, Placement: *placement,
 		Collect: true,
 	}
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		traceFile = f
+		traceBuf = bufio.NewWriter(f)
+		tw := trace.NewWriter(traceBuf)
+		tw.SetLabel(e.App, e.Dataset)
+		cfg.Trace = tw
+	}
 	// Ctrl-C (or SIGTERM) stops the remaining trials instead of running
 	// the cell to completion.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -115,6 +131,19 @@ func main() {
 	ts, err := apps.RunTrialsContext(ctx, e.Make(*procs), cfg, *trials)
 	if err != nil {
 		fail(err)
+	}
+	if cfg.Trace != nil {
+		// A trace that could not be fully written must fail the run, not
+		// pass silently as a truncated file that replays to wrong totals.
+		if err := cfg.Trace.Close(); err != nil {
+			fail(err)
+		}
+		if err := traceBuf.Flush(); err != nil {
+			fail(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fail(err)
+		}
 	}
 
 	if *jsonOut {

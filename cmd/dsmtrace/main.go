@@ -1,0 +1,473 @@
+// Command dsmtrace analyzes and replays JSONL run traces captured with
+// dsmrun/dsmbench -trace (or dsm.WithTrace).
+//
+// The default mode prints, per captured run: the run's identity and
+// recorded totals, a per-processor virtual-time timeline summary, a
+// queue-delay histogram per message kind, the hottest consistency units
+// by fault count, and a per-barrier-phase traffic breakdown.
+//
+// Replay mode (-replay) streams the capture's message events back
+// through a network model without re-executing the application:
+//
+//	dsmtrace trace.jsonl                      # analyze
+//	dsmtrace -top 20 trace.jsonl              # more hot units
+//	dsmtrace -json trace.jsonl                # machine-readable summary
+//	dsmtrace -replay trace.jsonl              # re-price through the capture's own model
+//	dsmtrace -replay -network bus trace.jsonl # sweep the capture onto another interconnect
+//
+// Same-model replay must reproduce the recorded message/byte/queue
+// totals bit-identically — dsmtrace exits non-zero if it does not, so
+// a plain `dsmtrace -replay capture.jsonl` doubles as an integrity
+// check of the trace.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	replay := flag.Bool("replay", false, "re-price the capture through a network model instead of summarizing")
+	network := flag.String("network", "", "replay network model (empty = each run's own model; see dsmrun -list)")
+	topN := flag.Int("top", 10, "number of hottest units to list")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dsmtrace [-replay] [-network MODEL] [-top N] [-json] TRACE.jsonl ('-' for stdin)")
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	if *replay {
+		runReplay(in, *network, *jsonOut)
+		return
+	}
+	runSummary(in, *topN, *jsonOut)
+}
+
+// --- replay ---------------------------------------------------------------
+
+func runReplay(in io.Reader, network string, jsonOut bool) {
+	runs, err := trace.Replay(in, network)
+	if err != nil {
+		fail(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(runs); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Printf("%-4s %-8s %-10s %-8s %-8s  %10s %12s %12s  %s\n",
+			"run", "app", "captured", "replayed", "", "msgs", "bytes", "queue(s)", "verdict")
+		for _, r := range runs {
+			verdict := "re-priced"
+			if r.Network == r.Meta.Network {
+				if r.Matches() {
+					verdict = "bit-identical"
+				} else {
+					verdict = "MISMATCH"
+				}
+			}
+			fmt.Printf("%-4d %-8s %-10s %-8s %-8s  %10d %12d %12.6f  recorded\n",
+				r.ID, r.Meta.App, r.Meta.Network, "", "", r.Recorded.Msgs, r.Recorded.Bytes, r.Recorded.Queue.Seconds())
+			fmt.Printf("%-4s %-8s %-10s %-8s %-8s  %10d %12d %12.6f  %s\n",
+				"", "", "", r.Network, "", r.Replayed.Msgs, r.Replayed.Bytes, r.Replayed.Queue.Seconds(), verdict)
+		}
+	}
+	// Same-model replay is an integrity check: a mismatch means the
+	// trace does not reproduce the run it claims to record.
+	for _, r := range runs {
+		if r.Network == r.Meta.Network && !r.Matches() {
+			fmt.Fprintf(os.Stderr, "dsmtrace: run %d: same-model replay diverged from recorded totals\n", r.ID)
+			os.Exit(1)
+		}
+	}
+}
+
+// --- summary --------------------------------------------------------------
+
+// queueBuckets are the queue-delay histogram's upper bounds (the last
+// bucket is open-ended).
+var queueBuckets = []sim.Duration{
+	0,
+	10_000,        // 10 µs
+	100_000,       // 100 µs
+	1_000_000,     // 1 ms
+	10_000_000,    // 10 ms
+	100_000_000,   // 100 ms
+	1_000_000_000, // 1 s
+}
+
+func bucketLabel(i int) string {
+	names := []string{"0", "≤10µs", "≤100µs", "≤1ms", "≤10ms", "≤100ms", "≤1s", ">1s"}
+	return names[i]
+}
+
+func bucketOf(q sim.Duration) int {
+	for i, ub := range queueBuckets {
+		if q <= ub {
+			return i
+		}
+	}
+	return len(queueBuckets)
+}
+
+type procStats struct {
+	Proc     int     `json:"proc"`
+	Sent     int     `json:"messages_sent"`
+	Faults   int     `json:"faults"`
+	Barriers int     `json:"barriers"`
+	Locks    int     `json:"lock_acquires"`
+	LastSec  float64 `json:"last_event_seconds"`
+	last     sim.Duration
+}
+
+type kindStats struct {
+	Kind    string `json:"kind"`
+	Msgs    int64  `json:"messages"`
+	Bytes   int64  `json:"bytes"`
+	Queue   sim.Duration
+	Buckets []int64 `json:"queue_buckets"`
+	QueueS  float64 `json:"queue_seconds"`
+}
+
+type unitStats struct {
+	Unit   int `json:"unit"`
+	Faults int `json:"faults"`
+}
+
+type phaseStats struct {
+	Phase  int     `json:"phase"`
+	Msgs   int64   `json:"messages"`
+	Bytes  int64   `json:"bytes"`
+	QueueS float64 `json:"queue_seconds"`
+	Faults int     `json:"faults"`
+	EndS   float64 `json:"end_seconds"`
+	end    sim.Duration
+	queue  sim.Duration
+}
+
+type runSummaryJSON struct {
+	Run       int64         `json:"run"`
+	App       string        `json:"app,omitempty"`
+	Dataset   string        `json:"dataset,omitempty"`
+	Protocol  string        `json:"protocol"`
+	Network   string        `json:"network"`
+	Placement string        `json:"placement"`
+	Procs     int           `json:"procs"`
+	TimeS     float64       `json:"time_seconds"`
+	Msgs      int64         `json:"messages"`
+	Bytes     int64         `json:"bytes"`
+	QueueS    float64       `json:"queue_seconds"`
+	Switches  int           `json:"protocol_switches"`
+	Rehomes   int           `json:"rehomes"`
+	ProcTimes []*procStats  `json:"proc_timeline"`
+	Kinds     []*kindStats  `json:"kinds"`
+	TopUnits  []unitStats   `json:"top_units"`
+	Phases    []*phaseStats `json:"phases"`
+}
+
+// runAcc accumulates one run's summary while streaming its events.
+type runAcc struct {
+	out        *runSummaryJSON
+	procs      map[int]*procStats
+	kinds      map[string]*kindStats
+	unitFaults map[int]int
+	// message/fault events buffered for phase binning: barriers release
+	// in episode order, so the phase boundaries (max barrier_leave time
+	// per episode) are only known at run end.
+	msgAt   []sim.Duration
+	msgB    []int64
+	msgQ    []sim.Duration
+	faultAt []sim.Duration
+	phases  map[int]*phaseStats
+}
+
+func newRunAcc(ev *trace.Event) *runAcc {
+	return &runAcc{
+		out: &runSummaryJSON{
+			Run: ev.R, App: ev.App, Dataset: ev.Dataset,
+			Protocol: ev.Protocol, Network: ev.Network, Placement: ev.Placement,
+			Procs: ev.Procs,
+		},
+		procs:      make(map[int]*procStats),
+		kinds:      make(map[string]*kindStats),
+		unitFaults: make(map[int]int),
+		phases:     make(map[int]*phaseStats),
+	}
+}
+
+func (a *runAcc) proc(p int) *procStats {
+	ps := a.procs[p]
+	if ps == nil {
+		ps = &procStats{Proc: p}
+		a.procs[p] = ps
+	}
+	return ps
+}
+
+func (a *runAcc) kind(k string) *kindStats {
+	ks := a.kinds[k]
+	if ks == nil {
+		ks = &kindStats{Kind: k, Buckets: make([]int64, len(queueBuckets)+1)}
+		a.kinds[k] = ks
+	}
+	return ks
+}
+
+func (a *runAcc) seen(p int, at sim.Duration) {
+	ps := a.proc(p)
+	if at > ps.last {
+		ps.last = at
+	}
+}
+
+func (a *runAcc) message(kind string, src int, bytes int64, at, q sim.Duration) {
+	ks := a.kind(kind)
+	ks.Msgs++
+	ks.Bytes += bytes
+	ks.Queue += q
+	ks.Buckets[bucketOf(q)]++
+	a.proc(src).Sent++
+	a.seen(src, at)
+	a.msgAt = append(a.msgAt, at)
+	a.msgB = append(a.msgB, bytes)
+	a.msgQ = append(a.msgQ, q)
+}
+
+func (a *runAcc) event(ev *trace.Event) {
+	switch ev.E {
+	case trace.EvLeg, trace.EvControl:
+		a.message(ev.K, ev.S, int64(ev.B), ev.At, ev.Q)
+	case trace.EvExchange:
+		a.message(ev.K, ev.S, int64(ev.B), ev.At, ev.Q)
+		a.message(ev.RK, ev.D, int64(ev.RB), ev.At, ev.RQ)
+	case trace.EvBarrierEnter:
+		a.seen(ev.P, ev.At)
+	case trace.EvBarrierLeave:
+		a.proc(ev.P).Barriers++
+		a.seen(ev.P, ev.At)
+		ph := a.phases[ev.N]
+		if ph == nil {
+			ph = &phaseStats{Phase: ev.N}
+			a.phases[ev.N] = ph
+		}
+		if ev.At > ph.end {
+			ph.end = ev.At
+		}
+	case trace.EvLockAcquire:
+		a.proc(ev.P).Locks++
+		a.seen(ev.P, ev.At)
+	case trace.EvLockRelease:
+		a.seen(ev.P, ev.At)
+	case trace.EvFaultBegin:
+		a.proc(ev.P).Faults++
+		a.unitFaults[ev.U]++
+		a.seen(ev.P, ev.At)
+		a.faultAt = append(a.faultAt, ev.At)
+	case trace.EvFaultEnd:
+		a.seen(ev.P, ev.At)
+	case trace.EvSwitch:
+		a.out.Switches++
+	case trace.EvRehome:
+		a.out.Rehomes++
+	case trace.EvRunEnd:
+		a.out.TimeS = ev.Time.Seconds()
+		a.out.Msgs = ev.Msgs
+		a.out.Bytes = ev.Bytes
+		a.out.QueueS = ev.Queue.Seconds()
+	}
+}
+
+// finalize sorts the accumulated maps into the report and bins the
+// buffered message/fault events into barrier phases. Phase k spans
+// (end of episode k-1, end of episode k]; traffic after the last
+// barrier (or in a barrier-free run) lands in a trailing phase 0 row
+// reported as "after".
+func (a *runAcc) finalize(topN int) {
+	for _, ps := range a.procs {
+		ps.LastSec = ps.last.Seconds()
+		a.out.ProcTimes = append(a.out.ProcTimes, ps)
+	}
+	sort.Slice(a.out.ProcTimes, func(i, j int) bool { return a.out.ProcTimes[i].Proc < a.out.ProcTimes[j].Proc })
+
+	for _, ks := range a.kinds {
+		ks.QueueS = ks.Queue.Seconds()
+		a.out.Kinds = append(a.out.Kinds, ks)
+	}
+	sort.Slice(a.out.Kinds, func(i, j int) bool { return a.out.Kinds[i].Msgs > a.out.Kinds[j].Msgs })
+
+	for u, n := range a.unitFaults {
+		a.out.TopUnits = append(a.out.TopUnits, unitStats{Unit: u, Faults: n})
+	}
+	sort.Slice(a.out.TopUnits, func(i, j int) bool {
+		if a.out.TopUnits[i].Faults != a.out.TopUnits[j].Faults {
+			return a.out.TopUnits[i].Faults > a.out.TopUnits[j].Faults
+		}
+		return a.out.TopUnits[i].Unit < a.out.TopUnits[j].Unit
+	})
+	if len(a.out.TopUnits) > topN {
+		a.out.TopUnits = a.out.TopUnits[:topN]
+	}
+
+	var phases []*phaseStats
+	for _, ph := range a.phases {
+		phases = append(phases, ph)
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i].Phase < phases[j].Phase })
+	tail := &phaseStats{}
+	phaseFor := func(at sim.Duration) *phaseStats {
+		for _, ph := range phases {
+			if at <= ph.end {
+				return ph
+			}
+		}
+		return tail
+	}
+	for i, at := range a.msgAt {
+		ph := phaseFor(at)
+		ph.Msgs++
+		ph.Bytes += a.msgB[i]
+		ph.queue += a.msgQ[i]
+	}
+	for _, at := range a.faultAt {
+		phaseFor(at).Faults++
+	}
+	if tail.Msgs > 0 || tail.Faults > 0 {
+		phases = append(phases, tail)
+	}
+	for _, ph := range phases {
+		ph.QueueS = ph.queue.Seconds()
+		ph.EndS = ph.end.Seconds()
+	}
+	a.out.Phases = phases
+}
+
+func runSummary(in io.Reader, topN int, jsonOut bool) {
+	r, err := trace.NewReader(in)
+	if err != nil {
+		fail(err)
+	}
+	var order []*runAcc
+	runs := make(map[int64]*runAcc)
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(err)
+		}
+		if ev.E == trace.EvRunStart {
+			acc := newRunAcc(ev)
+			runs[ev.R] = acc
+			order = append(order, acc)
+			continue
+		}
+		if acc := runs[ev.R]; acc != nil {
+			acc.event(ev)
+		}
+	}
+	var docs []*runSummaryJSON
+	for _, acc := range order {
+		acc.finalize(topN)
+		docs = append(docs, acc.out)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			fail(err)
+		}
+		return
+	}
+	for _, doc := range docs {
+		render(doc)
+	}
+}
+
+func render(d *runSummaryJSON) {
+	name := d.App
+	if d.Dataset != "" {
+		name += "/" + d.Dataset
+	}
+	if name == "" {
+		name = "(unlabeled)"
+	}
+	fmt.Printf("=== run %d: %s  [%s, %s net, %s homes, %d procs] ===\n",
+		d.Run, name, d.Protocol, d.Network, d.Placement, d.Procs)
+	fmt.Printf("  simulated time %.6f s   messages %d   bytes %d   queue delay %.6f s",
+		d.TimeS, d.Msgs, d.Bytes, d.QueueS)
+	if d.Switches > 0 || d.Rehomes > 0 {
+		fmt.Printf("   switches %d   rehomes %d", d.Switches, d.Rehomes)
+	}
+	fmt.Println()
+
+	fmt.Println("\n  per-processor timeline:")
+	fmt.Printf("    %-5s %10s %8s %9s %7s %14s\n", "proc", "sent", "faults", "barriers", "locks", "last event(s)")
+	for _, ps := range d.ProcTimes {
+		fmt.Printf("    %-5d %10d %8d %9d %7d %14.6f\n",
+			ps.Proc, ps.Sent, ps.Faults, ps.Barriers, ps.Locks, ps.LastSec)
+	}
+
+	fmt.Println("\n  queue delay by message kind:")
+	header := make([]string, 0, len(queueBuckets)+1)
+	for i := 0; i <= len(queueBuckets); i++ {
+		header = append(header, fmt.Sprintf("%8s", bucketLabel(i)))
+	}
+	fmt.Printf("    %-15s %8s %12s %12s  %s\n", "kind", "msgs", "bytes", "queue(s)", strings.Join(header, ""))
+	for _, ks := range d.Kinds {
+		cells := make([]string, 0, len(ks.Buckets))
+		for _, n := range ks.Buckets {
+			cells = append(cells, fmt.Sprintf("%8d", n))
+		}
+		fmt.Printf("    %-15s %8d %12d %12.6f  %s\n", ks.Kind, ks.Msgs, ks.Bytes, ks.QueueS, strings.Join(cells, ""))
+	}
+
+	if len(d.TopUnits) > 0 {
+		fmt.Println("\n  hottest units by faults:")
+		fmt.Printf("    %-6s %8s\n", "unit", "faults")
+		for _, u := range d.TopUnits {
+			fmt.Printf("    %-6d %8d\n", u.Unit, u.Faults)
+		}
+	}
+
+	if len(d.Phases) > 0 {
+		fmt.Println("\n  per-barrier-phase breakdown:")
+		fmt.Printf("    %-6s %10s %12s %12s %8s %12s\n", "phase", "msgs", "bytes", "queue(s)", "faults", "end(s)")
+		for _, ph := range d.Phases {
+			label := fmt.Sprintf("%d", ph.Phase)
+			end := fmt.Sprintf("%.6f", ph.EndS)
+			if ph.Phase == 0 {
+				label, end = "after", "-"
+			}
+			fmt.Printf("    %-6s %10d %12d %12.6f %8d %12s\n",
+				label, ph.Msgs, ph.Bytes, ph.QueueS, ph.Faults, end)
+		}
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dsmtrace:", err)
+	os.Exit(1)
+}

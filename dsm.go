@@ -58,6 +58,7 @@ package dsm
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -67,6 +68,7 @@ import (
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/tmk"
+	"repro/internal/trace"
 )
 
 // Proc is one simulated processor's handle, valid inside Run's body.
@@ -306,6 +308,35 @@ func WithCostModel(cm CostModel) Option {
 func WithCollection(on bool) Option {
 	return func(c *Config) error {
 		c.Collect = on
+		return nil
+	}
+}
+
+// TraceWriter is a capture stream for run traces: a versioned JSONL
+// event log carrying every priced protocol message in pricing order
+// plus the engine's lifecycle events (barriers, locks, page faults,
+// protocol switches, home moves). One TraceWriter may be shared by any
+// number of Systems — every Run opens its own run id, so interleaved
+// captures demultiplex losslessly. Check Close (or Err) when capture
+// ends: write errors are sticky and a partial trace must not pass
+// silently. The capture format is replayable — see cmd/dsmtrace.
+type TraceWriter = trace.Writer
+
+// NewTraceWriter starts a trace capture stream on out (typically a
+// file), writing the schema header line. The stream is unbuffered;
+// wrap out in a bufio.Writer for high-rate captures and flush it
+// before closing the file.
+func NewTraceWriter(out io.Writer) *TraceWriter { return trace.NewWriter(out) }
+
+// WithTrace captures every Run of the System into the given stream.
+// Tracing serializes message pricing (it records pricing order), so
+// leave it off for performance measurements.
+func WithTrace(tw *TraceWriter) Option {
+	return func(c *Config) error {
+		if tw == nil {
+			return fmt.Errorf("dsm: WithTrace(nil): trace writer must not be nil")
+		}
+		c.Trace = tw
 		return nil
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/harness"
+	"repro/internal/trace"
 )
 
 // Runner executes one resolved spec and returns the marshaled report
@@ -20,8 +21,24 @@ type Runner func(ctx context.Context, r *Resolved) ([]byte, error)
 // (verifying each against the sequential reference), and marshal the
 // trial report. Cancellation of ctx stops remaining trials.
 func EngineRunner(ctx context.Context, r *Resolved) ([]byte, error) {
+	return engineRun(ctx, r, nil)
+}
+
+// TracedRunner is EngineRunner with the flight recorder on: every
+// engine execution is additionally captured into tw. The writer is
+// safe to share across the server's concurrent runs — each run gets
+// its own run id in the stream. The server installs this automatically
+// when Config.Flight is set.
+func TracedRunner(tw *trace.Writer) Runner {
+	return func(ctx context.Context, r *Resolved) ([]byte, error) {
+		return engineRun(ctx, r, tw)
+	}
+}
+
+func engineRun(ctx context.Context, r *Resolved, tw *trace.Writer) ([]byte, error) {
 	w := r.Entry.Make(r.Procs())
 	cfg := r.EngineConfig()
+	cfg.Trace = tw
 	ts, err := apps.RunTrialsContext(ctx, w, cfg, r.Trials())
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", r.Entry.App, r.Entry.Dataset, err)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 // Config configures a Server.
@@ -30,6 +31,15 @@ type Config struct {
 	Runner Runner
 	// Logger receives request and run logs (nil selects slog.Default).
 	Logger *slog.Logger
+	// Flight, when non-nil, turns on the engine flight recorder: every
+	// engine execution by the default runner is traced into this ring,
+	// keeping a bounded window of the most recent simnet and lifecycle
+	// events for post-hoc inspection (dsmd serves it at /debug/trace).
+	// Ignored when Runner is set — a substitute runner decides its own
+	// tracing. Flight runs are unlabeled (the engine does not know the
+	// workload name); their run metadata still carries protocol,
+	// network, placement, and processor count.
+	Flight *trace.Ring
 }
 
 // Server is the experiment service's HTTP surface. It is an
@@ -40,6 +50,7 @@ type Config struct {
 //	GET  /v1/cells/{hash} look up a completed cell by canonical hash
 //	GET  /v1/registry     discover apps/datasets/protocols/networks/placements
 //	GET  /v1/stats        cache, coalescing, and run counters
+//	GET  /metrics         the same counters in Prometheus text format
 //	GET  /healthz         liveness
 type Server struct {
 	mux      *http.ServeMux
@@ -49,6 +60,9 @@ type Server struct {
 	pool     *sweep.Pool
 	log      *slog.Logger
 	started  time.Time
+	flight   *trace.Ring
+	runDur   *histogram // engine wall time per execution, seconds
+	queueDur *histogram // mean simulated queue delay per run, seconds
 
 	hits      atomic.Uint64 // /v1/run requests served straight from cache
 	misses    atomic.Uint64 // /v1/run requests that had to execute or join a flight
@@ -61,30 +75,102 @@ type Server struct {
 
 // New builds the service.
 func New(cfg Config) *Server {
+	var flight *trace.Ring
 	if cfg.Runner == nil {
 		cfg.Runner = EngineRunner
+		if cfg.Flight != nil {
+			flight = cfg.Flight
+			cfg.Runner = TracedRunner(trace.NewWriter(flight))
+		}
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
 	s := &Server{
-		mux:     http.NewServeMux(),
-		cache:   NewCache(cfg.CacheEntries),
-		run:     cfg.Runner,
-		pool:    sweep.New(cfg.MaxConcurrentRuns),
-		log:     cfg.Logger,
-		started: time.Now(),
+		mux:      http.NewServeMux(),
+		cache:    NewCache(cfg.CacheEntries),
+		run:      cfg.Runner,
+		pool:     sweep.New(cfg.MaxConcurrentRuns),
+		log:      cfg.Logger,
+		started:  time.Now(),
+		flight:   flight,
+		runDur:   newHistogram(runDurationBounds),
+		queueDur: newHistogram(queueDelayBounds),
 	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/cells/{hash}", s.handleCell)
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Flight returns the engine flight-recorder ring, or nil when the
+// recorder is off. cmd/dsmd dumps it at GET /debug/trace.
+func (s *Server) Flight() *trace.Ring { return s.flight }
+
+// ServeHTTP implements http.Handler. Every request is wrapped in the
+// structured access log: method, path, status, duration, and — for
+// answered cells — the cell hash and cache disposition from the
+// response headers. Health probes log at Debug so a poller does not
+// drown the Info stream.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+
+	attrs := []any{
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status(),
+		"dur_ms", float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if cell := sw.Header().Get(HeaderCell); cell != "" {
+		attrs = append(attrs, "cell", short(cell), "disposition", sw.Header().Get(HeaderCache))
+	}
+	level := slog.LevelInfo
+	if r.URL.Path == "/healthz" {
+		level = slog.LevelDebug
+	}
+	s.log.Log(r.Context(), level, "request", attrs...)
+}
+
+// statusWriter captures the status code written by a handler so the
+// access log can report it after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// short abbreviates a cell hash for log lines the way handleRun does.
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}
 
 // Response headers carrying the cache identity and disposition of a
 // /v1/run answer (the body stays exactly the CLI report type).
@@ -121,7 +207,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hash := res.Hash()
-	log := s.log.With("app", res.Entry.App, "dataset", res.Entry.Dataset, "cell", hash[:12])
+	log := s.log.With("app", res.Entry.App, "dataset", res.Entry.Dataset, "cell", short(hash))
 
 	if body, ok := s.cache.Get(hash); ok {
 		s.hits.Add(1)
@@ -180,6 +266,17 @@ func (s *Server) execute(ctx context.Context, res *Resolved, hash string, log *s
 		}
 		s.runs.Add(1)
 		s.runNanos.Add(int64(elapsed))
+		s.runDur.Observe(elapsed.Seconds())
+		// The run body is a harness.TrialsJSON; its mean simulated queue
+		// delay feeds the second histogram. A body that does not parse
+		// (substitute runners in tests return arbitrary bytes) simply
+		// records nothing.
+		var rep struct {
+			MeanQueueSeconds float64 `json:"mean_queue_seconds"`
+		}
+		if json.Unmarshal(body, &rep) == nil {
+			s.queueDur.Observe(rep.MeanQueueSeconds)
+		}
 		s.cache.Add(hash, body)
 		log.Info("cell executed", "wall_ms", elapsed.Milliseconds(), "bytes", len(body))
 		return body, nil

@@ -133,8 +133,11 @@ type Network struct {
 	cost  sim.CostModel
 	model netmodel.Model
 	// lockFree is set at construction when the send paths need neither
-	// record retention nor occupancy serialization.
+	// record retention nor occupancy serialization (and cleared while a
+	// trace sink is installed).
 	lockFree bool
+	// sink, when non-nil, observes every priced message under mu.
+	sink TraceSink
 
 	mu      sync.Mutex
 	records []Record
@@ -151,6 +154,34 @@ type Network struct {
 	kindMsgs   [numKinds]atomic.Int64
 	kindBytes  [numKinds]atomic.Int64
 	totalQueue atomic.Int64
+}
+
+// TraceSink observes every priced message. The callbacks run inside
+// the network's pricing lock, so a sink sees the operations in exactly
+// the order the model priced them — the property that makes a captured
+// trace replayable to bit-identical totals. Implementations must not
+// call back into the Network.
+//
+// The three callbacks mirror the three pricing operations: a payload
+// leg, a control leg (priced payload-free; bytes is still the wire
+// size), and a request/reply exchange (the reply leg departs at
+// at + t.Request.Total + t.Service).
+type TraceSink interface {
+	TraceLeg(kind MsgKind, src, dst, bytes int, at, queue sim.Duration)
+	TraceControl(kind MsgKind, src, dst, bytes int, at, queue sim.Duration)
+	TraceExchange(reqKind, repKind MsgKind, src, dst, reqBytes, replyBytes int, at sim.Duration, t netmodel.ExchangeTiming)
+}
+
+// SetTraceSink installs (or, with nil, removes) the network's trace
+// sink. A non-nil sink forces the send paths through the pricing lock
+// even in counts-only mode — emission order must match pricing order.
+// Must not be called concurrently with sends: install the sink before
+// the processor goroutines start, remove it after they join.
+func (n *Network) SetTraceSink(s TraceSink) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sink = s
+	n.lockFree = n.recordCap == 0 && netmodel.IsStateless(n.model) && s == nil
 }
 
 // Option configures a Network under construction.
@@ -240,6 +271,9 @@ func (n *Network) SendLeg(kind MsgKind, src, dst, bytes int, at sim.Duration) (M
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	t := n.model.Leg(src, dst, bytes, at)
+	if n.sink != nil {
+		n.sink.TraceLeg(kind, src, dst, bytes, at, t.Queue)
+	}
 	return n.append(kind, src, dst, bytes, at, t.Queue), t
 }
 
@@ -255,6 +289,9 @@ func (n *Network) SendControl(kind MsgKind, src, dst, bytes int, at sim.Duration
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	t := n.model.Leg(src, dst, 0, at)
+	if n.sink != nil {
+		n.sink.TraceControl(kind, src, dst, bytes, at, t.Queue)
+	}
 	return n.append(kind, src, dst, bytes, at, t.Queue), t
 }
 
@@ -272,6 +309,9 @@ func (n *Network) SendExchange(reqKind, repKind MsgKind, src, dst, reqBytes, rep
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	t = n.model.Exchange(src, dst, reqBytes, replyBytes, at)
+	if n.sink != nil {
+		n.sink.TraceExchange(reqKind, repKind, src, dst, reqBytes, replyBytes, at, t)
+	}
 	reqID = n.append(reqKind, src, dst, reqBytes, at, t.Request.Queue)
 	repID = n.append(repKind, dst, src, replyBytes, at+t.Request.Total+t.Service, t.Reply.Queue)
 	return reqID, repID, t

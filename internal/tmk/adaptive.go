@@ -82,6 +82,7 @@ type adaptivePolicy struct {
 	churned      []bool
 	justSwitched []bool
 	total        int
+	phase        int // 1-based count of evaluated barrier phases
 	// pending[proc] holds the ownership handoffs proc must pay for
 	// after the current barrier releases (proc is the new home): the
 	// home pulls the unit's image from its causally latest writer.
@@ -129,6 +130,7 @@ func (a *adaptivePolicy) contended() bool {
 // any grant is sent (and before the placement rehomer runs).
 func (a *adaptivePolicy) atBarrier(merged vc.Time, delta []*lrc.Interval) {
 	s := a.sys
+	a.phase++
 	for u := range a.justSwitched {
 		a.justSwitched[u] = false
 	}
@@ -205,7 +207,13 @@ func (a *adaptivePolicy) atBarrier(merged vc.Time, delta []*lrc.Interval) {
 			// interval store (homeProtocol.retain), so future homeless
 			// fetches are already served; relinquishing is free.
 			s.unitProto[u] = homelessIdx
+			if s.trc != nil {
+				s.trc.ProtocolSwitch(u, "home", "homeless", a.phase)
+			}
 			continue
+		}
+		if s.trc != nil {
+			s.trc.ProtocolSwitch(u, "homeless", "home", a.phase)
 		}
 		// homeless → home: seed the home's versioned log with the
 		// unit's image at the barrier's merged time (visible to every
@@ -240,6 +248,9 @@ func (a *adaptivePolicy) atBarrier(merged vc.Time, delta []*lrc.Interval) {
 		}
 		if s.placement.Mobile() {
 			if s.homeOf(u) != lastWriter[u] {
+				if s.trc != nil {
+					s.trc.Rehome(u, s.homeOf(u), lastWriter[u], 0, false)
+				}
 				s.homeTable[u] = int32(lastWriter[u])
 				s.nRehomes++
 			}

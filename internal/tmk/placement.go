@@ -348,17 +348,20 @@ func (r *rehomer) atBarrier(merged vc.Time, delta []*lrc.Interval) {
 		}
 		s.homeTable[u] = int32(nh)
 		s.nRehomes++
+		bytes := 0
 		if transfer {
 			// The new home pulls the unit's versioned state from the
 			// old one: priced as one exchange after the release,
 			// carrying the unit's pages reconstructed at the barrier's
 			// merged time (every flush in the log is covered by it).
-			bytes := 0
 			for pg := u * s.cfg.UnitPages; pg < (u+1)*s.cfg.UnitPages; pg++ {
 				bytes += r.home.pageImage(pg, merged).WireBytes()
 			}
 			s.nRehomeBytes += bytes
 			r.pending[nh] = append(r.pending[nh], rehomeMove{unit: u, from: cur, bytes: bytes})
+		}
+		if s.trc != nil {
+			s.trc.Rehome(u, cur, nh, bytes, transfer)
 		}
 	}
 }

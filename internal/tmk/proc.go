@@ -216,6 +216,9 @@ func (p *Proc) writeFault(u, page int) {
 // policy, and validates.
 func (p *Proc) readFault(page int) {
 	cost := p.sys.cost
+	if trc := p.sys.trc; trc != nil {
+		trc.FaultBegin(p.id, page, p.unitOf(page), p.clock.Now())
+	}
 	p.clock.Advance(cost.PageFault)
 	p.nFaults++
 
@@ -257,6 +260,9 @@ func (p *Proc) readFault(page int) {
 		p.clock.Advance(cost.ProtOp)
 	}
 
+	if trc := p.sys.trc; trc != nil {
+		trc.FaultEnd(p.id, page, p.clock.Now())
+	}
 	if p.sys.col != nil {
 		p.sys.col.OnFault(p.id, page, msgs)
 	}

@@ -100,6 +100,7 @@ func (p *Proc) rebuildGroups() {
 type barrierGrant struct {
 	vt      vc.Time
 	release sim.Duration
+	episode int
 }
 
 // barrier is the centralized TreadMarks barrier: arrivals carry each
@@ -111,6 +112,7 @@ type barrier struct {
 
 	mu       sync.Mutex
 	arrived  int
+	episode  int // 1-based count of completed barrier episodes
 	vt       vc.Time
 	maxClock sim.Duration
 	waiters  []chan barrierGrant
@@ -127,6 +129,9 @@ func (p *Proc) Barrier() {
 	p.closeInterval()
 	b := p.sys.barrier
 	cost := p.sys.cost
+	if trc := p.sys.trc; trc != nil {
+		trc.BarrierEnter(p.id, p.clock.Now())
+	}
 
 	// Arrival message to the manager with this processor's notices
 	// (already published to the store; we charge their size).
@@ -167,7 +172,8 @@ func (p *Proc) Barrier() {
 			sim.Duration(b.n)*cost.RequestService
 		// The merged time is handed off to the grant (read-only from
 		// here on); the next episode starts on a fresh vector.
-		g := barrierGrant{vt: b.vt, release: release}
+		b.episode++
+		g := barrierGrant{vt: b.vt, release: release, episode: b.episode}
 		for _, w := range b.waiters {
 			w <- g
 		}
@@ -191,6 +197,9 @@ func (p *Proc) Barrier() {
 		p.sys.rehomer.settle(p)
 	}
 	p.rebuildGroups()
+	if trc := p.sys.trc; trc != nil {
+		trc.BarrierLeave(p.id, g.episode, p.clock.Now())
+	}
 }
 
 // --- locks -----------------------------------------------------------------
@@ -242,6 +251,9 @@ func (p *Proc) Lock(l int) {
 		lk.held = true
 		lk.mu.Unlock()
 		p.clock.Advance(cost.LockService / 4)
+		if trc := p.sys.trc; trc != nil {
+			trc.LockAcquire(p.id, lk.id, p.clock.Now())
+		}
 		return
 	}
 	// Request to the manager (+ forward to last holder if different).
@@ -279,6 +291,9 @@ func (p *Proc) finishAcquire(lk *lock, g lockGrant) {
 	noticeBytes := p.applyAcquire(g.vt)
 	_, t := p.sys.net.SendLeg(simnet.LockGrant, g.from, p.id, 16+noticeBytes, g.at)
 	p.clock.Advance(t.Total)
+	if trc := p.sys.trc; trc != nil {
+		trc.LockAcquire(p.id, lk.id, p.clock.Now())
+	}
 	p.rebuildGroups()
 }
 
@@ -303,6 +318,9 @@ func (p *Proc) Unlock(l int) {
 		lk.lastVT.CopyFrom(p.vt)
 	}
 	lk.releaseClock = p.clock.Now()
+	if trc := p.sys.trc; trc != nil {
+		trc.LockRelease(p.id, lk.id, p.clock.Now())
+	}
 	if len(lk.queue) > 0 {
 		w := lk.queue[0]
 		lk.queue = lk.queue[1:]

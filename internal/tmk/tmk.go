@@ -22,6 +22,7 @@ import (
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/vc"
 )
 
@@ -89,6 +90,14 @@ type Config struct {
 	// false-sharing signature). Off, the run is faster and Stats only
 	// carries raw message/byte counts.
 	Collect bool
+	// Trace, when non-nil, captures every Run on this System into the
+	// given trace stream: one run_start/run_end frame per Run, every
+	// priced message in pricing order, and the engine lifecycle events
+	// (barriers, locks, faults, protocol switches, home moves). One
+	// Writer may be shared by many Systems — runs demultiplex by id.
+	// Tracing forces the network's send paths through the pricing lock,
+	// so leave it nil on performance-measurement runs.
+	Trace *trace.Writer
 }
 
 func (c *Config) fill() error {
@@ -212,6 +221,11 @@ type System struct {
 	procs   []*Proc
 	barrier *barrier
 	locks   []*lock
+
+	// trc is the active Run's trace emitter (nil when not tracing). Set
+	// before the processor goroutines start and cleared after they join,
+	// so processor-side reads are race-free; hot paths pay one nil check.
+	trc *trace.Run
 }
 
 // NewSystem builds a DSM instance. The shared segment starts zeroed and
@@ -487,6 +501,19 @@ func (s *System) Run(body func(p *Proc)) *Result {
 	if s.ran {
 		s.Reset()
 	}
+	if s.cfg.Trace != nil {
+		cost := s.cost
+		s.trc = s.cfg.Trace.BeginRun(trace.RunMeta{
+			Protocol:  s.cfg.Protocol,
+			Network:   s.net.Model().Name(),
+			Placement: s.cfg.Placement,
+			Procs:     s.cfg.Procs,
+			UnitPages: s.cfg.UnitPages,
+			Dynamic:   s.cfg.Dynamic,
+			Cost:      &cost,
+		})
+		s.net.SetTraceSink(s.trc)
+	}
 	s.running = true
 	var wg sync.WaitGroup
 	for _, p := range s.procs {
@@ -522,6 +549,11 @@ func (s *System) Run(body func(p *Proc)) *Result {
 	}
 	if s.col != nil {
 		res.Stats = s.col.Finalize(s.net.Snapshot())
+	}
+	if s.trc != nil {
+		s.trc.End(res.Time, int64(res.Messages), int64(res.Bytes), res.QueueDelay)
+		s.net.SetTraceSink(nil)
+		s.trc = nil
 	}
 	s.running = false
 	s.ran = true

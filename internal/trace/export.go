@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// ExportSnapshot writes an already-finished network's retained message
+// log to the trace stream as one run: run_start, one leg event per
+// simnet.Record in log order, run_end with the network's exact totals.
+// It is the after-the-fact alternative to live capture (Config.Trace)
+// for callers that only have a Snapshot.
+//
+// A capped log (simnet.WithRecordCap / WithCountsOnly) that has dropped
+// records cannot be exported: the missing messages would replay to
+// wrong totals, so the export fails loudly instead of emitting a
+// silently truncated trace. Live capture has no such hazard — the sink
+// sees every message regardless of record retention.
+//
+// Record does not distinguish control legs from payload legs, so an
+// exported run re-prices every record as a payload leg; on contended
+// models this makes export-replay an approximation, where live capture
+// is exact. Use live capture when bit-identity matters.
+func ExportSnapshot(w *Writer, meta RunMeta, n *simnet.Network) error {
+	if d := n.Dropped(); d > 0 {
+		return fmt.Errorf("trace: cannot export: network dropped %d of %d records under its record cap; capture live (Config.Trace) or lift the cap", d, func() int { m, _ := n.Counts(); return m }())
+	}
+	if meta.Cost == nil {
+		cost := n.Cost()
+		meta.Cost = &cost
+	}
+	run := w.BeginRun(meta)
+	for _, rec := range n.Snapshot() {
+		run.TraceLeg(rec.Kind, rec.Src, rec.Dst, rec.Bytes, rec.SendAt, rec.Queue)
+	}
+	msgs, bytes := n.Counts()
+	run.End(0, int64(msgs), int64(bytes), n.QueueTotal())
+	return w.Err()
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Reader streams events from a trace file. It validates the header line
+// (schema version at most this package's Version), tolerates unknown
+// JSON fields on every line (forward compatibility: newer writers may
+// add fields), and skips interior header lines (a flight-recorder dump
+// re-synthesizes its header, and concatenated traces are legal input).
+type Reader struct {
+	sc      *bufio.Scanner
+	version int
+	line    int
+}
+
+// maxLine bounds one JSONL line; events are small, but a generous cap
+// beats a silent bufio.ErrTooLong on a future fat event.
+const maxLine = 1 << 20
+
+// NewReader opens a trace stream, consuming and validating its header.
+func NewReader(r io.Reader) (*Reader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxLine)
+	tr := &Reader{sc: sc}
+	ev, err := tr.next()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: empty stream (no header line)")
+		}
+		return nil, err
+	}
+	if ev.E != EvHeader {
+		return nil, fmt.Errorf("trace: line 1: expected %q event, got %q", EvHeader, ev.E)
+	}
+	if ev.V > Version {
+		return nil, fmt.Errorf("trace: schema version %d is newer than supported %d", ev.V, Version)
+	}
+	tr.version = ev.V
+	return tr, nil
+}
+
+// Version returns the stream's schema version.
+func (r *Reader) Version() int { return r.version }
+
+// Next returns the next event, or io.EOF at end of stream. Interior
+// header lines are skipped; blank lines are tolerated.
+func (r *Reader) Next() (*Event, error) {
+	for {
+		ev, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if ev.E == EvHeader {
+			continue
+		}
+		return ev, nil
+	}
+}
+
+func (r *Reader) next() (*Event, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := r.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ev := new(Event)
+		if err := json.Unmarshal(line, ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", r.line, err)
+		}
+		if ev.E == "" {
+			return nil, fmt.Errorf("trace: line %d: missing event type", r.line)
+		}
+		return ev, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: line %d: %w", r.line+1, err)
+	}
+	return nil, io.EOF
+}

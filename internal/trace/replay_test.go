@@ -1,0 +1,122 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/simnet"
+	"repro/internal/tmk"
+	"repro/internal/trace"
+)
+
+// capture runs one real engine trial with live tracing on and returns
+// the captured stream.
+func capture(t *testing.T, app, dataset string, cfg tmk.Config) *bytes.Buffer {
+	t.Helper()
+	e, ok := apps.Lookup(app, dataset)
+	if !ok {
+		t.Fatalf("%s/%s is not registered", app, dataset)
+	}
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	tw.SetLabel(e.App, e.Dataset)
+	cfg.Trace = tw
+	cfg.Collect = true
+	if _, err := apps.RunTrials(e.Make(cfg.Procs), cfg, 1); err != nil {
+		t.Fatalf("%s/%s: %v", app, dataset, err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestReplayBitIdentical pins the format's load-bearing property: a
+// live capture replayed through the same network model reproduces the
+// run's message, byte, and queue-delay totals bit-identically — on the
+// contention-free model and on both stateful (occupancy-tracking)
+// models, for a barrier-structured app and a lock-heavy one, including
+// adaptive protocol switching and home migration traffic.
+func TestReplayBitIdentical(t *testing.T) {
+	cases := []struct {
+		app, dataset string
+		cfg          tmk.Config
+	}{
+		{"jacobi", "small", tmk.Config{Procs: 8, UnitPages: 1, Network: "ideal"}},
+		{"jacobi", "small", tmk.Config{Procs: 8, UnitPages: 1, Network: "bus"}},
+		{"jacobi", "small", tmk.Config{Procs: 8, UnitPages: 1, Network: "switch"}},
+		{"tsp", "small", tmk.Config{Procs: 8, UnitPages: 1, Network: "bus"}},
+		{"tsp", "small", tmk.Config{Procs: 8, UnitPages: 1, Network: "switch",
+			Protocol: "adaptive", Placement: "migrate"}},
+	}
+	for _, tc := range cases {
+		name := tc.app + "/" + tc.cfg.Network
+		if tc.cfg.Protocol != "" {
+			name += "/" + tc.cfg.Protocol
+		}
+		t.Run(name, func(t *testing.T) {
+			buf := capture(t, tc.app, tc.dataset, tc.cfg)
+			runs, err := trace.Replay(bytes.NewReader(buf.Bytes()), "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(runs) != 1 {
+				t.Fatalf("runs = %d, want 1", len(runs))
+			}
+			r := runs[0]
+			if r.Recorded.Msgs == 0 || r.Recorded.Bytes == 0 {
+				t.Fatalf("empty capture: recorded %+v", r.Recorded)
+			}
+			if !r.Matches() {
+				t.Fatalf("same-model replay diverged on %s:\n recorded %+v\n replayed %+v",
+					r.Network, r.Recorded, r.Replayed)
+			}
+		})
+	}
+}
+
+// TestReplayAcrossNetworks: re-pricing a capture through a different
+// model keeps the message and byte totals (the traffic is fixed by the
+// capture) while the queue delay changes with the interconnect.
+func TestReplayAcrossNetworks(t *testing.T) {
+	buf := capture(t, "jacobi", "small", tmk.Config{Procs: 8, UnitPages: 1, Network: "ideal"})
+	runs, err := trace.Replay(bytes.NewReader(buf.Bytes()), "bus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runs[0]
+	if r.Network != "bus" {
+		t.Fatalf("replay network = %q, want bus", r.Network)
+	}
+	if r.Replayed.Msgs != r.Recorded.Msgs || r.Replayed.Bytes != r.Recorded.Bytes {
+		t.Fatalf("re-pricing changed the traffic itself:\n recorded %+v\n replayed %+v",
+			r.Recorded, r.Replayed)
+	}
+	if r.Replayed.Queue <= r.Recorded.Queue {
+		t.Fatalf("bus re-pricing of an ideal capture should add queue delay; recorded %v, replayed %v",
+			r.Recorded.Queue, r.Replayed.Queue)
+	}
+}
+
+// TestReplayRejectsTruncatedCapture: a run_start with no run_end is a
+// partial trace and must fail, not replay to wrong totals.
+func TestReplayRejectsTruncatedCapture(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	run := w.BeginRun(trace.RunMeta{Network: "ideal", Procs: 2})
+	run.TraceLeg(simnet.DiffRequest, 0, 1, 64, 0, 0)
+	// no run.End: simulates a capture cut off mid-run.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := trace.Replay(bytes.NewReader(buf.Bytes()), "")
+	if err == nil {
+		t.Fatal("Replay accepted a truncated capture")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("error should call out the truncation, got: %v", err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package trace is the observability layer's on-disk format: a
+// versioned JSONL event log capturing everything a run put on the
+// simulated wire — one event per simnet pricing operation (leg, control
+// leg, request/reply exchange) — interleaved with the engine's
+// lifecycle events (barrier enter/leave, lock acquire/release, page
+// fault begin/end, protocol switches, home moves).
+//
+// Capture is live: the engine emits events as they happen, under the
+// same lock that prices the messages, so the trace records the exact
+// operation sequence the network model saw. That makes the format
+// load-bearing: Replay streams a captured run back through any
+// netmodel.Model without re-executing the application, and replay
+// through the *same* model reproduces the run's message, byte, and
+// queue-delay totals bit-identically (pinned by test — the totals are
+// sums over the identical pricing-call sequence).
+//
+// One Writer may serve several Systems concurrently (a sweep tracing
+// every cell into one file): every event carries its run id, so
+// interleaved runs de-multiplex losslessly. Readers tolerate unknown
+// fields, so the schema can grow without breaking old analyzers; the
+// Version field in the header line gates incompatible changes.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Version is the schema version this package writes. Readers accept
+// files of the same or lower version.
+const Version = 1
+
+// Event types. Every JSONL line is one Event; E discriminates.
+const (
+	// EvHeader is the file's first line: schema version only.
+	EvHeader = "header"
+	// EvRunStart opens one engine run: run id plus the run's identity
+	// (app, dataset, protocol, network, placement, procs, unit geometry,
+	// cost calibration) — everything Replay needs to rebuild the model.
+	EvRunStart = "run_start"
+	// EvRunEnd closes a run with its recorded totals: simulated time,
+	// messages, payload bytes, cumulative queue delay. Replay parity is
+	// checked against these.
+	EvRunEnd = "run_end"
+
+	// EvLeg is one one-way message priced with its payload.
+	EvLeg = "leg"
+	// EvControl is one control message priced payload-free (the bytes
+	// field still records the wire size, matching simnet.SendControl).
+	EvControl = "ctl"
+	// EvExchange is one request/reply pair priced as a single exchange.
+	EvExchange = "xchg"
+
+	// EvBarrierEnter marks a processor arriving at a barrier (clock at
+	// arrival, before the arrival message); EvBarrierLeave marks its
+	// departure (clock after the release message), with N the 1-based
+	// barrier episode.
+	EvBarrierEnter = "barrier_enter"
+	EvBarrierLeave = "barrier_leave"
+	// EvLockAcquire marks a processor being granted lock L; EvLockRelease
+	// marks it releasing.
+	EvLockAcquire = "lock_acq"
+	EvLockRelease = "lock_rel"
+	// EvFaultBegin marks a read/access fault on a page (clock at trap);
+	// EvFaultEnd marks the fault serviced (clock after the fetch).
+	EvFaultBegin = "fault"
+	EvFaultEnd   = "fault_end"
+	// EvSwitch marks the adaptive protocol re-pointing a unit between
+	// engines at a barrier (N: the policy's evidence phase).
+	EvSwitch = "switch"
+	// EvRehome marks the placement layer moving a unit's home (Transfer
+	// reports whether home state travelled on the wire, B its size).
+	EvRehome = "rehome"
+)
+
+// Event is one JSONL line. A single struct covers every event type so
+// encode→decode round-trips by plain struct equality; fields irrelevant
+// to a type stay zero and are omitted from the wire. Decoders ignore
+// unknown fields (forward compatibility) and treat absent fields as
+// zero.
+type Event struct {
+	E string `json:"e"`
+	V int    `json:"v,omitempty"` // header: schema version
+	R int64  `json:"r,omitempty"` // run id (all events except header)
+
+	// Message pricing operations.
+	K  string       `json:"k,omitempty"`  // message kind (request kind on xchg)
+	RK string       `json:"rk,omitempty"` // reply kind (xchg only)
+	S  int          `json:"s,omitempty"`  // source processor
+	D  int          `json:"d,omitempty"`  // destination processor
+	B  int          `json:"b,omitempty"`  // payload bytes (request bytes on xchg)
+	RB int          `json:"rb,omitempty"` // reply payload bytes (xchg only)
+	At sim.Duration `json:"at,omitempty"` // sender's virtual clock at send
+	Q  sim.Duration `json:"q,omitempty"`  // queue delay (request leg on xchg)
+	RQ sim.Duration `json:"rq,omitempty"` // reply leg queue delay (xchg only)
+
+	// Engine lifecycle.
+	P        int    `json:"p,omitempty"`      // processor
+	N        int    `json:"n,omitempty"`      // barrier episode / evidence phase
+	U        int    `json:"u,omitempty"`      // consistency unit
+	Pg       int    `json:"pg,omitempty"`     // page
+	L        int    `json:"l,omitempty"`      // lock id
+	FromName string `json:"fproto,omitempty"` // switch: previous engine
+	ToName   string `json:"tproto,omitempty"` // switch: next engine
+	FromHome int    `json:"fhome,omitempty"`  // rehome: previous home
+	ToHome   int    `json:"thome,omitempty"`  // rehome: next home
+	Transfer bool   `json:"tr,omitempty"`     // rehome: state moved on the wire
+
+	// Run identity (run_start).
+	App       string         `json:"app,omitempty"`
+	Dataset   string         `json:"dataset,omitempty"`
+	Protocol  string         `json:"protocol,omitempty"`
+	Network   string         `json:"network,omitempty"`
+	Placement string         `json:"placement,omitempty"`
+	Procs     int            `json:"procs,omitempty"`
+	UnitPages int            `json:"unit_pages,omitempty"`
+	Dynamic   bool           `json:"dynamic,omitempty"`
+	Cost      *sim.CostModel `json:"cost,omitempty"`
+
+	// Recorded totals (run_end).
+	Time  sim.Duration `json:"time,omitempty"`
+	Msgs  int64        `json:"msgs,omitempty"`
+	Bytes int64        `json:"bytes,omitempty"`
+	Queue sim.Duration `json:"queue,omitempty"`
+}
+
+// RunMeta is one run's identity, written on its run_start line.
+type RunMeta struct {
+	App       string
+	Dataset   string
+	Protocol  string
+	Network   string
+	Placement string
+	Procs     int
+	UnitPages int
+	Dynamic   bool
+	// Cost is the run's communication cost calibration; Replay rebuilds
+	// the pricing model from it. Nil means sim.DefaultCostModel.
+	Cost *sim.CostModel
+}
+
+// Writer emits a trace stream: one header line, then events. It is safe
+// for concurrent use — several Systems may share one Writer, each under
+// its own run id — and each event is written with a single Write call,
+// so line-atomic sinks (Ring, os.File) never see torn lines.
+//
+// Write errors are sticky: the first one is retained and every later
+// emit is dropped. Callers must check Err (or Close) when capture ends —
+// a trace that could not be fully written must fail loudly, never pass
+// silently as a truncated file that replays to wrong totals.
+type Writer struct {
+	mu      sync.Mutex
+	out     io.Writer
+	err     error
+	app     string
+	dataset string
+	nextRun int64
+}
+
+// NewWriter starts a trace stream on out, writing the header line.
+func NewWriter(out io.Writer) *Writer {
+	w := &Writer{out: out}
+	w.emit(&Event{E: EvHeader, V: Version})
+	return w
+}
+
+// SetLabel sets the app/dataset identity stamped on subsequent runs
+// whose meta leaves them empty (the engine knows its configuration but
+// not which workload drives it). Not safe concurrently with BeginRun.
+func (w *Writer) SetLabel(app, dataset string) {
+	w.mu.Lock()
+	w.app, w.dataset = app, dataset
+	w.mu.Unlock()
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close flushes nothing (the Writer is unbuffered; wrap a bufio.Writer
+// if the sink needs it) but surfaces the sticky write error, so
+// `defer`-friendly callers cannot drop a partial trace on the floor.
+func (w *Writer) Close() error { return w.Err() }
+
+func (w *Writer) emit(ev *Event) {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		// Event structs always marshal; keep the invariant visible.
+		panic(fmt.Sprintf("trace: marshal failed: %v", err))
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if _, err := w.out.Write(line); err != nil {
+		w.err = fmt.Errorf("trace: write failed: %w", err)
+	}
+}
+
+// BeginRun opens a new run on the stream: assigns the next run id,
+// fills empty App/Dataset from the Writer's label, writes the run_start
+// line, and returns the run's event emitter.
+func (w *Writer) BeginRun(meta RunMeta) *Run {
+	w.mu.Lock()
+	w.nextRun++
+	id := w.nextRun
+	if meta.App == "" {
+		meta.App = w.app
+	}
+	if meta.Dataset == "" {
+		meta.Dataset = w.dataset
+	}
+	w.mu.Unlock()
+	w.emit(&Event{
+		E: EvRunStart, R: id,
+		App: meta.App, Dataset: meta.Dataset,
+		Protocol: meta.Protocol, Network: meta.Network, Placement: meta.Placement,
+		Procs: meta.Procs, UnitPages: meta.UnitPages, Dynamic: meta.Dynamic,
+		Cost: meta.Cost,
+	})
+	return &Run{w: w, id: id}
+}
+
+// Run emits one engine run's events under its run id. The message
+// methods implement simnet.TraceSink (called under the network's
+// pricing lock, so message events appear in exact pricing order); the
+// lifecycle methods are called from the engine's processor goroutines
+// and interleave in wall-clock order, which is fine — analysis bins
+// them by their virtual timestamps, and replay reads only the message
+// events.
+type Run struct {
+	w  *Writer
+	id int64
+}
+
+// ID returns the run's id within its stream.
+func (r *Run) ID() int64 { return r.id }
+
+// TraceLeg implements simnet.TraceSink.
+func (r *Run) TraceLeg(kind simnet.MsgKind, src, dst, bytes int, at, queue sim.Duration) {
+	r.w.emit(&Event{E: EvLeg, R: r.id, K: kind.String(), S: src, D: dst, B: bytes, At: at, Q: queue})
+}
+
+// TraceControl implements simnet.TraceSink.
+func (r *Run) TraceControl(kind simnet.MsgKind, src, dst, bytes int, at, queue sim.Duration) {
+	r.w.emit(&Event{E: EvControl, R: r.id, K: kind.String(), S: src, D: dst, B: bytes, At: at, Q: queue})
+}
+
+// TraceExchange implements simnet.TraceSink.
+func (r *Run) TraceExchange(reqKind, repKind simnet.MsgKind, src, dst, reqBytes, repBytes int, at sim.Duration, t netmodel.ExchangeTiming) {
+	r.w.emit(&Event{
+		E: EvExchange, R: r.id, K: reqKind.String(), RK: repKind.String(),
+		S: src, D: dst, B: reqBytes, RB: repBytes,
+		At: at, Q: t.Request.Queue, RQ: t.Reply.Queue,
+	})
+}
+
+// BarrierEnter records processor p arriving at a barrier at its current
+// virtual clock.
+func (r *Run) BarrierEnter(p int, at sim.Duration) {
+	r.w.emit(&Event{E: EvBarrierEnter, R: r.id, P: p, At: at})
+}
+
+// BarrierLeave records processor p departing barrier episode n at its
+// post-release virtual clock.
+func (r *Run) BarrierLeave(p, episode int, at sim.Duration) {
+	r.w.emit(&Event{E: EvBarrierLeave, R: r.id, P: p, N: episode, At: at})
+}
+
+// LockAcquire records processor p being granted lock l.
+func (r *Run) LockAcquire(p, l int, at sim.Duration) {
+	r.w.emit(&Event{E: EvLockAcquire, R: r.id, P: p, L: l, At: at})
+}
+
+// LockRelease records processor p releasing lock l.
+func (r *Run) LockRelease(p, l int, at sim.Duration) {
+	r.w.emit(&Event{E: EvLockRelease, R: r.id, P: p, L: l, At: at})
+}
+
+// FaultBegin records an access fault by processor p on a page of a unit.
+func (r *Run) FaultBegin(p, page, unit int, at sim.Duration) {
+	r.w.emit(&Event{E: EvFaultBegin, R: r.id, P: p, Pg: page, U: unit, At: at})
+}
+
+// FaultEnd records the fault on page serviced, at p's post-fetch clock.
+func (r *Run) FaultEnd(p, page int, at sim.Duration) {
+	r.w.emit(&Event{E: EvFaultEnd, R: r.id, P: p, Pg: page, At: at})
+}
+
+// ProtocolSwitch records the adaptive policy re-pointing unit u from
+// one engine to another during evidence phase n.
+func (r *Run) ProtocolSwitch(u int, from, to string, phase int) {
+	r.w.emit(&Event{E: EvSwitch, R: r.id, U: u, FromName: from, ToName: to, N: phase})
+}
+
+// Rehome records the placement layer moving unit u's home; transfer
+// reports whether bytes of home state travelled on the wire.
+func (r *Run) Rehome(u, from, to, bytes int, transfer bool) {
+	r.w.emit(&Event{E: EvRehome, R: r.id, U: u, FromHome: from, ToHome: to, B: bytes, Transfer: transfer})
+}
+
+// End closes the run with its recorded totals.
+func (r *Run) End(time sim.Duration, msgs, bytes int64, queue sim.Duration) {
+	r.w.emit(&Event{E: EvRunEnd, R: r.id, Time: time, Msgs: msgs, Bytes: bytes, Queue: queue})
+}
