@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench bench-check perf-check networks placements serve loadtest docker profile alloc-check trace-smoke
+.PHONY: all test vet bench bench-check perf-check scaling networks placements serve loadtest docker profile alloc-check trace-smoke
 
 all: test
 
@@ -31,8 +31,21 @@ bench-check:
 # carries a perf section (host-normalized -networks sweep wall time),
 # so -check-baseline additionally re-runs the sweep and fails on >25%
 # normalized slowdown — a lost optimization, not scheduler jitter.
+# It also gates the committed scaling sweep: BENCH_scaling.json must
+# claim a >=5x sparse/tree win at 256 procs and a live re-run of the
+# best cell must reproduce >=2x.
 perf-check:
 	$(GO) run ./cmd/dsmbench -check-baseline BENCH_after.json
+	$(GO) run ./cmd/dsmbench -check-scaling BENCH_scaling.json
+
+# scaling regenerates the committed 8->1024-proc scaling curves
+# (storm/large, {homeless,home} x {ideal,bus} x {dense/central,
+# sparse/tree}). The dense 1024-proc cells take minutes each by
+# design — that quadratic cost is the datum — so the full sweep is a
+# coffee break, not a CI job. Commit the refreshed BENCH_scaling.json
+# whenever a PR moves these numbers.
+scaling:
+	$(GO) run ./cmd/dsmbench -scaling -json > BENCH_scaling.json
 
 # profile runs the -networks sweep under the std runtime/pprof
 # collectors and prints the top CPU and allocation sinks. The raw

@@ -1,0 +1,161 @@
+//go:build !race
+
+// Equivalence tests for the scaling representations introduced with the
+// sparse-clock work: the sparse engine mode must be observationally
+// identical to the dense reference (same messages, bytes, simulated
+// time), and every tree-barrier radix must leave the protocol in the
+// same state as the centralized golden fabric (same per-episode merged
+// vector times, same faults/twins/diffs/intervals, same application
+// results) even though its message fabric — and therefore its timing —
+// differs by design.
+//
+// Excluded under the race detector for the same reason as the golden
+// tests: TSP's counts depend on deterministic lock hand-off order.
+
+package dsm
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/tmk"
+	"repro/internal/vc"
+)
+
+// runLogged runs one workload cell and returns the result plus a deep
+// copy of the barrier log (the System is rebuilt per call, but copying
+// keeps the comparison independent of engine internals).
+func runLogged(t *testing.T, app, dataset string, procs int, cfg tmk.Config) (*tmk.Result, []vc.Time) {
+	t.Helper()
+	e, ok := apps.Lookup(app, dataset)
+	if !ok {
+		t.Fatalf("%s/%s not registered", app, dataset)
+	}
+	w := e.Make(procs)
+	cfg.Procs = procs
+	cfg.Collect = true
+	sys, err := apps.NewSystem(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(w.Body)
+	if err := w.Check(); err != nil {
+		t.Fatalf("%s/%s check: %v", app, dataset, err)
+	}
+	log := make([]vc.Time, len(sys.BarrierLog()))
+	for i, vt := range sys.BarrierLog() {
+		log[i] = vt.Clone()
+	}
+	return res, log
+}
+
+// TestScaleModesEquivalent pins the tentpole's substitution claim: the
+// sparse representation (epoch-relative stamps, deviation-driven deltas,
+// lazy replicas) reproduces the dense reference bit-for-bit — message
+// counts, wire bytes, and simulated time — across the static protocols
+// and the adaptive configuration.
+func TestScaleModesEquivalent(t *testing.T) {
+	cells := []struct {
+		app, dataset, protocol string
+	}{
+		{"Jacobi", "small", "homeless"},
+		{"Jacobi", "small", "home"},
+		{"Jacobi", "small", "adaptive"},
+		{"TSP", "small", "homeless"},
+		{"TSP", "small", "home"},
+		// Storm at 64 procs drives the fault-time missing-write
+		// reconstruction (notices.go) through every episode: the sparse
+		// engine keeps no per-unit acquire state at all, so this cell
+		// pins that the rebuilt lists reproduce the dense wire exactly.
+		{"Storm", "small", "homeless"},
+		{"Storm", "small", "home"},
+	}
+	for _, c := range cells {
+		c := c
+		procs := 8
+		if c.app == "Storm" {
+			procs = 64
+		}
+		t.Run(c.app+"/"+c.protocol, func(t *testing.T) {
+			dense, denseLog := runLogged(t, c.app, c.dataset, procs,
+				tmk.Config{UnitPages: 1, Protocol: c.protocol, Scale: tmk.ScaleDense})
+			sparse, sparseLog := runLogged(t, c.app, c.dataset, procs,
+				tmk.Config{UnitPages: 1, Protocol: c.protocol, Scale: tmk.ScaleSparse})
+			if sparse.Messages != dense.Messages || sparse.Bytes != dense.Bytes {
+				t.Errorf("wire totals differ: sparse %d msgs/%d B, dense %d msgs/%d B",
+					sparse.Messages, sparse.Bytes, dense.Messages, dense.Bytes)
+			}
+			if sparse.Time != dense.Time {
+				t.Errorf("simulated time differs: sparse %v, dense %v", sparse.Time, dense.Time)
+			}
+			if sparse.Faults != dense.Faults || sparse.Intervals != dense.Intervals ||
+				sparse.DiffsEncoded != dense.DiffsEncoded {
+				t.Errorf("engine events differ: sparse %d/%d/%d, dense %d/%d/%d",
+					sparse.Faults, sparse.Intervals, sparse.DiffsEncoded,
+					dense.Faults, dense.Intervals, dense.DiffsEncoded)
+			}
+			compareBarrierLogs(t, denseLog, sparseLog)
+		})
+	}
+}
+
+// TestTreeBarrierEquivalence pins the tree fabric against the
+// centralized golden reference: for radices 2, 4, and 8 the per-episode
+// merged vector times and the protocol's event counts must match
+// exactly — the fabric changes who carries which message, never what
+// the barrier means.
+func TestTreeBarrierEquivalence(t *testing.T) {
+	cells := []struct {
+		app, dataset string
+		procs        int
+	}{
+		{"Jacobi", "small", 8},
+		{"Jacobi", "small", 64},
+		{"TSP", "small", 8},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.app, func(t *testing.T) {
+			central, centralLog := runLogged(t, c.app, c.dataset, c.procs,
+				tmk.Config{UnitPages: 1, Barrier: "central"})
+			if len(centralLog) == 0 {
+				t.Fatal("no barrier episodes recorded under Collect")
+			}
+			for _, radix := range []int{2, 4, 8} {
+				tree, treeLog := runLogged(t, c.app, c.dataset, c.procs,
+					tmk.Config{UnitPages: 1, Barrier: "tree", BarrierRadix: radix})
+				compareBarrierLogs(t, centralLog, treeLog)
+				if tree.Faults != central.Faults || tree.Twins != central.Twins ||
+					tree.Intervals != central.Intervals || tree.DiffsEncoded != central.DiffsEncoded {
+					t.Errorf("radix %d: engine events differ: tree %d/%d/%d/%d, central %d/%d/%d/%d",
+						radix, tree.Faults, tree.Twins, tree.Intervals, tree.DiffsEncoded,
+						central.Faults, central.Twins, central.Intervals, central.DiffsEncoded)
+				}
+				// 2(n-1) barrier legs per episode vs the centralized 2n.
+				legsPerEpisode := 2 * (c.procs - 1)
+				if wantFewer := 2 * c.procs; legsPerEpisode >= wantFewer && c.procs > 1 {
+					t.Fatalf("tree fabric must use fewer legs (%d vs %d)", legsPerEpisode, wantFewer)
+				}
+				if tree.Messages >= central.Messages && c.procs > 1 && c.app == "Jacobi" {
+					t.Errorf("radix %d: tree sent %d messages, central %d — expected fewer barrier legs",
+						radix, tree.Messages, central.Messages)
+				}
+			}
+		})
+	}
+}
+
+func compareBarrierLogs(t *testing.T, want, got []vc.Time) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("barrier episode count differs: want %d, got %d", len(want), len(got))
+		return
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Errorf("episode %d merged time differs: want %v, got %v", i+1, want[i], got[i])
+			return
+		}
+	}
+}

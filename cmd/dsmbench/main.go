@@ -18,6 +18,8 @@
 //	dsmbench -all -placement firsttouch  # regenerate everything with first-writer homes
 //	dsmbench -baseline -json       # perf-trajectory seed: every app's small dataset
 //	dsmbench -check-baseline BENCH_baseline.json  # regression gate: exit non-zero on >2% time drift
+//	dsmbench -scaling -json        # 8→1024-proc wall-clock curves: dense/central vs sparse/tree
+//	dsmbench -check-scaling BENCH_scaling.json    # scaling gate: the sparse win must still reproduce
 //
 // Every cell is verified against the application's sequential reference
 // before its numbers are printed. With -json the text tables are
@@ -57,6 +59,13 @@ type document struct {
 	Placements []harness.PlacementComparisonJSON `json:"placements,omitempty"`
 	Baseline   []harness.CellJSON                `json:"baseline,omitempty"`
 	Perf       *perfJSON                         `json:"perf,omitempty"`
+	// Scaling carries the -scaling sweep: per-protocol × per-network
+	// wall-clock curves at n ∈ {8, 64, 256, 1024} for the dense/central
+	// reference vs the sparse/tree configuration, plus the GOMAXPROCS
+	// the generating host ran with (wall ratios are host-independent;
+	// absolute wall seconds are not).
+	Scaling           []harness.ScalingCurveJSON `json:"scaling,omitempty"`
+	ScalingGOMAXPROCS int                        `json:"scaling_gomaxprocs,omitempty"`
 }
 
 // perfJSON records how long the -networks sweep took on the machine that
@@ -81,6 +90,10 @@ func main() {
 	baseline := flag.Bool("baseline", false, "perf-trajectory seed: every application's small dataset under the default configuration")
 	checkBaseline := flag.String("check-baseline", "",
 		"diff the current -baseline run against the committed FILE and exit non-zero on >2% time regression")
+	scaling := flag.Bool("scaling", false,
+		"scaling sweep: jacobi/large wall-clock curves at 8–1024 procs, dense/central vs sparse/tree, per protocol × network")
+	checkScaling := flag.String("check-scaling", "",
+		"validate the committed scaling FILE's ≥5× claim and re-run its best 256-proc cell; exit non-zero if the sparse win is gone")
 	protocol := flag.String("protocol", tmk.DefaultProtocol,
 		"coherence protocol for tables/figures: "+strings.Join(tmk.ProtocolNames(), " or "))
 	network := flag.String("network", netmodel.Default,
@@ -105,7 +118,12 @@ func main() {
 		stopProf()
 		os.Exit(code)
 	}
-	if !*all && *table == 0 && *figure == 0 && !*micro && !*protocols && !*networks && !*placements && !*baseline {
+	if *checkScaling != "" {
+		code := runCheckScaling(*checkScaling)
+		stopProf()
+		os.Exit(code)
+	}
+	if !*all && *table == 0 && *figure == 0 && !*micro && !*protocols && !*networks && !*placements && !*baseline && !*scaling {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -228,6 +246,26 @@ func main() {
 			for _, pc := range pcs {
 				doc.Placements = append(doc.Placements, harness.PlacementComparisonReport(pc))
 			}
+		}
+	}
+	if *scaling {
+		// Deliberately not part of -all: the dense 1024-proc cells take
+		// tens of seconds each by design — that cost is the datum.
+		e, err := scalingExperiment()
+		check(err)
+		curves, err := harness.RunScaling(e, nil, nil, nil, nil)
+		check(err)
+		if text {
+			fmt.Println("=== Scaling: dense/central reference vs sparse/tree at 8–1024 procs ===")
+			harness.RenderScaling(os.Stdout, curves)
+			proto, network, speedup := bestScalingCell(curves, scalingCheckProcs)
+			fmt.Printf("best %d-proc wall-clock speedup: %.1f× (%s × %s)\n\n",
+				scalingCheckProcs, speedup, proto, network)
+		} else {
+			for _, c := range curves {
+				doc.Scaling = append(doc.Scaling, harness.ScalingReport(c))
+			}
+			doc.ScalingGOMAXPROCS = runtime.GOMAXPROCS(0)
 		}
 	}
 	if *baseline {
@@ -441,6 +479,147 @@ func runCheckBaseline(path string) int {
 		return 1
 	}
 	fmt.Println("\nbaseline check passed (tolerance ±2% simulated time, +25% normalized wall clock)")
+	return 0
+}
+
+// Scaling-gate parameters.
+const (
+	// scalingCheckProcs is the processor count the scaling claim is
+	// made at.
+	scalingCheckProcs = 256
+	// scalingCommitFloor is the wall-clock speedup the committed sweep
+	// must show at scalingCheckProcs on at least one protocol × network
+	// cell — the sparse-representation work's acceptance claim.
+	scalingCommitFloor = 5.0
+	// scalingCheckFloor is the speedup the live re-run of that cell must
+	// still show. Wall clock is noisy in ways the committed snapshot is
+	// not (CI neighbors, turbo states), so the gate is deliberately
+	// looser than the claim: 2× catches losing the optimization, not
+	// scheduler jitter.
+	scalingCheckFloor = 2.0
+)
+
+// scalingExperiment returns the sweep's workload: Storm on the large
+// dataset. Unlike the paper apps — whose bands thin out as the machine
+// grows, so their per-barrier communication shrinks — Storm holds
+// per-processor work constant, which keeps the dense engine's
+// acquire-side notice fan-out (episodes × written units × procs list
+// appends) the dominant host cost at 256+ processors — exactly the
+// term the sparse engine's fault-time reconstruction removes.
+func scalingExperiment() (harness.Experiment, error) {
+	e, ok := apps.Lookup("Storm", "large")
+	if !ok {
+		return harness.Experiment{}, fmt.Errorf("storm has no large dataset")
+	}
+	return harness.Experiment{App: e.App, Dataset: e.Dataset, Paper: e.Paper, Make: e.Make}, nil
+}
+
+// bestScalingCell returns the protocol × network cell with the highest
+// wall-clock speedup of the last mode over the first at the given
+// processor count.
+func bestScalingCell(curves []harness.ScalingCurve, procs int) (proto, network string, speedup float64) {
+	type cell struct{ proto, network string }
+	byCell := make(map[cell][]harness.ScalingCurve)
+	for _, c := range curves {
+		k := cell{c.Protocol, c.Network}
+		byCell[k] = append(byCell[k], c)
+	}
+	for k, cs := range byCell {
+		if len(cs) < 2 {
+			continue
+		}
+		if s := harness.ScalingSpeedup(cs[0], cs[len(cs)-1], procs); s > speedup {
+			proto, network, speedup = k.proto, k.network, s
+		}
+	}
+	return proto, network, speedup
+}
+
+// runCheckScaling validates the committed scaling sweep and re-proves
+// its headline cell, returning the process exit code. Two gates: the
+// committed file must still claim a ≥5× wall-clock win at 256 procs on
+// some protocol × network cell (the artifact's integrity — if a
+// regenerated sweep lost the win, it must not be committed silently),
+// and a live re-run of that one cell must show the win is still real
+// on this machine (≥2×; see scalingCheckFloor). Only the single best
+// cell re-runs, so the gate stays seconds, not minutes.
+func runCheckScaling(path string) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmbench: -check-scaling:", err)
+		return 1
+	}
+	var committed document
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmbench: -check-scaling: parsing %s: %v\n", path, err)
+		return 1
+	}
+	if len(committed.Scaling) == 0 {
+		fmt.Fprintf(os.Stderr, "dsmbench: -check-scaling: %s has no scaling section (regenerate with 'make scaling')\n", path)
+		return 1
+	}
+
+	modes := harness.ScalingModes()
+	refMode, candMode := modes[0].Name, modes[len(modes)-1].Name
+	type cell struct{ proto, network string }
+	wall := make(map[cell]map[string]float64)
+	for _, c := range committed.Scaling {
+		for _, pt := range c.Points {
+			if pt.Procs != scalingCheckProcs || pt.WallSeconds <= 0 {
+				continue
+			}
+			k := cell{c.Protocol, c.Network}
+			if wall[k] == nil {
+				wall[k] = make(map[string]float64)
+			}
+			wall[k][c.Mode] = pt.WallSeconds
+		}
+	}
+	var best cell
+	bestSpeedup := 0.0
+	fmt.Printf("committed %d-proc wall clock, %s vs %s:\n", scalingCheckProcs, refMode, candMode)
+	fmt.Printf("%-10s  %-8s  %12s  %12s  %8s\n", "protocol", "network", refMode+"(s)", candMode+"(s)", "speedup")
+	for k, byMode := range wall {
+		ref, cand := byMode[refMode], byMode[candMode]
+		if ref <= 0 || cand <= 0 {
+			continue
+		}
+		s := ref / cand
+		fmt.Printf("%-10s  %-8s  %12.3f  %12.3f  %7.1f×\n", k.proto, k.network, ref, cand, s)
+		if s > bestSpeedup {
+			best, bestSpeedup = k, s
+		}
+	}
+	if bestSpeedup < scalingCommitFloor {
+		fmt.Printf("\nscaling check FAILED: committed sweep's best %d-proc speedup is %.1f× (< %.0f×) — the sparse-representation win is gone from the artifact; regenerate with 'make scaling' only after restoring it\n",
+			scalingCheckProcs, bestSpeedup, scalingCommitFloor)
+		return 1
+	}
+
+	e, err := scalingExperiment()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmbench:", err)
+		return 1
+	}
+	curves, err := harness.RunScaling(e,
+		[]string{best.proto}, []string{best.network}, []int{scalingCheckProcs}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmbench:", err)
+		return 1
+	}
+	now := 0.0
+	if len(curves) >= 2 {
+		now = harness.ScalingSpeedup(curves[0], curves[len(curves)-1], scalingCheckProcs)
+	}
+	fmt.Printf("\nre-run %s × %s at %d procs: %.1f× now vs %.1f× committed (floor %.0f×)\n",
+		best.proto, best.network, scalingCheckProcs, now, bestSpeedup, scalingCheckFloor)
+	if now < scalingCheckFloor {
+		fmt.Printf("\nscaling check FAILED: the sparse/tree configuration no longer beats dense/central by ≥%.0f× wall clock\n",
+			scalingCheckFloor)
+		return 1
+	}
+	fmt.Printf("\nscaling check passed (committed claim ≥%.0f×, live floor ≥%.0f×)\n",
+		scalingCommitFloor, scalingCheckFloor)
 	return 0
 }
 

@@ -50,6 +50,12 @@ func main() {
 		"interconnect timing model: "+strings.Join(netmodel.Names(), ", "))
 	placement := flag.String("placement", tmk.DefaultPlacement,
 		"home-placement policy: "+strings.Join(tmk.PlacementNames(), ", "))
+	scale := flag.String("scale", tmk.DefaultScale,
+		"engine scaling representation: "+tmk.ScaleSparse+" or "+tmk.ScaleDense+" (reference)")
+	barrier := flag.String("barrier", tmk.DefaultBarrier,
+		"barrier fabric: "+strings.Join(tmk.BarrierNames(), " or "))
+	barrierRadix := flag.Int("barrier-radix", tmk.DefaultBarrierRadix,
+		"tree barrier fan-in (children per node); ignored by central")
 	procs := flag.Int("procs", harness.Procs, "number of processors")
 	trials := flag.Int("trials", 1, "independent trials on one reused system")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
@@ -89,6 +95,10 @@ func main() {
 			strings.Join(netmodel.Names(), ", "), netmodel.Default)
 		fmt.Printf("placements: %s (default %s)\n",
 			strings.Join(tmk.PlacementNames(), ", "), tmk.DefaultPlacement)
+		fmt.Printf("barriers:   %s (default %s)\n",
+			strings.Join(tmk.BarrierNames(), ", "), tmk.DefaultBarrier)
+		fmt.Printf("scales:     %s, %s (default %s)\n",
+			tmk.ScaleSparse, tmk.ScaleDense, tmk.DefaultScale)
 		return
 	}
 	if *app == "" {
@@ -109,6 +119,7 @@ func main() {
 	cfg := tmk.Config{
 		Procs: *procs, UnitPages: *unit, Dynamic: *dynamic,
 		Protocol: *protocol, Network: *network, Placement: *placement,
+		Scale: *scale, Barrier: *barrier, BarrierRadix: *barrierRadix,
 		Collect: true,
 	}
 	var traceFile *os.File

@@ -422,12 +422,7 @@ func render(d *runSummaryJSON) {
 	}
 	fmt.Println()
 
-	fmt.Println("\n  per-processor timeline:")
-	fmt.Printf("    %-5s %10s %8s %9s %7s %14s\n", "proc", "sent", "faults", "barriers", "locks", "last event(s)")
-	for _, ps := range d.ProcTimes {
-		fmt.Printf("    %-5d %10d %8d %9d %7d %14.6f\n",
-			ps.Proc, ps.Sent, ps.Faults, ps.Barriers, ps.Locks, ps.LastSec)
-	}
+	renderTimeline(d)
 
 	fmt.Println("\n  queue delay by message kind:")
 	header := make([]string, 0, len(queueBuckets)+1)
@@ -465,6 +460,72 @@ func render(d *runSummaryJSON) {
 		}
 	}
 	fmt.Println()
+}
+
+// maxTimelineLanes caps the per-processor timeline's rendered rows. A
+// 1024-processor capture would otherwise print a thousand lines of
+// timeline before anything else; above the cap, consecutive processors
+// are aggregated into at most this many lanes (sums per lane, latest
+// event time across the lane). The -json output always keeps full
+// per-processor detail — aggregation is purely a text-rendering
+// concern.
+const maxTimelineLanes = 32
+
+func renderTimeline(d *runSummaryJSON) {
+	fmt.Println("\n  per-processor timeline:")
+	if len(d.ProcTimes) <= maxTimelineLanes {
+		fmt.Printf("    %-5s %10s %8s %9s %7s %14s\n", "proc", "sent", "faults", "barriers", "locks", "last event(s)")
+		for _, ps := range d.ProcTimes {
+			fmt.Printf("    %-5d %10d %8d %9d %7d %14.6f\n",
+				ps.Proc, ps.Sent, ps.Faults, ps.Barriers, ps.Locks, ps.LastSec)
+		}
+		return
+	}
+	// Lane width from the run's processor count, so lanes cover the id
+	// space evenly even when some processors recorded no events.
+	n := d.Procs
+	if last := d.ProcTimes[len(d.ProcTimes)-1].Proc + 1; last > n {
+		n = last
+	}
+	width := (n + maxTimelineLanes - 1) / maxTimelineLanes
+	type lane struct {
+		lo, hi, procs              int
+		sent, faults, barrs, locks int
+		last                       float64
+	}
+	lanes := make(map[int]*lane)
+	var order []int
+	for _, ps := range d.ProcTimes {
+		i := ps.Proc / width
+		ln := lanes[i]
+		if ln == nil {
+			hi := (i+1)*width - 1
+			if hi > n-1 {
+				hi = n - 1
+			}
+			ln = &lane{lo: i * width, hi: hi}
+			lanes[i] = ln
+			order = append(order, i)
+		}
+		ln.procs++
+		ln.sent += ps.Sent
+		ln.faults += ps.Faults
+		ln.barrs += ps.Barriers
+		ln.locks += ps.Locks
+		if ps.LastSec > ln.last {
+			ln.last = ps.LastSec
+		}
+	}
+	sort.Ints(order)
+	fmt.Printf("    (%d processors aggregated into %d lanes of %d; -json keeps per-proc detail)\n",
+		len(d.ProcTimes), len(order), width)
+	fmt.Printf("    %-11s %6s %10s %8s %9s %7s %14s\n",
+		"procs", "active", "sent", "faults", "barriers", "locks", "last event(s)")
+	for _, i := range order {
+		ln := lanes[i]
+		fmt.Printf("    %-11s %6d %10d %8d %9d %7d %14.6f\n",
+			fmt.Sprintf("%d-%d", ln.lo, ln.hi), ln.procs, ln.sent, ln.faults, ln.barrs, ln.locks, ln.last)
+	}
 }
 
 func fail(err error) {

@@ -137,6 +137,21 @@ func Networks() []string { return netmodel.Names() }
 // copy; it has no effect under the homeless protocol.
 func Placements() []string { return tmk.PlacementNames() }
 
+// Barriers returns the names of the registered barrier fabrics,
+// sorted: "central" (every arrival is one message to a single manager
+// — the paper's barrier and the 8-proc golden reference) and "tree"
+// (a configurable-radix combining tree: arrivals combine upward and
+// releases fan downward one priced message per tree edge, turning the
+// manager's n-message pile-up into log-depth waves); see DESIGN.md §13.
+func Barriers() []string { return tmk.BarrierNames() }
+
+// Scales returns the engine's scaling representations: "sparse"
+// (epoch-relative interval clocks, deviation-driven deltas, lazy
+// replicas — the default, bit-identical to dense on every wire count)
+// and "dense" (the flat O(procs) reference representation); see
+// DESIGN.md §13.
+func Scales() []string { return []string{tmk.ScaleSparse, tmk.ScaleDense} }
+
 // Option configures a System under construction. Options validate
 // their arguments and report bad values as errors from New.
 type Option func(*Config) error
@@ -288,6 +303,57 @@ func WithNetwork(name string) Option {
 				name, strings.Join(netmodel.Names(), ", "))
 		}
 		c.Network = name
+		return nil
+	}
+}
+
+// WithScale selects the engine's scaling representation by name
+// (case-insensitive; see Scales). The default, "sparse", carries
+// vector time as a base epoch plus a deviation list and materializes
+// replica frames lazily — built for 64–1024-processor systems, and
+// bit-identical to "dense" on every message and byte count (the
+// equivalence tests pin this). "dense" keeps the flat O(procs)
+// reference representation. An unknown name is an error from New.
+func WithScale(name string) Option {
+	return func(c *Config) error {
+		n := strings.ToLower(name)
+		if n != tmk.ScaleSparse && n != tmk.ScaleDense {
+			return fmt.Errorf("dsm: WithScale(%q): unknown scale mode (known: %s)",
+				name, strings.Join(Scales(), ", "))
+		}
+		c.Scale = n
+		return nil
+	}
+}
+
+// WithBarrier selects the barrier fabric by name (case-insensitive;
+// see Barriers). The default, "central", reproduces the paper's
+// single-manager barrier exactly; "tree" combines arrivals up (and
+// fans releases down) a WithBarrierRadix-ary tree of the processors,
+// pricing every hop as a real message on the network model. The two
+// fabrics leave identical post-barrier state — only message routing,
+// and therefore timing under contention, differs. An unknown name is
+// an error from New listing the registered fabrics.
+func WithBarrier(name string) Option {
+	return func(c *Config) error {
+		if !tmk.KnownBarrier(name) {
+			return fmt.Errorf("dsm: WithBarrier(%q): unknown barrier (known: %s)",
+				name, strings.Join(tmk.BarrierNames(), ", "))
+		}
+		c.Barrier = name
+		return nil
+	}
+}
+
+// WithBarrierRadix sets the tree barrier's fan-in — the number of
+// children combined per tree node (default tmk.DefaultBarrierRadix).
+// Ignored by the centralized fabric.
+func WithBarrierRadix(n int) Option {
+	return func(c *Config) error {
+		if n < 2 {
+			return fmt.Errorf("dsm: WithBarrierRadix(%d): fan-in must be at least 2", n)
+		}
+		c.BarrierRadix = n
 		return nil
 	}
 }

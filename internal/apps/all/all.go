@@ -11,6 +11,7 @@ import (
 	_ "repro/internal/apps/jacobi"
 	_ "repro/internal/apps/mgs"
 	_ "repro/internal/apps/shallow"
+	_ "repro/internal/apps/storm"
 	_ "repro/internal/apps/tsp"
 	_ "repro/internal/apps/water"
 )

@@ -10,12 +10,15 @@ import (
 )
 
 // Every application must register its paper dataset(s) plus the
-// small/medium/large sweep.
+// small/medium/large sweep. Storm is the one deliberate addition beyond
+// the paper's 8: a synthetic notice-storm stressor for the scaling
+// sweeps, so it carries no paper dataset.
 func TestRegistryInventory(t *testing.T) {
 	appNames := apps.Apps()
-	if len(appNames) != 8 {
-		t.Fatalf("apps = %v, want the paper's 8", appNames)
+	if len(appNames) != 9 {
+		t.Fatalf("apps = %v, want the paper's 8 plus Storm", appNames)
 	}
+	sawStorm := false
 	for _, app := range appNames {
 		for _, size := range []string{"small", "medium", "large"} {
 			if _, ok := apps.Lookup(app, size); !ok {
@@ -26,9 +29,19 @@ func TestRegistryInventory(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s has no default dataset", app)
 		}
+		if app == "Storm" {
+			sawStorm = true
+			if e.Paper != "" {
+				t.Errorf("Storm claims paper dataset %q; it is synthetic", e.Paper)
+			}
+			continue
+		}
 		if e.Paper == "" {
 			t.Errorf("%s default dataset %q is not a paper dataset", app, e.Dataset)
 		}
+	}
+	if !sawStorm {
+		t.Error("Storm missing from registry")
 	}
 }
 

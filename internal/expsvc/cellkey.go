@@ -14,6 +14,7 @@ func init() {
 			App: app, Dataset: dataset,
 			UnitPages: c.Unit, Dynamic: c.Dynamic,
 			Protocol: c.Protocol, Network: c.Network, Placement: c.Placement,
+			Scale: c.Scale, Barrier: c.Barrier, BarrierRadix: c.BarrierRadix,
 			Procs: procs, Collect: collect,
 		})
 		if err != nil {

@@ -19,6 +19,10 @@ type RegistryJSON struct {
 	DefaultNetwork   string             `json:"default_network"`
 	Placements       []string           `json:"placements"`
 	DefaultPlacement string             `json:"default_placement"`
+	Barriers         []string           `json:"barriers"`
+	DefaultBarrier   string             `json:"default_barrier"`
+	Scales           []string           `json:"scales"`
+	DefaultScale     string             `json:"default_scale"`
 }
 
 // RegistryWorkload is one application with its registered datasets, in
@@ -45,6 +49,10 @@ func Registry() RegistryJSON {
 		DefaultNetwork:   netmodel.Default,
 		Placements:       tmk.PlacementNames(),
 		DefaultPlacement: tmk.DefaultPlacement,
+		Barriers:         tmk.BarrierNames(),
+		DefaultBarrier:   tmk.DefaultBarrier,
+		Scales:           []string{tmk.ScaleSparse, tmk.ScaleDense},
+		DefaultScale:     tmk.DefaultScale,
 	}
 	for _, e := range apps.Entries() {
 		n := len(out.Workloads)

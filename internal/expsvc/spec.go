@@ -39,7 +39,10 @@ import (
 // slice of the machine.
 const (
 	// MaxProcs bounds the simulated processor count of one request.
-	MaxProcs = 128
+	// Raised from 128 with the sparse-clock/tree-barrier work: the
+	// engine's scaling representation makes 1024-processor cells
+	// routine (see DESIGN.md §13).
+	MaxProcs = 1024
 	// MaxTrials bounds the independent trials of one request.
 	MaxTrials = 64
 	// MaxUnitPages bounds the static consistency unit of one request.
@@ -69,6 +72,14 @@ type Spec struct {
 	Protocol  string `json:"protocol,omitempty"`
 	Network   string `json:"network,omitempty"`
 	Placement string `json:"placement,omitempty"`
+	// Scale names the engine representation ("sparse" or "dense";
+	// case-insensitive; empty = the sparse default). Barrier names the
+	// barrier fabric ("central" or "tree"; empty = central), and
+	// BarrierRadix sets the tree fabric's fan-in (0 = the engine
+	// default; canonicalized away under central, where it is inert).
+	Scale        string `json:"scale,omitempty"`
+	Barrier      string `json:"barrier,omitempty"`
+	BarrierRadix int    `json:"barrier_radix,omitempty"`
 	// Procs is the simulated processor count (default 8, the paper's).
 	Procs int `json:"procs,omitempty"`
 	// Trials is the number of independent trials (default 1).
@@ -111,6 +122,9 @@ type canonical struct {
 	Protocol         string  `json:"protocol"`
 	Network          string  `json:"network"`
 	Placement        string  `json:"placement"`
+	Scale            string  `json:"scale"`
+	Barrier          string  `json:"barrier"`
+	BarrierRadix     int     `json:"barrier_radix"`
 	Procs            int     `json:"procs"`
 	Trials           int     `json:"trials"`
 	AdaptHysteresis  int     `json:"adapt_hysteresis"`
@@ -192,6 +206,34 @@ func Resolve(s Spec) (*Resolved, error) {
 		return nil, fieldErrf("placement", "unknown placement %q (known: %s)",
 			s.Placement, strings.Join(tmk.PlacementNames(), ", "))
 	}
+	c.Scale = strings.ToLower(strings.TrimSpace(s.Scale))
+	if c.Scale == "" {
+		c.Scale = tmk.DefaultScale
+	}
+	if c.Scale != tmk.ScaleSparse && c.Scale != tmk.ScaleDense {
+		return nil, fieldErrf("scale", "unknown scale mode %q (known: %s, %s)",
+			s.Scale, tmk.ScaleSparse, tmk.ScaleDense)
+	}
+	c.Barrier = strings.ToLower(strings.TrimSpace(s.Barrier))
+	if c.Barrier == "" {
+		c.Barrier = tmk.DefaultBarrier
+	}
+	if !tmk.KnownBarrier(c.Barrier) {
+		return nil, fieldErrf("barrier", "unknown barrier %q (known: %s)",
+			s.Barrier, strings.Join(tmk.BarrierNames(), ", "))
+	}
+	switch {
+	case s.BarrierRadix < 0:
+		return nil, fieldErrf("barrier_radix", "cannot be negative (got %d)", s.BarrierRadix)
+	case c.Barrier == "central":
+		// The centralized fabric has no radix: canonicalize it to zero so
+		// spelling one changes neither behaviour nor hash.
+		c.BarrierRadix = 0
+	case s.BarrierRadix == 0:
+		c.BarrierRadix = tmk.DefaultBarrierRadix
+	default:
+		c.BarrierRadix = s.BarrierRadix
+	}
 
 	switch {
 	case s.Procs < 0:
@@ -261,6 +303,9 @@ func (r *Resolved) Canonical() Spec {
 		Protocol:         r.c.Protocol,
 		Network:          r.c.Network,
 		Placement:        r.c.Placement,
+		Scale:            r.c.Scale,
+		Barrier:          r.c.Barrier,
+		BarrierRadix:     r.c.BarrierRadix,
 		Procs:            r.c.Procs,
 		Trials:           r.c.Trials,
 		AdaptHysteresis:  r.c.AdaptHysteresis,
@@ -286,6 +331,9 @@ func (r *Resolved) EngineConfig() tmk.Config {
 		Protocol:        r.c.Protocol,
 		Network:         r.c.Network,
 		Placement:       r.c.Placement,
+		Scale:           r.c.Scale,
+		Barrier:         r.c.Barrier,
+		BarrierRadix:    r.c.BarrierRadix,
 		AdaptHysteresis: r.c.AdaptHysteresis,
 		AdaptQueueGate:  sim.Duration(r.c.AdaptQueueGateUS * float64(sim.Microsecond)),
 		Collect:         r.c.Collect,

@@ -15,8 +15,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	_ "repro/internal/apps/all" // populate the workload registry
@@ -52,6 +55,14 @@ type Config struct {
 	// Placement names the home-placement policy (tmk.PlacementNames);
 	// empty selects the paper-era round-robin homes ("rr").
 	Placement string
+	// Scale names the engine representation (tmk.ScaleSparse or
+	// tmk.ScaleDense); empty selects the sparse default. Barrier names
+	// the barrier fabric (tmk.BarrierNames); empty selects the
+	// centralized golden reference. BarrierRadix is the tree fabric's
+	// fan-in (zero = tmk.DefaultBarrierRadix; ignored by "central").
+	Scale        string
+	Barrier      string
+	BarrierRadix int
 }
 
 // Configs are the paper's four configurations, in figure order.
@@ -118,13 +129,16 @@ func Run(e Experiment, c Config, procs int) (Cell, error) {
 func runCell(e Experiment, c Config, procs int, collect bool) (Cell, error) {
 	w := e.Make(procs)
 	res, err := apps.Run(w, tmk.Config{
-		Procs:     procs,
-		UnitPages: c.Unit,
-		Dynamic:   c.Dynamic,
-		Protocol:  c.Protocol,
-		Network:   c.Network,
-		Placement: c.Placement,
-		Collect:   collect,
+		Procs:        procs,
+		UnitPages:    c.Unit,
+		Dynamic:      c.Dynamic,
+		Protocol:     c.Protocol,
+		Network:      c.Network,
+		Placement:    c.Placement,
+		Scale:        c.Scale,
+		Barrier:      c.Barrier,
+		BarrierRadix: c.BarrierRadix,
+		Collect:      collect,
 	})
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s %s [%s]: %w", e.App, e.Dataset, c.Label, err)
@@ -155,8 +169,9 @@ var sweepPool = sweep.New(0)
 // RegisterCellKey), which also collapses aliased names — an empty
 // network and "ideal", an empty placement and the registered default.
 var cellKey = func(app, dataset string, c Config, procs int, collect bool) string {
-	return fmt.Sprintf("%s|%s|p%d|u%d|dyn%t|%s|%s|%s|col%t",
-		app, dataset, procs, c.Unit, c.Dynamic, c.Protocol, c.Network, c.Placement, collect)
+	return fmt.Sprintf("%s|%s|p%d|u%d|dyn%t|%s|%s|%s|%s|%s|r%d|col%t",
+		app, dataset, procs, c.Unit, c.Dynamic, c.Protocol, c.Network, c.Placement,
+		c.Scale, c.Barrier, c.BarrierRadix, collect)
 }
 
 // RegisterCellKey replaces the sweep dedup key function, typically
@@ -800,6 +815,229 @@ func RenderProtocolComparison(w io.Writer, pcs []ProtocolComparison) {
 				r.Cell.Msgs, ratio(float64(r.Cell.Msgs), bm),
 				float64(r.Cell.Stats.TotalWireBytes)/1024,
 				ratio(float64(r.Cell.Stats.TotalWireBytes), bb), sw)
+		}
+	}
+}
+
+// --- scaling sweep -----------------------------------------------------------
+
+// ScalingMode is one engine-representation arm of the scaling sweep:
+// a (scale, barrier) pairing the curves are produced under.
+type ScalingMode struct {
+	Name    string // display label, e.g. "sparse/tree"
+	Scale   string // tmk.ScaleSparse or tmk.ScaleDense
+	Barrier string // barrier fabric registry name
+	Radix   int    // tree fan-in (0 = engine default; ignored by central)
+}
+
+// ScalingModes returns the sweep's two arms: the dense representation
+// with the centralized barrier (the paper-faithful reference the 8-proc
+// golden tests pin) and the sparse representation with the radix-4
+// combining tree (the configuration built to scale past it).
+func ScalingModes() []ScalingMode {
+	return []ScalingMode{
+		{Name: "dense/central", Scale: tmk.ScaleDense, Barrier: "central"},
+		{Name: "sparse/tree", Scale: tmk.ScaleSparse, Barrier: "tree", Radix: tmk.DefaultBarrierRadix},
+	}
+}
+
+// ScalingSizes returns the sweep's processor counts: the paper's 8,
+// then 64/256/1024 — past anything the original evaluation ran.
+func ScalingSizes() []int { return []int{8, 64, 256, 1024} }
+
+// ScalingProtocols returns the static protocols the curves cover.
+func ScalingProtocols() []string { return []string{"homeless", "home"} }
+
+// ScalingNetworks returns the interconnects the curves cover: the
+// contention-free arithmetic and the contended shared medium, the two
+// ends of the range over which barrier fan-in matters.
+func ScalingNetworks() []string { return []string{"ideal", "bus"} }
+
+// ScalingPoint is one processor count on one curve: the engine run's
+// accounting plus the host wall clock it took to simulate — the sweep's
+// headline metric, since the modes are bit-identical at 8 procs and the
+// whole point of the sparse arm is simulating large n cheaply.
+type ScalingPoint struct {
+	Procs int
+	Wall  time.Duration
+	Cell  Cell
+}
+
+// ScalingCurve is one protocol × network × mode curve over the sweep's
+// processor counts.
+type ScalingCurve struct {
+	App      string
+	Dataset  string
+	Protocol string
+	Network  string
+	Mode     ScalingMode
+	Points   []ScalingPoint
+}
+
+// RunScaling runs the experiment across protocols × networks × modes ×
+// sizes on the sweep pool and returns one curve per protocol × network
+// × mode, sizes ascending. Nil/empty axes take the Scaling* defaults.
+// Every cell is verified against the sequential reference; wall clock
+// is measured around the single cell run (on a multi-core host,
+// concurrent cells share the machine, so treat wall times as
+// comparative, not absolute — the committed sweep records GOMAXPROCS
+// alongside).
+func RunScaling(e Experiment, protocols, networks []string, sizes []int, modes []ScalingMode) ([]ScalingCurve, error) {
+	if len(protocols) == 0 {
+		protocols = ScalingProtocols()
+	}
+	for _, p := range protocols {
+		if !tmk.KnownProtocol(p) {
+			return nil, fmt.Errorf("unknown protocol %q (known: %s)",
+				p, strings.Join(tmk.ProtocolNames(), ", "))
+		}
+	}
+	if len(networks) == 0 {
+		networks = ScalingNetworks()
+	}
+	for _, n := range networks {
+		if !netmodel.Known(n) {
+			return nil, fmt.Errorf("unknown network model %q (known: %s)",
+				n, strings.Join(netmodel.Names(), ", "))
+		}
+	}
+	if len(sizes) == 0 {
+		sizes = ScalingSizes()
+	}
+	if len(modes) == 0 {
+		modes = ScalingModes()
+	}
+
+	type timed struct {
+		cell Cell
+		wall time.Duration
+	}
+	var tasks []sweep.Task
+	for _, proto := range protocols {
+		for _, network := range networks {
+			for _, mode := range modes {
+				for _, procs := range sizes {
+					c := Config{
+						Label: "4K", Unit: 1,
+						Protocol: proto, Network: network,
+						Scale: mode.Scale, Barrier: mode.Barrier, BarrierRadix: mode.Radix,
+					}
+					proto, network, mode, procs := proto, network, mode, procs
+					tasks = append(tasks, sweep.Task{
+						Key: cellKey(e.App, e.Dataset, c, procs, false),
+						Do: func(context.Context) (any, error) {
+							// The sweep's datum is the per-cell wall clock, and
+							// cells run back-to-back in one process: without a
+							// collection point between them, heap and scheduler
+							// state accumulated by earlier (large, dense) cells
+							// inflates later cells' timings by integer factors.
+							// Start every timed cell from a settled runtime.
+							runtime.GC()
+							debug.FreeOSMemory()
+							start := time.Now()
+							cell, err := runCell(e, c, procs, false)
+							if err != nil {
+								return nil, fmt.Errorf("scaling %s/%s/%s n=%d: %w",
+									proto, network, mode.Name, procs, err)
+							}
+							return timed{cell: cell, wall: time.Since(start)}, nil
+						},
+					})
+				}
+			}
+		}
+	}
+	results, err := sweepPool.Run(context.Background(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalingCurve
+	next := 0
+	for _, proto := range protocols {
+		for _, network := range networks {
+			for _, mode := range modes {
+				curve := ScalingCurve{
+					App: e.App, Dataset: e.Dataset,
+					Protocol: proto, Network: network, Mode: mode,
+				}
+				for _, procs := range sizes {
+					r := results[next].(timed)
+					next++
+					curve.Points = append(curve.Points, ScalingPoint{
+						Procs: procs, Wall: r.wall, Cell: r.cell,
+					})
+				}
+				out = append(out, curve)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScalingSpeedup returns the wall-clock ratio reference÷candidate at
+// the given processor count for the protocol × network cell shared by
+// the two curves, or 0 when either point is missing. Above 1 the
+// candidate mode simulates that cell faster.
+func ScalingSpeedup(reference, candidate ScalingCurve, procs int) float64 {
+	var ref, cand time.Duration
+	for _, pt := range reference.Points {
+		if pt.Procs == procs {
+			ref = pt.Wall
+		}
+	}
+	for _, pt := range candidate.Points {
+		if pt.Procs == procs {
+			cand = pt.Wall
+		}
+	}
+	if ref <= 0 || cand <= 0 {
+		return 0
+	}
+	return float64(ref) / float64(cand)
+}
+
+// RenderScaling prints the sweep: per protocol × network and processor
+// count, each mode's host wall clock and simulated time, plus the
+// wall-clock speedup of the last mode over the first (the sweep's
+// reference mode by convention).
+func RenderScaling(w io.Writer, curves []ScalingCurve) {
+	if len(curves) == 0 {
+		return
+	}
+	// Group curves by protocol × network in arrival order.
+	type cellID struct{ proto, network string }
+	groups := make(map[cellID][]ScalingCurve)
+	var order []cellID
+	for _, c := range curves {
+		id := cellID{c.Protocol, c.Network}
+		if _, ok := groups[id]; !ok {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], c)
+	}
+	fmt.Fprintf(w, "%s %s — host wall clock (ms) and simulated time (s) per engine mode\n",
+		curves[0].App, curves[0].Dataset)
+	for _, id := range order {
+		cs := groups[id]
+		fmt.Fprintf(w, "  %s × %s\n", id.proto, id.network)
+		fmt.Fprintf(w, "    %-6s", "procs")
+		for _, c := range cs {
+			fmt.Fprintf(w, "  %24s", c.Mode.Name)
+		}
+		if len(cs) > 1 {
+			fmt.Fprintf(w, "  %8s", "speedup")
+		}
+		fmt.Fprintln(w)
+		for i, pt := range cs[0].Points {
+			fmt.Fprintf(w, "    %-6d", pt.Procs)
+			for _, c := range cs {
+				p := c.Points[i]
+				fmt.Fprintf(w, "  %12.0f / %9.3f", float64(p.Wall.Microseconds())/1000, p.Cell.Time.Seconds())
+			}
+			if len(cs) > 1 {
+				fmt.Fprintf(w, "  %7.1f×", ScalingSpeedup(cs[0], cs[len(cs)-1], pt.Procs))
+			}
+			fmt.Fprintln(w)
 		}
 	}
 }

@@ -313,3 +313,53 @@ func TrialsReport(app, dataset, paper string, cfg tmk.Config, ts *tmk.TrialSumma
 	}
 	return out
 }
+
+// ScalingPointJSON is one processor count on one scaling curve.
+type ScalingPointJSON struct {
+	Procs        int     `json:"procs"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	TimeSeconds  float64 `json:"time_seconds"`
+	QueueSeconds float64 `json:"queue_seconds"`
+	Messages     int     `json:"messages"`
+	Bytes        int     `json:"bytes"`
+}
+
+// ScalingCurveJSON is one protocol × network × mode curve of the
+// -scaling sweep. WallSeconds is host wall clock (how long the engine
+// took to simulate the cell), the sweep's headline metric.
+type ScalingCurveJSON struct {
+	App          string             `json:"app"`
+	Dataset      string             `json:"dataset"`
+	Protocol     string             `json:"protocol"`
+	Network      string             `json:"network"`
+	Mode         string             `json:"mode"`
+	Scale        string             `json:"scale"`
+	Barrier      string             `json:"barrier"`
+	BarrierRadix int                `json:"barrier_radix,omitempty"`
+	Points       []ScalingPointJSON `json:"points"`
+}
+
+// ScalingReport converts one scaling curve.
+func ScalingReport(c ScalingCurve) ScalingCurveJSON {
+	out := ScalingCurveJSON{
+		App:          c.App,
+		Dataset:      c.Dataset,
+		Protocol:     protocolName(c.Protocol),
+		Network:      networkName(c.Network),
+		Mode:         c.Mode.Name,
+		Scale:        tmk.Config{Scale: c.Mode.Scale}.ScaleName(),
+		Barrier:      tmk.Config{Barrier: c.Mode.Barrier}.BarrierName(),
+		BarrierRadix: c.Mode.Radix,
+	}
+	for _, pt := range c.Points {
+		out.Points = append(out.Points, ScalingPointJSON{
+			Procs:        pt.Procs,
+			WallSeconds:  pt.Wall.Seconds(),
+			TimeSeconds:  pt.Cell.Time.Seconds(),
+			QueueSeconds: pt.Cell.Queue.Seconds(),
+			Messages:     pt.Cell.Msgs,
+			Bytes:        pt.Cell.Bytes,
+		})
+	}
+	return out
+}

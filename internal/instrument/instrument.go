@@ -56,8 +56,14 @@ type Fault struct {
 // collector needs no locking, on the access hot path or off it.
 type Collector struct {
 	nprocs int
-	nwords int
-	tags   [][]int32 // [proc][globalWord] -> DataMsg index+1, 0 = none
+	npages int
+	// tags[proc][page] is the page's word-tag row (DataMsg index+1 per
+	// word, 0 = none), materialized on the first diff tagged into that
+	// page for that processor. A processor only ever reads tags where a
+	// diff was applied, so a nil row means "no tags" and the per-proc
+	// footprint is O(pages fetched), not O(segment) — the difference
+	// between 8 and 1024 processors over a large segment.
+	tags [][][]int32
 
 	data [][]*DataMsg // [proc]: exchanges created by proc's faults
 
@@ -67,16 +73,16 @@ type Collector struct {
 // NewCollector returns a collector for nprocs processors over a segment
 // of segBytes bytes.
 func NewCollector(nprocs, segBytes int) *Collector {
-	nwords := mem.RoundUpPages(segBytes) / mem.WordSize
+	npages := mem.RoundUpPages(segBytes) / mem.PageSize
 	c := &Collector{
 		nprocs: nprocs,
-		nwords: nwords,
-		tags:   make([][]int32, nprocs),
+		npages: npages,
+		tags:   make([][][]int32, nprocs),
 		data:   make([][]*DataMsg, nprocs),
 		faults: make([][]Fault, nprocs),
 	}
 	for p := range c.tags {
-		c.tags[p] = make([]int32, nwords)
+		c.tags[p] = make([][]int32, npages)
 	}
 	return c
 }
@@ -85,17 +91,23 @@ func NewCollector(nprocs, segBytes int) *Collector {
 // word was applied by a diff and not yet overwritten, the carrying
 // exchange is credited with a useful word.
 func (c *Collector) OnRead(proc int, addr mem.Addr) {
-	w := addr >> mem.WordShift
-	if tag := c.tags[proc][w]; tag != 0 {
+	row := c.tags[proc][addr>>mem.PageShift]
+	if row == nil {
+		return
+	}
+	w := mem.WordIndex(addr)
+	if tag := row[w]; tag != 0 {
 		c.data[proc][tag-1].useful++
-		c.tags[proc][w] = 0
+		row[w] = 0
 	}
 }
 
 // OnWrite records a write: an applied-but-unread word overwritten locally
 // becomes useless (its tag is dropped without credit).
 func (c *Collector) OnWrite(proc int, addr mem.Addr) {
-	c.tags[proc][addr>>mem.WordShift] = 0
+	if row := c.tags[proc][addr>>mem.PageShift]; row != nil {
+		row[mem.WordIndex(addr)] = 0
+	}
 }
 
 // NewDataMsg registers a diff exchange between reader and writer. It
@@ -113,11 +125,14 @@ func (c *Collector) NewDataMsg(req, reply simnet.MsgID, writer, reader int) *Dat
 // re-tagged; the earlier exchange simply never receives the credit
 // (overwritten before read).
 func (c *Collector) TagDiff(proc, page int, d mem.Diff, m *DataMsg) {
-	base := page << (mem.PageShift - mem.WordShift)
 	tag := m.index + 1
-	t := c.tags[proc]
+	row := c.tags[proc][page]
+	if row == nil {
+		row = make([]int32, mem.WordsPerPage)
+		c.tags[proc][page] = row
+	}
 	d.ForEachWord(func(w int) {
-		t[base+w] = tag
+		row[w] = tag
 	})
 	m.totalWords += int32(d.WordCount())
 }

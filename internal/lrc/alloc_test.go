@@ -19,7 +19,7 @@ func TestAllocBudgetDeltaPath(t *testing.T) {
 		for i := int32(1); i <= 8; i++ {
 			ts.Tick(p)
 			s.Publish(MakeInterval(
-				vc.IntervalID{Proc: p, Seq: i}, ts.Clone(),
+				vc.IntervalID{Proc: p, Seq: i}, vc.DenseStamp(ts.Clone()),
 				[]int{int(i) % 4},
 				[]PageDiff{{Page: int(i) % 4}, {Page: 4 + int(i)%4}},
 			))

@@ -37,8 +37,11 @@ type Interval struct {
 	// ID names the interval (processor + per-processor sequence).
 	ID vc.IntervalID
 	// TS is the processor's vector time at the close of the interval
-	// (including the interval's own tick).
-	TS vc.Time
+	// (including the interval's own tick) — a vc.Stamp, so a sparse-mode
+	// engine stores an epoch base plus a few deviations instead of one
+	// dense vector per interval. Its wire size (Len entries) and causal
+	// key (Sum) are layout-independent.
+	TS vc.Stamp
 	// Units lists the consistency units written during the interval
 	// (each unit appears once). The interval's write notices name
 	// exactly these units.
@@ -48,10 +51,6 @@ type Interval struct {
 	// search it and per-unit views are contiguous subslices, so the
 	// engine's fetch path needs no per-interval map.
 	Diffs []PageDiff
-
-	// sum is the precomputed vector-entry sum of TS — the first
-	// component of CausalKey, fixed at interval close.
-	sum int64
 }
 
 // pageIndex returns the position of page in the sorted Diffs, or
@@ -93,7 +92,7 @@ func (iv *Interval) DiffsInUnit(u, unitPages int) []PageDiff {
 // NoticeBytes returns the wire size of the interval's write notices: the
 // interval header (proc, seq, vector time) plus one unit id per notice.
 func (iv *Interval) NoticeBytes() int {
-	return 8 + 4*len(iv.TS) + 4*len(iv.Units)
+	return 8 + 4*iv.TS.Len() + 4*len(iv.Units)
 }
 
 // CausalKey is a monotone linearization of the happens-before partial
@@ -102,13 +101,13 @@ func (iv *Interval) NoticeBytes() int {
 // order that is also deterministic for concurrent intervals (whose diffs
 // touch disjoint words in race-free programs).
 func (iv *Interval) CausalKey() (sum int64, proc int, seq int32) {
-	return iv.sum, iv.ID.Proc, iv.ID.Seq
+	return iv.TS.Sum(), iv.ID.Proc, iv.ID.Seq
 }
 
 // causallyBefore reports whether a orders before b under CausalKey.
 func causallyBefore(a, b *Interval) bool {
-	if a.sum != b.sum {
-		return a.sum < b.sum
+	if as, bs := a.TS.Sum(), b.TS.Sum(); as != bs {
+		return as < bs
 	}
 	if a.ID.Proc != b.ID.Proc {
 		return a.ID.Proc < b.ID.Proc
@@ -153,11 +152,20 @@ func SortCausally(ivs []*Interval) {
 type Store struct {
 	mu    sync.RWMutex
 	byPid [][]*Interval // byPid[p][seq-1] = interval (p, seq)
+	// byUnit[u] lists the published intervals that wrote unit u, in
+	// publish order. Because a processor publishes before the
+	// synchronization that announces the interval proceeds, and
+	// barriers join every processor, the list is episode-monotone and
+	// per-writer sequence-ordered. The sparse engine reconstructs
+	// missing-write sets from this one global index at fault time
+	// instead of appending every notice into every processor's
+	// per-unit lists at acquire time (see tmk's missingFor).
+	byUnit map[int][]*Interval
 }
 
 // NewStore returns an empty registry for n processors.
 func NewStore(n int) *Store {
-	return &Store{byPid: make([][]*Interval, n)}
+	return &Store{byPid: make([][]*Interval, n), byUnit: make(map[int][]*Interval)}
 }
 
 // Publish registers a closed interval. The interval's sequence number
@@ -170,6 +178,19 @@ func (s *Store) Publish(iv *Interval) {
 		panic("lrc: out-of-order interval publish")
 	}
 	s.byPid[p] = append(s.byPid[p], iv)
+	for _, u := range iv.Units {
+		s.byUnit[u] = append(s.byUnit[u], iv)
+	}
+}
+
+// UnitLog returns the published intervals that wrote unit u, in publish
+// order. The returned slice is a stable snapshot: entries are immutable
+// once published and appends never alias it backwards, so callers may
+// iterate without holding the store's lock.
+func (s *Store) UnitLog(u int) []*Interval {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byUnit[u]
 }
 
 // Get returns interval (p, seq).
@@ -206,18 +227,38 @@ func (s *Store) DeltaInto(from, to vc.Time, out []*Interval) []*Interval {
 	return out
 }
 
+// DeltaDevsInto is the sparse-mode delta: it appends the intervals of
+// the given deviating processors between from[p] (exclusive) and seqs[i]
+// (inclusive), in causal order, reusing out like DeltaInto. The caller
+// guarantees the deviations are exhaustive — every processor whose entry
+// in the target time exceeds from's is listed — which holds whenever the
+// target is a sparse Stamp whose epoch base is covered by from (epoch
+// bases only ever advance, and from is at least the acquirer's own
+// epoch). Cost is O(deviations + delta), independent of the processor
+// count.
+func (s *Store) DeltaDevsInto(from vc.Time, procs, seqs []int32, out []*Interval) []*Interval {
+	out = out[:0]
+	s.mu.RLock()
+	for i, p := range procs {
+		lo, hi := from[p], seqs[i]
+		for seq := lo + 1; seq <= hi; seq++ {
+			out = append(out, s.byPid[p][seq-1])
+		}
+	}
+	s.mu.RUnlock()
+	SortCausally(out)
+	return out
+}
+
 // MakeInterval builds an interval from the written units and the
 // non-empty page diffs produced at its close, copying both (callers
 // reuse their scratch buffers across intervals).
-func MakeInterval(id vc.IntervalID, ts vc.Time, units []int, diffs []PageDiff) *Interval {
+func MakeInterval(id vc.IntervalID, ts vc.Stamp, units []int, diffs []PageDiff) *Interval {
 	iv := &Interval{
 		ID:    id,
 		TS:    ts,
 		Units: append([]int(nil), units...),
 		Diffs: append([]PageDiff(nil), diffs...),
-	}
-	for _, v := range ts {
-		iv.sum += int64(v)
 	}
 	// Keep Diffs sorted by page — the lookup index. closeInterval emits
 	// diffs in first-write unit order, which is already ascending for

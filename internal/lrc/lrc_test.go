@@ -20,7 +20,7 @@ func mkInterval(proc int, seq int32, ts vc.Time, pages ...int) *Interval {
 		page[0] = byte(proc + 1) // one modified word
 		diffs[i] = PageDiff{Page: p, D: mem.EncodeDiff(tw, page)}
 	}
-	return MakeInterval(vc.IntervalID{Proc: proc, Seq: seq}, ts, pages, diffs)
+	return MakeInterval(vc.IntervalID{Proc: proc, Seq: seq}, vc.DenseStamp(ts), pages, diffs)
 }
 
 func TestIntervalDiffLookup(t *testing.T) {
@@ -59,7 +59,7 @@ func TestMakeIntervalPanicsOnDuplicateDiff(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	MakeInterval(vc.IntervalID{Proc: 0, Seq: 1}, vc.Time{1},
+	MakeInterval(vc.IntervalID{Proc: 0, Seq: 1}, vc.DenseStamp(vc.Time{1}),
 		[]int{0}, []PageDiff{{Page: 0, D: d}, {Page: 0, D: d}})
 }
 
@@ -185,7 +185,7 @@ func TestPropSortCausallyLinearExtension(t *testing.T) {
 		SortCausally(ivs)
 		for i := 0; i < len(ivs); i++ {
 			for j := i + 1; j < len(ivs); j++ {
-				if ivs[j].TS.Before(ivs[i].TS) {
+				if ivs[j].TS.Dense(nil).Before(ivs[i].TS.Dense(nil)) {
 					return false // a later element happens before an earlier one
 				}
 			}

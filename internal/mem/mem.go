@@ -45,47 +45,130 @@ func RoundUpPages(size int) int {
 
 // Replica is one processor's private copy of the shared segment. In real
 // TreadMarks this is the node's physical memory backing the shared
-// mapping; here it is an explicit byte slice per simulated processor.
+// mapping; here it is per simulated processor, in one of two layouts:
+//
+//   - eager: one flat byte slice covering the whole segment, zeroed at
+//     construction — the historical layout, O(segment) memory per
+//     processor regardless of what the processor touches;
+//   - lazy: a frame table with one entry per page, materialized on
+//     first write (or first diff application). An unmaterialized page
+//     reads as zeroes without allocating, so a processor's memory is
+//     O(pages touched) — what makes 256–1024-processor systems over
+//     large segments affordable.
+//
+// Both layouts are observationally identical: the segment starts zeroed
+// everywhere, and every access goes through ReadWord/WriteWord/Page.
 type Replica struct {
-	data []byte
+	data   []byte   // eager backing; nil in lazy mode
+	frames [][]byte // lazy frame table; nil in eager mode
+	npages int
+
+	// Frame storage: fresh frames are carved from chunk arenas; frames
+	// released by Zero (trial reset) are recycled through a free list.
+	arena []byte
+	free  [][]byte
 }
 
-// NewReplica allocates a zeroed replica of at least size bytes, rounded
-// up to a page multiple.
+// frameChunk is the number of page frames allocated per arena chunk.
+const frameChunk = 64
+
+// NewReplica allocates a zeroed eager replica of at least size bytes,
+// rounded up to a page multiple.
 func NewReplica(size int) *Replica {
-	return &Replica{data: make([]byte, RoundUpPages(size))}
+	return &Replica{data: make([]byte, RoundUpPages(size)), npages: RoundUpPages(size) >> PageShift}
 }
+
+// NewLazyReplica returns a lazy replica of at least size bytes, rounded
+// up to a page multiple. No page storage is allocated until written.
+func NewLazyReplica(size int) *Replica {
+	n := RoundUpPages(size) >> PageShift
+	return &Replica{frames: make([][]byte, n), npages: n}
+}
+
+// Lazy reports whether the replica materializes frames on demand.
+func (r *Replica) Lazy() bool { return r.data == nil }
 
 // Size returns the replica size in bytes (a page multiple).
-func (r *Replica) Size() int { return len(r.data) }
+func (r *Replica) Size() int { return r.npages << PageShift }
 
-// Zero resets every byte of the replica in place, reusing its storage —
-// the allocation-free equivalent of NewReplica when a system is reset
-// between trials of the same configuration.
+// Zero resets the replica to all-zeroes in place. The eager layout
+// clears its storage; the lazy layout releases every materialized frame
+// to the free list (cleared on reuse), so a multi-trial benchmark
+// rebuilds no frame memory between trials.
 func (r *Replica) Zero() {
-	clear(r.data)
+	if r.data != nil {
+		clear(r.data)
+		return
+	}
+	for p, f := range r.frames {
+		if f != nil {
+			r.free = append(r.free, f)
+			r.frames[p] = nil
+		}
+	}
 }
 
 // NumPages returns the number of pages in the replica.
-func (r *Replica) NumPages() int { return len(r.data) >> PageShift }
+func (r *Replica) NumPages() int { return r.npages }
 
-// Page returns the byte slice backing page p (aliases the replica).
-func (r *Replica) Page(p int) []byte {
-	base := PageBase(p)
-	return r.data[base : base+PageSize : base+PageSize]
+// materialize installs and returns a zeroed frame for page p.
+func (r *Replica) materialize(p int) []byte {
+	var f []byte
+	if n := len(r.free); n > 0 {
+		f, r.free = r.free[n-1], r.free[:n-1]
+		clear(f)
+	} else {
+		if len(r.arena) < PageSize {
+			r.arena = make([]byte, frameChunk*PageSize)
+		}
+		f, r.arena = r.arena[:PageSize:PageSize], r.arena[PageSize:]
+	}
+	r.frames[p] = f
+	return f
 }
 
-// Bytes returns the whole backing store (aliases the replica).
+// Page returns the byte slice backing page p (aliases the replica). In
+// lazy mode the frame is materialized: callers take Page to write into
+// it (twinning, diff application), so handing out zeroed storage is the
+// contract either way.
+func (r *Replica) Page(p int) []byte {
+	if r.data != nil {
+		base := PageBase(p)
+		return r.data[base : base+PageSize : base+PageSize]
+	}
+	if f := r.frames[p]; f != nil {
+		return f
+	}
+	return r.materialize(p)
+}
+
+// Bytes returns the whole backing store (aliases the replica). Only the
+// eager layout has one; lazy replicas return nil.
 func (r *Replica) Bytes() []byte { return r.data }
 
 // ReadWord loads the 64-bit word at word-aligned address a.
 func (r *Replica) ReadWord(a Addr) uint64 {
-	return binary.LittleEndian.Uint64(r.data[a:])
+	if r.data != nil {
+		return binary.LittleEndian.Uint64(r.data[a:])
+	}
+	f := r.frames[a>>PageShift]
+	if f == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(f[a&(PageSize-1):])
 }
 
 // WriteWord stores the 64-bit word at word-aligned address a.
 func (r *Replica) WriteWord(a Addr, v uint64) {
-	binary.LittleEndian.PutUint64(r.data[a:], v)
+	if r.data != nil {
+		binary.LittleEndian.PutUint64(r.data[a:], v)
+		return
+	}
+	f := r.frames[a>>PageShift]
+	if f == nil {
+		f = r.materialize(a >> PageShift)
+	}
+	binary.LittleEndian.PutUint64(f[a&(PageSize-1):], v)
 }
 
 // ReadF64 loads the float64 at word-aligned address a.

@@ -123,3 +123,72 @@ func TestPageStateString(t *testing.T) {
 		t.Fatal("PageState.String unknown value")
 	}
 }
+
+func TestLazyReplicaMatchesEager(t *testing.T) {
+	const pages = 8
+	eager := NewReplica(pages * PageSize)
+	lazy := NewLazyReplica(pages * PageSize)
+	if !lazy.Lazy() || eager.Lazy() {
+		t.Fatal("Lazy() must distinguish the layouts")
+	}
+	if lazy.Size() != eager.Size() || lazy.NumPages() != pages {
+		t.Fatalf("lazy size/pages = %d/%d", lazy.Size(), lazy.NumPages())
+	}
+	// Untouched pages read as zero without materializing.
+	if got := lazy.ReadWord(3 * PageSize); got != 0 {
+		t.Fatalf("untouched word = %#x", got)
+	}
+	if got := lazy.ReadF64(5*PageSize + 8); got != 0 {
+		t.Fatalf("untouched float = %v", got)
+	}
+	// Writes land identically in both layouts.
+	addrs := []Addr{0, 16, PageSize + 8, 6*PageSize + 504*WordSize}
+	for i, a := range addrs {
+		v := uint64(0x1111111111111111 * uint64(i+1))
+		eager.WriteWord(a, v)
+		lazy.WriteWord(a, v)
+	}
+	for _, a := range addrs {
+		if lazy.ReadWord(a) != eager.ReadWord(a) {
+			t.Fatalf("mismatch at %d: lazy %#x eager %#x", a, lazy.ReadWord(a), eager.ReadWord(a))
+		}
+	}
+	// Page materializes zeroed storage and aliases the replica.
+	p := lazy.Page(2)
+	if len(p) != PageSize {
+		t.Fatalf("page len = %d", len(p))
+	}
+	for i, b := range p {
+		if b != 0 {
+			t.Fatalf("materialized page byte %d = %#x", i, b)
+		}
+	}
+	p[0] = 0xff
+	if got := lazy.ReadWord(2 * PageSize); got&0xff != 0xff {
+		t.Fatal("Page must alias the replica")
+	}
+}
+
+func TestLazyReplicaZeroRecyclesFrames(t *testing.T) {
+	r := NewLazyReplica(4 * PageSize)
+	for p := 0; p < 4; p++ {
+		r.WriteWord(p*PageSize, uint64(p+1))
+	}
+	r.Zero()
+	for p := 0; p < 4; p++ {
+		if got := r.ReadWord(p * PageSize); got != 0 {
+			t.Fatalf("page %d word after Zero = %#x", p, got)
+		}
+	}
+	// Reused frames (from the free list) must come back cleared.
+	r.WriteWord(2*PageSize+8, 7)
+	pg := r.Page(2)
+	for i := 0; i < 8; i++ {
+		if pg[i] != 0 {
+			t.Fatalf("recycled frame byte %d = %#x", i, pg[i])
+		}
+	}
+	if r.ReadWord(2*PageSize+8) != 7 {
+		t.Fatal("write after Zero lost")
+	}
+}

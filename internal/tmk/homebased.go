@@ -95,7 +95,7 @@ func (h *homeProtocol) homeOf(u int) int { return h.sys.homeOf(u) }
 // published interval carries the write notices diff-free), unless
 // retain is set. Flushing to the processor's own home units is local
 // and free of messages.
-func (h *homeProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff) []lrc.PageDiff {
+func (h *homeProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Stamp, units []int, diffs []lrc.PageDiff) []lrc.PageDiff {
 	var keep []lrc.PageDiff
 	if h.retain {
 		keep = diffs
@@ -103,25 +103,31 @@ func (h *homeProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []in
 	if len(diffs) == 0 {
 		return keep
 	}
-	var sum int64
-	for _, v := range ts {
-		sum += int64(v)
-	}
+	sum := ts.Sum()
 
 	// Tally this interval's flush payload by the home of each diff's
-	// unit — a per-processor scratch array, not a map: releases close
-	// every writing interval and must not allocate.
+	// unit — a per-processor scratch array plus a touched-home list, not
+	// a map: releases close every writing interval and must not allocate,
+	// and neither the reset nor the flush loop may scan all nprocs
+	// entries (an interval touches a handful of homes).
 	nprocs := p.sys.cfg.Procs
 	fs := &p.fs
 	if len(fs.homeBytes) < nprocs {
 		fs.homeBytes = make([]int, nprocs)
 	}
 	hb := fs.homeBytes[:nprocs]
-	for i := range hb {
-		hb[i] = 0
+	for _, hm := range fs.relHomes {
+		hb[hm] = 0
 	}
+	fs.relHomes = fs.relHomes[:0]
 	for _, pd := range diffs {
-		hb[h.homeOf(pd.Page/h.up)] += pd.D.WireBytes()
+		home := h.homeOf(pd.Page / h.up)
+		// Non-empty diffs have positive wire size, so zero means
+		// first touch this release.
+		if hb[home] == 0 {
+			fs.relHomes = append(fs.relHomes, int32(home))
+		}
+		hb[home] += pd.D.WireBytes()
 	}
 
 	h.mu.Lock()
@@ -134,8 +140,10 @@ func (h *homeProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []in
 
 	// One flush message per remote home, in ascending home order for a
 	// deterministic message log; the writer's own home units are local.
-	for home := 0; home < nprocs; home++ {
-		if hb[home] == 0 || home == p.id {
+	sortTouched(fs.relHomes)
+	for _, hm := range fs.relHomes {
+		home := int(hm)
+		if home == p.id {
 			continue
 		}
 		bytes := 8 + hb[home] // flush header: interval id
@@ -249,13 +257,24 @@ func (h *homeProtocol) pageImageInto(fs *fetchScratch, page int, vt vc.Time) mem
 // processor are copied locally, without messages.
 func (h *homeProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 	cost := p.sys.cost
-	nprocs := p.sys.cfg.Procs
 	fs := &p.fs
 	fs.init(p.sys)
 
 	fetch := fs.fetchUnits[:0]
+	sparse := p.sys.sparseMode()
 	for _, u := range units {
-		if len(p.missing[u]) > 0 {
+		stale := false
+		if sparse {
+			// The home serves the unit's whole contents at p's vector
+			// time, so only the staleness bit matters here; the
+			// reconstruction (see notices.go) also consumes the
+			// entries, like the dense path's post-fetch clear.
+			fs.missScratch = p.missingInto(u, fs.missScratch)
+			stale = len(fs.missScratch) > 0
+		} else {
+			stale = len(p.missing[u]) > 0
+		}
+		if stale {
 			fetch = append(fetch, u)
 		}
 	}
@@ -264,11 +283,15 @@ func (h *homeProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 		return nil
 	}
 
-	for hm := 0; hm < nprocs; hm++ {
+	for _, hm := range fs.homes {
 		fs.homeUnits[hm] = fs.homeUnits[hm][:0]
 	}
+	fs.homes = fs.homes[:0]
 	for _, u := range fetch {
 		home := h.homeOf(u)
+		if len(fs.homeUnits[home]) == 0 {
+			fs.homes = append(fs.homes, int32(home))
+		}
 		fs.homeUnits[home] = append(fs.homeUnits[home], u)
 	}
 
@@ -302,14 +325,13 @@ func (h *homeProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 
 	// One exchange per distinct home, in ascending home order for a
 	// deterministic message log; units homed locally are a free copy.
+	sortTouched(fs.homes)
 	fs.items = fs.items[:0]
 	var msgs []*instrument.DataMsg
 	var maxCost sim.Duration
-	for home := 0; home < nprocs; home++ {
+	for _, hm := range fs.homes {
+		home := int(hm)
 		us := fs.homeUnits[home]
-		if len(us) == 0 {
-			continue
-		}
 		if home == p.id {
 			// Local home: the processor is reading its own
 			// authoritative storage — a copy, no messages.
@@ -358,10 +380,12 @@ func (h *homeProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 		}
 	}
 
-	for _, u := range fetch {
-		// Keep the map entry (and its slice capacity) for the next
-		// acquire's notices; only the consumed contents are dropped.
-		p.missing[u] = p.missing[u][:0]
+	if !sparse {
+		for _, u := range fetch {
+			// Keep the map entry (and its slice capacity) for the next
+			// acquire's notices; only the consumed contents are dropped.
+			p.missing[u] = p.missing[u][:0]
+		}
 	}
 	return msgs
 }

@@ -25,7 +25,7 @@ func (*homelessProtocol) Name() string { return "homeless" }
 // Release keeps the diffs with the writer: every diff stays attached to
 // the published interval, to be served on demand at remote faults. No
 // messages move — lazy release consistency at its laziest.
-func (*homelessProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff) []lrc.PageDiff {
+func (*homelessProtocol) Release(p *Proc, id vc.IntervalID, ts vc.Stamp, units []int, diffs []lrc.PageDiff) []lrc.PageDiff {
 	return diffs
 }
 
@@ -63,6 +63,7 @@ type pageAcc struct {
 // miss path allocates nothing.
 type fetchScratch struct {
 	needs      [][]writerNeed // indexed by writer processor
+	writers    []int32        // writers with non-empty needs (this call only)
 	fetchUnits []int
 	unitWr     []int32 // distinct writers per unit (this call only)
 
@@ -76,9 +77,15 @@ type fetchScratch struct {
 	items []fetchItem
 	ds    []mem.Diff
 
+	// Sparse-mode notice reconstruction scratch (see notices.go).
+	missScratch  []lrc.MissingWrite // missingInto: one unit's rebuilt list
+	spillScratch []int32            // missingInto: next spill under construction
+
 	// Home-based fetch scratch (see homebased.go).
 	homeUnits [][]int      // indexed by home processor
+	homes     []int32      // Fetch: homes with non-empty homeUnits (this call only)
 	homeBytes []int        // Release: flush payload bytes per home
+	relHomes  []int32      // Release: homes with non-zero homeBytes (this call only)
 	snapDiffs []mem.Diff   // page images, indexed via pageSlot
 	covered   []flushEntry // pageImage: covered log entries
 	imgWords  []uint64     // arena backing the page images' words
@@ -118,6 +125,21 @@ func (fs *fetchScratch) accFor(page int, coalesceable bool) *pageAcc {
 	}
 	fs.nAccs++
 	return &fs.accs[fs.nAccs-1]
+}
+
+// sortTouched insertion-sorts a short touched-processor list ascending —
+// the exchange loops must visit writers/homes in processor order to keep
+// wire traffic bit-identical to the full-scan formulation.
+func sortTouched(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i
+		for j > 0 && a[j-1] > v {
+			a[j] = a[j-1]
+			j--
+		}
+		a[j] = v
+	}
 }
 
 // sortFetchItems stably orders items by (sum, proc, seq, page) — the
@@ -165,7 +187,6 @@ func sortFetchItems(items []fetchItem) {
 func (*homelessProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 	cost := p.sys.cost
 	cfg := p.sys.cfg
-	nprocs := cfg.Procs
 	fs := &p.fs
 	fs.init(p.sys)
 
@@ -174,13 +195,27 @@ func (*homelessProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 	// most once (in causal order), so pairs are distinct and no diff is
 	// fetched twice. Also count distinct writers per unit: a unit whose
 	// missing intervals all come from one writer is served coalesced
-	// (TreadMarks' single-writer remedy for diff accumulation).
-	for w := 0; w < nprocs; w++ {
+	// (TreadMarks' single-writer remedy for diff accumulation). Writers
+	// with work are tracked in a touched list so neither the reset nor
+	// the exchange loop scans all nprocs entries (a fault touches a
+	// handful of writers even in a 1024-processor build).
+	for _, w := range fs.writers {
 		fs.needs[w] = fs.needs[w][:0]
 	}
+	fs.writers = fs.writers[:0]
 	fs.fetchUnits = fs.fetchUnits[:0]
+	sparse := p.sys.sparseMode()
 	for _, u := range units {
-		miss := p.missing[u]
+		var miss []lrc.MissingWrite
+		if sparse {
+			// Rebuild (and consume) the unit's list from the store's
+			// publish log — identical contents and per-writer order to
+			// the dense list (see notices.go).
+			fs.missScratch = p.missingInto(u, fs.missScratch)
+			miss = fs.missScratch
+		} else {
+			miss = p.missing[u]
+		}
 		if len(miss) == 0 {
 			continue
 		}
@@ -189,6 +224,9 @@ func (*homelessProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 		distinct := int32(0)
 		for _, mw := range miss {
 			w := mw.Interval.ID.Proc
+			if len(fs.needs[w]) == 0 {
+				fs.writers = append(fs.writers, int32(w))
+			}
 			fs.needs[w] = append(fs.needs[w], writerNeed{iv: mw.Interval, unit: u})
 			if fs.writerMark[w] != fs.gen {
 				fs.writerMark[w] = fs.gen
@@ -200,14 +238,13 @@ func (*homelessProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 
 	// One request/reply exchange per concurrent writer, in ascending
 	// writer order for determinism; charged as the max (parallel fetch).
+	sortTouched(fs.writers)
 	fs.items = fs.items[:0]
 	var msgs []*instrument.DataMsg
 	var maxCost sim.Duration
-	for w := 0; w < nprocs; w++ {
+	for _, w32 := range fs.writers {
+		w := int(w32)
 		wNeeds := fs.needs[w]
-		if len(wNeeds) == 0 {
-			continue
-		}
 		reqBytes := 16 + 8*len(wNeeds)
 		replyBytes := 0
 		wStart := len(fs.items)
@@ -270,10 +307,12 @@ func (*homelessProtocol) Fetch(p *Proc, units []int) []*instrument.DataMsg {
 		}
 	}
 
-	for _, u := range fs.fetchUnits {
-		// Keep the map entry (and its slice capacity) for the next
-		// acquire's notices; only the consumed contents are dropped.
-		p.missing[u] = p.missing[u][:0]
+	if !sparse {
+		for _, u := range fs.fetchUnits {
+			// Keep the map entry (and its slice capacity) for the next
+			// acquire's notices; only the consumed contents are dropped.
+			p.missing[u] = p.missing[u][:0]
+		}
 	}
 	return msgs
 }

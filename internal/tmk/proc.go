@@ -20,15 +20,34 @@ type Proc struct {
 	clock sim.Clock
 	rep   *mem.Replica
 	pt    *mem.PageTable // indexed by unit, not page
-	vt    vc.Time
+
+	// tk is the processor's vector-time register: the dense working time
+	// plus the deviation set relative to the current barrier epoch. vt
+	// aliases tk.T — every dense read (store deltas, KnowsInterval
+	// filtering) goes through vt, every mutation through tk so the
+	// deviation bookkeeping stays exact.
+	tk *vc.Tracked
+	vt vc.Time
 
 	// Multiple-writer state for the current interval.
 	twins      map[int][]mem.Twin // unit -> one twin per page of the unit
 	writeOrder []int              // units twinned this interval, in order
 
 	// missing[unit] lists unseen remote intervals that wrote the unit;
-	// the unit stays invalid until they are fetched and applied.
+	// the unit stays invalid until they are fetched and applied. Dense
+	// reference mode only: the sparse engine reconstructs the same sets
+	// at fault time from the store's per-unit publish log (missingFor),
+	// so an acquire never touches per-unit bookkeeping for units the
+	// processor will never read.
 	missing map[int][]lrc.MissingWrite
+
+	// fcur[unit] is the sparse engine's consumption cursor into the
+	// store's per-unit publish log: entries below idx are consumed (or
+	// the processor's own), spill holds consumed indices beyond idx —
+	// intervals learned through a lock chain and fetched while
+	// concurrent episode-mates were still unknown. Entries exist only
+	// for units the processor has actually faulted on.
+	fcur map[int]*fetchCursor
 
 	// Dynamic aggregation state.
 	tracker *aggregate.Tracker
@@ -45,27 +64,43 @@ type Proc struct {
 	// loops (fault → fetch → apply, close → diff → publish, acquire →
 	// delta) run allocation-free once these have grown to the workload's
 	// high-water mark (see the AllocBudget tests).
-	diffScr   mem.DiffScratch // closeInterval: diff encoding scratch
-	twinFree  []mem.Twin      // free list of discarded twin pages
-	twinLists [][]mem.Twin    // free list of per-unit twin slices
-	unitsBuf  []int           // closeInterval: units written
-	diffsBuf  []lrc.PageDiff  // closeInterval: non-empty diffs
-	deltaBuf  []*lrc.Interval // applyAcquire: store delta
-	faultUnit [1]int          // readFault: single-unit fetch list
-	barrierCh chan barrierGrant
-	lockCh    chan lockGrant
-	fs        fetchScratch // homeless/home fetch scratch
+	diffScr    mem.DiffScratch // closeInterval: diff encoding scratch
+	twinFree   []mem.Twin      // free list of discarded twin pages
+	twinLists  [][]mem.Twin    // free list of per-unit twin slices
+	unitsBuf   []int           // closeInterval: units written
+	diffsBuf   []lrc.PageDiff  // closeInterval: non-empty diffs
+	deltaBuf   []*lrc.Interval // applyAcquire: store delta
+	faultUnit  [1]int          // readFault: single-unit fetch list
+	barrierCh  chan barrierGrant
+	lockCh     chan lockGrant
+	fs         fetchScratch  // homeless/home fetch scratch
+	arena      vc.StampArena // sparse-stamp deviation storage (reset per trial)
+	vtScratch  vc.Time       // applyAcquireStamp: dense materialization
+	seqScratch []int32       // applyBarrierGrant: touched-entry targets
 }
 
 func newProc(s *System, id int) *Proc {
+	// Sparse mode materializes replica page frames on first touch: a
+	// 1024-processor build no longer pays nprocs × segment bytes up
+	// front, only what each processor actually accesses. Dense reference
+	// mode keeps the eager contiguous replica.
+	var rep *mem.Replica
+	if s.sparseMode() {
+		rep = mem.NewLazyReplica(s.segBytes)
+	} else {
+		rep = mem.NewReplica(s.segBytes)
+	}
+	tk := vc.NewTracked(s.cfg.Procs)
 	p := &Proc{
 		id:      id,
 		sys:     s,
-		rep:     mem.NewReplica(s.segBytes),
+		rep:     rep,
 		pt:      mem.NewPageTable(s.numUnits),
-		vt:      vc.New(s.cfg.Procs),
+		tk:      tk,
+		vt:      tk.T,
 		twins:   make(map[int][]mem.Twin),
 		missing: make(map[int][]lrc.MissingWrite),
+		fcur:    make(map[int]*fetchCursor),
 	}
 	// The segment starts zeroed and identical everywhere: readable.
 	for u := 0; u < s.numUnits; u++ {
@@ -87,7 +122,8 @@ func newProc(s *System, id int) *Proc {
 func (p *Proc) reset() {
 	p.clock = sim.Clock{}
 	p.rep.Zero()
-	p.vt.Zero()
+	p.tk.Rebase(&vc.Epoch{}) // zero time, empty deviation set, run-start epoch
+	p.arena.Reset()
 	for u, tw := range p.twins {
 		p.twinFree = append(p.twinFree, tw...)
 		p.twinLists = append(p.twinLists, tw[:0])
@@ -96,6 +132,10 @@ func (p *Proc) reset() {
 	p.writeOrder = p.writeOrder[:0]
 	for u := range p.missing {
 		p.missing[u] = p.missing[u][:0]
+	}
+	for _, c := range p.fcur {
+		c.idx = 0
+		c.spill = c.spill[:0]
 	}
 	for u := 0; u < p.sys.numUnits; u++ {
 		p.pt.Set(u, mem.ReadOnly)

@@ -53,7 +53,7 @@ type Protocol interface {
 	// the page diffs to keep attached to the interval the caller
 	// publishes. Called on p's goroutine, before the synchronization
 	// operation proceeds and before the interval is published.
-	Release(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff) []lrc.PageDiff
+	Release(p *Proc, id vc.IntervalID, ts vc.Stamp, units []int, diffs []lrc.PageDiff) []lrc.PageDiff
 
 	// Fetch brings the stale units among units — all owned by this
 	// protocol — up to date in p's replica: it decides whom to contact,
@@ -134,7 +134,7 @@ func (s *System) ownedUnits(units []int, i int) []int {
 // owning protocol, each owner takes its share, and the diffs the owners
 // keep (homeless ownership) are returned for the caller to attach to
 // the published interval.
-func (s *System) releaseInterval(p *Proc, id vc.IntervalID, ts vc.Time, units []int, diffs []lrc.PageDiff) []lrc.PageDiff {
+func (s *System) releaseInterval(p *Proc, id vc.IntervalID, ts vc.Stamp, units []int, diffs []lrc.PageDiff) []lrc.PageDiff {
 	if len(s.protos) == 1 {
 		return s.protos[0].Release(p, id, ts, units, diffs)
 	}
@@ -158,11 +158,16 @@ func (s *System) releaseInterval(p *Proc, id vc.IntervalID, ts vc.Time, units []
 // invalidator is the write-notice policy shared by all protocols: an
 // acquire invalidates every noticed unit and records the interval as a
 // missing write, so the unit stays invalid until the next access fault
-// fetches it.
+// fetches it. The sparse engine skips only the host-side list append —
+// fault-time reconstruction from the store's publish log recovers the
+// identical list (see notices.go) — while the invalidation and its
+// ProtOp charge stay, keeping virtual time and wire traffic unchanged.
 type invalidator struct{}
 
 func (invalidator) AcquireUnit(p *Proc, iv *lrc.Interval, u int) {
-	p.missing[u] = append(p.missing[u], lrc.MissingWrite{Interval: iv})
+	if !p.sys.sparseMode() {
+		p.missing[u] = append(p.missing[u], lrc.MissingWrite{Interval: iv})
+	}
 	if p.pt.State(u) != mem.Invalid {
 		p.pt.Set(u, mem.Invalid)
 		p.clock.Advance(p.sys.cost.ProtOp)

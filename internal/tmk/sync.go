@@ -1,6 +1,9 @@
 package tmk
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/lrc"
@@ -24,7 +27,7 @@ func (p *Proc) closeInterval() {
 	}
 	cost := p.sys.cost
 	up := p.sys.cfg.UnitPages
-	seq := p.vt.Tick(p.id)
+	seq := p.tk.Tick(p.id)
 
 	units := p.unitsBuf[:0]
 	diffs := p.diffsBuf[:0]
@@ -50,37 +53,89 @@ func (p *Proc) closeInterval() {
 	}
 	p.unitsBuf, p.diffsBuf = units, diffs
 	id := vc.IntervalID{Proc: p.id, Seq: seq}
-	ts := p.vt.Clone()
+	// The close-time stamp: sparse mode snapshots the epoch-relative
+	// deviations (O(deviations) storage per interval); dense mode clones
+	// the full vector — the reference cost.
+	var ts vc.Stamp
+	if p.sys.sparseMode() {
+		ts = p.tk.Snapshot(&p.arena)
+	} else {
+		ts = vc.DenseStamp(p.vt.Clone())
+	}
 	keep := p.sys.releaseInterval(p, id, ts, units, diffs)
 	p.sys.store.Publish(lrc.MakeInterval(id, ts, units, keep))
 	p.nIntervals++
 	p.writeOrder = p.writeOrder[:0]
 }
 
-// applyAcquire consumes the write notices between the processor's vector
-// time and sourceVT: every noticed unit is routed to its owning
-// protocol's notice policy (invalidated unless the notice is the
-// processor's own, and recorded as missing). It returns the wire size
-// of the consumed notices, which the caller charges as piggybacked
-// consistency information on the grant/release message.
-func (p *Proc) applyAcquire(sourceVT vc.Time) int {
-	if sourceVT == nil {
-		return 0
-	}
-	p.deltaBuf = p.sys.store.DeltaInto(p.vt, sourceVT, p.deltaBuf)
-	delta := p.deltaBuf
+// consumeDelta applies the write notices in p.deltaBuf: every noticed
+// unit is routed to its owning protocol's notice policy (invalidated
+// unless the notice is the processor's own, and recorded as missing).
+// It returns the wire size of the consumed notices.
+func (p *Proc) consumeDelta() int {
 	bytes := 0
-	for _, iv := range delta {
+	s := p.sys
+	// Static configurations install one engine owning every unit; hoist
+	// the dispatch out of the per-notice loop (the engine's most
+	// frequent call at large processor counts).
+	if len(s.protos) == 1 {
+		proto := s.protos[0]
+		for _, iv := range p.deltaBuf {
+			bytes += iv.NoticeBytes()
+			if iv.ID.Proc == p.id {
+				continue
+			}
+			for _, u := range iv.Units {
+				proto.AcquireUnit(p, iv, u)
+			}
+		}
+		return bytes
+	}
+	for _, iv := range p.deltaBuf {
 		bytes += iv.NoticeBytes()
 		if iv.ID.Proc == p.id {
 			continue
 		}
 		for _, u := range iv.Units {
-			p.sys.protoOf(u).AcquireUnit(p, iv, u)
+			s.protoOf(u).AcquireUnit(p, iv, u)
 		}
 	}
-	p.vt.Merge(sourceVT)
 	return bytes
+}
+
+// applyAcquire consumes the write notices between the processor's vector
+// time and sourceVT (a dense time — the reference-mode path and the
+// sparse mode's fallback). It returns the wire size of the consumed
+// notices, which the caller charges as piggybacked consistency
+// information on the grant/release message.
+func (p *Proc) applyAcquire(sourceVT vc.Time) int {
+	if sourceVT == nil {
+		return 0
+	}
+	p.deltaBuf = p.sys.store.DeltaInto(p.vt, sourceVT, p.deltaBuf)
+	bytes := p.consumeDelta()
+	p.tk.MergeTime(sourceVT)
+	return bytes
+}
+
+// applyAcquireStamp is applyAcquire for a stamped release time (lock
+// grants). When the stamp is sparse and its epoch base is not newer than
+// the processor's — always, between barriers — only the stamp's
+// deviations can exceed the processor's time, so the store delta and the
+// merge are O(deviations + delta) instead of O(nprocs).
+func (p *Proc) applyAcquireStamp(s vc.Stamp) int {
+	if s.Len() == 0 {
+		return 0 // zero stamp: first acquisition, nothing to learn
+	}
+	if b := s.Base(); b != nil && b.Seq <= p.tk.Base().Seq {
+		procs, seqs := s.Deviations()
+		p.deltaBuf = p.sys.store.DeltaDevsInto(p.vt, procs, seqs, p.deltaBuf)
+		bytes := p.consumeDelta()
+		p.tk.MergeStamp(s)
+		return bytes
+	}
+	p.vtScratch = s.Dense(p.vtScratch)
+	return p.applyAcquire(p.vtScratch)
 }
 
 // rebuildGroups recomputes the processor's page groups from the faults
@@ -97,42 +152,133 @@ func (p *Proc) rebuildGroups() {
 
 // --- barrier --------------------------------------------------------------
 
+// barrierGrant is one processor's release from one barrier episode: the
+// episode's epoch (the merged vector time, immutable and shared), the
+// processors that published intervals during the episode (shared,
+// read-only — the acquirer's invalidation scan visits only these), the
+// release time, and the episode number.
 type barrierGrant struct {
-	vt      vc.Time
+	epoch   *vc.Epoch
+	touched []int32
 	release sim.Duration
 	episode int
 }
 
+// barrierSync is one barrier message fabric: it prices the arrival path
+// on the arriving processor's clock, runs the episode duties (epoch
+// minting, adaptive/rehoming policy) on the completing processor, and
+// blocks until the episode's grant. The returned bool reports whether
+// the fabric already priced p's release leg: the tree fabric prices
+// per-hop release waves itself, while the centralized fabric leaves the
+// per-departer manager→processor leg (whose payload depends on the
+// departer's own notice delta) to the caller.
+type barrierSync interface {
+	sync(p *Proc) (barrierGrant, bool)
+}
+
+// DefaultBarrier is the paper's barrier: flat and centralized.
+const DefaultBarrier = "central"
+
+// DefaultBarrierRadix is the tree barrier's default fan-in.
+const DefaultBarrierRadix = 4
+
+// A barrier factory builds a fabric instance for one System build.
+var barrierFactories = map[string]func(s *System) barrierSync{}
+
+// RegisterBarrier adds a barrier fabric under a (case-insensitive)
+// name. Called from init; a duplicate name is a programming error.
+func RegisterBarrier(name string, factory func(s *System) barrierSync) {
+	key := strings.ToLower(name)
+	if key == "" || factory == nil {
+		panic("tmk: incomplete barrier registration")
+	}
+	if _, dup := barrierFactories[key]; dup {
+		panic(fmt.Sprintf("tmk: duplicate barrier registration %q", key))
+	}
+	barrierFactories[key] = factory
+}
+
+// BarrierNames returns the registered barrier fabric names, sorted.
+func BarrierNames() []string {
+	out := make([]string, 0, len(barrierFactories))
+	for name := range barrierFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KnownBarrier reports whether name (case-insensitive) is registered.
+func KnownBarrier(name string) bool {
+	_, ok := barrierFactories[strings.ToLower(name)]
+	return ok
+}
+
+func init() {
+	RegisterBarrier("central", func(s *System) barrierSync { return newBarrier(s) })
+}
+
+// finishEpisode runs the completing processor's episode duties, called
+// with the fabric's mutex held after every arrival merged into tk: mint
+// the episode's epoch from the merged time, evaluate the adaptive policy
+// and the placement rehomer over the phase delta, record the episode log
+// (under Collect), and rebase the fabric's register for the next
+// episode. The returned touched list (the register's deviation set — the
+// processors that published since the previous epoch) is shared
+// read-only by every grant.
+func (s *System) finishEpisode(tk *vc.Tracked, episode int) (*vc.Epoch, []int32) {
+	merged := tk.T.Clone()
+	epoch := vc.NewEpoch(episode, merged)
+	touched := append([]int32(nil), tk.Devs()...)
+	if s.policy != nil || s.rehomer != nil {
+		var delta []*lrc.Interval
+		if s.sparseMode() {
+			s.seqScratch = s.seqScratch[:0]
+			for _, q := range touched {
+				s.seqScratch = append(s.seqScratch, merged[q])
+			}
+			s.epDelta = s.store.DeltaDevsInto(s.lastBarrierVT, touched, s.seqScratch, s.epDelta)
+			delta = s.epDelta
+		} else {
+			delta = s.store.Delta(s.lastBarrierVT, merged)
+		}
+		if s.policy != nil {
+			s.policy.atBarrier(merged, delta)
+		}
+		if s.rehomer != nil {
+			s.rehomer.atBarrier(merged, delta)
+		}
+		s.lastBarrierVT = merged
+	}
+	if s.cfg.Collect {
+		s.barrierLog = append(s.barrierLog, merged)
+	}
+	tk.Rebase(epoch)
+	return epoch, touched
+}
+
 // barrier is the centralized TreadMarks barrier: arrivals carry each
 // processor's new write notices to the manager (processor 0), which
-// merges vector times and broadcasts the union at release.
+// merges vector times and broadcasts the union at release. The 8-proc
+// golden reference — its wire counts are pinned bit-for-bit.
 type barrier struct {
+	sys     *System
 	n       int
 	manager int
 
 	mu       sync.Mutex
 	arrived  int
 	episode  int // 1-based count of completed barrier episodes
-	vt       vc.Time
+	tk       *vc.Tracked
 	maxClock sim.Duration
 	waiters  []chan barrierGrant
 }
 
-func newBarrier(n int) *barrier {
-	return &barrier{n: n, vt: vc.New(n)}
+func newBarrier(s *System) *barrier {
+	return &barrier{sys: s, n: s.cfg.Procs, tk: vc.NewTracked(s.cfg.Procs)}
 }
 
-// Barrier synchronizes all processors. On departure every processor has
-// invalidated all units written before the barrier by any other
-// processor.
-func (p *Proc) Barrier() {
-	p.closeInterval()
-	b := p.sys.barrier
-	cost := p.sys.cost
-	if trc := p.sys.trc; trc != nil {
-		trc.BarrierEnter(p.id, p.clock.Now())
-	}
-
+func (b *barrier) sync(p *Proc) (barrierGrant, bool) {
 	// Arrival message to the manager with this processor's notices
 	// (already published to the store; we charge their size).
 	arriveBytes := 16
@@ -141,7 +287,13 @@ func (p *Proc) Barrier() {
 
 	ch := p.barrierCh
 	b.mu.Lock()
-	b.vt.Merge(p.vt)
+	// Merge this processor's time into the episode register: O(own
+	// deviations) in sparse mode, entrywise in dense mode.
+	if p.sys.sparseMode() {
+		b.tk.MergeStamp(p.tk.Snapshot(&p.arena))
+	} else {
+		b.tk.MergeTime(p.vt)
+	}
 	if p.clock.Now() > b.maxClock {
 		b.maxClock = p.clock.Now()
 	}
@@ -151,45 +303,64 @@ func (p *Proc) Barrier() {
 		// Every processor is blocked in this barrier: the adaptive
 		// policy (if any) may now re-point units between protocols,
 		// and the placement rehomer (if a home-based engine is
-		// installed) may move unit homes. Both consume the same
-		// causally sorted phase delta; their evaluation is folded into
-		// the manager cost below, and the ownership handoffs and
-		// home-state transfers they schedule are priced per-processor
-		// after the release (see adaptivePolicy.settle and
-		// rehomer.settle).
-		if sys := p.sys; sys.policy != nil || sys.rehomer != nil {
-			delta := sys.store.Delta(sys.lastBarrierVT, b.vt)
-			if sys.policy != nil {
-				sys.policy.atBarrier(b.vt, delta)
-			}
-			if sys.rehomer != nil {
-				sys.rehomer.atBarrier(b.vt, delta)
-			}
-			sys.lastBarrierVT = b.vt.Clone()
-		}
-		// Manager cost: per-arrival servicing plus the merge/broadcast.
-		release := b.maxClock + cost.BarrierManager +
-			sim.Duration(b.n)*cost.RequestService
-		// The merged time is handed off to the grant (read-only from
-		// here on); the next episode starts on a fresh vector.
+		// installed) may move unit homes — see finishEpisode. The
+		// ownership handoffs and home-state transfers they schedule
+		// are priced per-processor after the release (settle).
 		b.episode++
-		g := barrierGrant{vt: b.vt, release: release, episode: b.episode}
+		epoch, touched := p.sys.finishEpisode(b.tk, b.episode)
+		// Manager cost: per-arrival servicing plus the merge/broadcast.
+		release := b.maxClock + p.sys.cost.BarrierManager +
+			sim.Duration(b.n)*p.sys.cost.RequestService
+		g := barrierGrant{epoch: epoch, touched: touched, release: release, episode: b.episode}
 		for _, w := range b.waiters {
 			w <- g
 		}
-		// Reset for the next barrier episode.
+		// Reset for the next barrier episode (finishEpisode rebased tk).
 		b.arrived = 0
 		b.waiters = b.waiters[:0]
-		b.vt = vc.New(b.n)
 		b.maxClock = 0
 	}
 	b.mu.Unlock()
+	return <-ch, false
+}
 
-	g := <-ch
+// applyBarrierGrant consumes a barrier grant: the episode's write
+// notices are applied (visiting only the touched processors' interval
+// runs in sparse mode) and the processor's register rebases onto the
+// new epoch. Returns the consumed notices' wire size.
+func (p *Proc) applyBarrierGrant(g barrierGrant) int {
+	var bytes int
+	if p.sys.sparseMode() {
+		p.seqScratch = p.seqScratch[:0]
+		for _, q := range g.touched {
+			p.seqScratch = append(p.seqScratch, g.epoch.VT[q])
+		}
+		p.deltaBuf = p.sys.store.DeltaDevsInto(p.vt, g.touched, p.seqScratch, p.deltaBuf)
+		bytes = p.consumeDelta()
+	} else {
+		p.deltaBuf = p.sys.store.DeltaInto(p.vt, g.epoch.VT, p.deltaBuf)
+		bytes = p.consumeDelta()
+	}
+	p.tk.Rebase(g.epoch)
+	return bytes
+}
+
+// Barrier synchronizes all processors. On departure every processor has
+// invalidated all units written before the barrier by any other
+// processor.
+func (p *Proc) Barrier() {
+	p.closeInterval()
+	if trc := p.sys.trc; trc != nil {
+		trc.BarrierEnter(p.id, p.clock.Now())
+	}
+
+	g, legPriced := p.sys.barrier.sync(p)
 	p.clock.AdvanceTo(g.release)
-	noticeBytes := p.applyAcquire(g.vt)
-	_, rt := p.sys.net.SendLeg(simnet.BarrierRelease, b.manager, p.id, 8+noticeBytes, g.release)
-	p.clock.Advance(rt.Total)
+	noticeBytes := p.applyBarrierGrant(g)
+	if !legPriced {
+		_, rt := p.sys.net.SendLeg(simnet.BarrierRelease, barrierManager, p.id, 8+noticeBytes, g.release)
+		p.clock.Advance(rt.Total)
+	}
 	if p.sys.policy != nil {
 		p.sys.policy.settle(p)
 	}
@@ -202,10 +373,14 @@ func (p *Proc) Barrier() {
 	}
 }
 
+// barrierManager is the barrier manager processor (the root of every
+// fabric's topology).
+const barrierManager = 0
+
 // --- locks -----------------------------------------------------------------
 
 type lockGrant struct {
-	vt   vc.Time // releaser's vector time (nil on first acquisition)
+	ts   vc.Stamp // releaser's stamped vector time (zero on first acquisition)
 	at   sim.Duration
 	from int // processor the grant message travels from
 }
@@ -223,9 +398,15 @@ type lock struct {
 	id      int
 	manager int
 
-	mu           sync.Mutex
-	held         bool
-	holder       int
+	mu     sync.Mutex
+	held   bool
+	holder int
+	// lastTS is the release-time stamp the next grant carries: a sparse
+	// snapshot in sparse mode, a dense clone (into the reused lastVT
+	// buffer) in dense mode. Only the current grant holder ever reads
+	// it, and the next overwrite (by that holder's own Unlock) happens
+	// after its acquire consumed the snapshot.
+	lastTS       vc.Stamp
 	lastVT       vc.Time
 	releaseClock sim.Duration
 	queue        []lockWaiter
@@ -271,10 +452,10 @@ func (p *Proc) Lock(l int) {
 		lk.held = true
 		prevHolder := lk.holder
 		lk.holder = p.id
-		vt := lk.lastVT
+		ts := lk.lastTS
 		grantAt := sim.Meet(reqArrival, lk.releaseClock) + cost.LockService
 		lk.mu.Unlock()
-		p.finishAcquire(lk, lockGrant{vt: vt, at: grantAt, from: prevHolder})
+		p.finishAcquire(lk, lockGrant{ts: ts, at: grantAt, from: prevHolder})
 		return
 	}
 	ch := p.lockCh
@@ -288,7 +469,7 @@ func (p *Proc) Lock(l int) {
 // piggybacked notices, then invalidates.
 func (p *Proc) finishAcquire(lk *lock, g lockGrant) {
 	p.clock.AdvanceTo(g.at)
-	noticeBytes := p.applyAcquire(g.vt)
+	noticeBytes := p.applyAcquireStamp(g.ts)
 	_, t := p.sys.net.SendLeg(simnet.LockGrant, g.from, p.id, 16+noticeBytes, g.at)
 	p.clock.Advance(t.Total)
 	if trc := p.sys.trc; trc != nil {
@@ -309,13 +490,19 @@ func (p *Proc) Unlock(l int) {
 		lk.mu.Unlock()
 		panic("tmk: Unlock by non-holder")
 	}
-	// Reuse the release-time snapshot's storage: only the current grant
-	// holder ever reads lastVT, and the next overwrite (by that holder's
-	// own Unlock) happens after its acquire consumed the snapshot.
-	if lk.lastVT == nil {
-		lk.lastVT = p.vt.Clone()
+	if p.sys.sparseMode() {
+		// O(deviations) snapshot from the holder's arena: only the next
+		// grant holder reads it, before the holder's next Unlock.
+		lk.lastTS = p.tk.Snapshot(&p.arena)
 	} else {
-		lk.lastVT.CopyFrom(p.vt)
+		// Reuse the release-time snapshot's storage (the dense
+		// reference cost: one full-vector copy per release).
+		if lk.lastVT == nil {
+			lk.lastVT = p.vt.Clone()
+		} else {
+			lk.lastVT.CopyFrom(p.vt)
+		}
+		lk.lastTS = vc.DenseStamp(lk.lastVT)
 	}
 	lk.releaseClock = p.clock.Now()
 	if trc := p.sys.trc; trc != nil {
@@ -326,9 +513,9 @@ func (p *Proc) Unlock(l int) {
 		lk.queue = lk.queue[1:]
 		lk.holder = w.proc
 		grantAt := sim.Meet(lk.releaseClock, w.reqArrival) + cost.LockService
-		vt := lk.lastVT
+		ts := lk.lastTS
 		lk.mu.Unlock()
-		w.ch <- lockGrant{vt: vt, at: grantAt, from: p.id}
+		w.ch <- lockGrant{ts: ts, at: grantAt, from: p.id}
 		return
 	}
 	lk.held = false

@@ -76,6 +76,28 @@ type Config struct {
 	// "adaptive") consult homes; under "homeless" the policy is inert.
 	// See PlacementNames for the full set.
 	Placement string
+	// Scale selects the engine's scaling representation
+	// (case-insensitive). "sparse" (the default) stores interval
+	// timestamps as epoch-relative sparse stamps, drives acquire/barrier
+	// deltas from deviation lists instead of O(nprocs) scans, and backs
+	// replicas with lazily materialized page frames — observationally
+	// identical to "dense" (wire counts are bit-identical; the golden
+	// tests pin this) but asymptotically faster and smaller at 64–1024
+	// processors. "dense" is the reference implementation: eager
+	// replicas, one dense vector clone per interval, entrywise scans.
+	Scale string
+	// Barrier selects the barrier fabric by registry name
+	// (case-insensitive; see BarrierNames). "central" (the default) is
+	// the paper's flat TreadMarks barrier — n simultaneous arrivals at a
+	// manager — and the 8-proc golden reference. "tree" combines
+	// arrivals up (and fans releases down) a BarrierRadix-ary tree of
+	// processors, every hop priced as a real message: on the contended
+	// network models this turns n simultaneous bus arrivals into
+	// log-depth waves.
+	Barrier string
+	// BarrierRadix is the tree barrier's fan-in (children per node).
+	// Zero selects DefaultBarrierRadix; ignored by "central".
+	BarrierRadix int
 	// Network selects the interconnect timing model by registry name
 	// (case-insensitive; see netmodel.Names). Empty selects "ideal",
 	// the paper's flat contention-free cost arithmetic; "bus" and
@@ -146,7 +168,56 @@ func (c *Config) fill() error {
 		return fmt.Errorf("tmk: unknown network model %q (known: %s)",
 			c.Network, strings.Join(netmodel.Names(), ", "))
 	}
+	c.Scale = strings.ToLower(c.Scale)
+	if c.Scale == "" {
+		c.Scale = DefaultScale
+	}
+	if c.Scale != ScaleSparse && c.Scale != ScaleDense {
+		return fmt.Errorf("tmk: unknown scale mode %q (known: %s, %s)",
+			c.Scale, ScaleSparse, ScaleDense)
+	}
+	c.Barrier = strings.ToLower(c.Barrier)
+	if c.Barrier == "" {
+		c.Barrier = DefaultBarrier
+	}
+	if !KnownBarrier(c.Barrier) {
+		return fmt.Errorf("tmk: unknown barrier %q (known: %s)",
+			c.Barrier, strings.Join(BarrierNames(), ", "))
+	}
+	if c.BarrierRadix < 0 {
+		return fmt.Errorf("tmk: barrier radix cannot be negative (got %d)", c.BarrierRadix)
+	}
+	if c.BarrierRadix == 0 {
+		c.BarrierRadix = DefaultBarrierRadix
+	}
 	return nil
+}
+
+// Scale mode names (Config.Scale).
+const (
+	ScaleSparse = "sparse"
+	ScaleDense  = "dense"
+)
+
+// DefaultScale is the default engine representation.
+const DefaultScale = ScaleSparse
+
+// ScaleName returns the configured scale mode with the default filled
+// in, without mutating the config.
+func (c Config) ScaleName() string {
+	if c.Scale == "" {
+		return DefaultScale
+	}
+	return strings.ToLower(c.Scale)
+}
+
+// BarrierName returns the configured barrier fabric name with the
+// default filled in, without mutating the config.
+func (c Config) BarrierName() string {
+	if c.Barrier == "" {
+		return DefaultBarrier
+	}
+	return strings.ToLower(c.Barrier)
 }
 
 // NetworkName returns the configured network model name with the
@@ -211,16 +282,32 @@ type System struct {
 	nRehomes      int
 	nRehomeBytes  int
 
+	// finishEpisode scratch (touched by at most one processor at a time —
+	// the barrier fabric's completing arrival, under the fabric's mutex).
+	seqScratch []int32
+	epDelta    []*lrc.Interval
+
 	segBytes int
 	numPages int
 	numUnits int
 	allocOff int
 	running  bool
 	ran      bool
+	// sparse caches cfg.Scale != ScaleDense: the acquire path consults
+	// the mode once per write notice, and a string comparison there is
+	// measurable at 256+ processors.
+	sparse bool
 
 	procs   []*Proc
-	barrier *barrier
+	barrier barrierSync
 	locks   []*lock
+
+	// barrierLog records each barrier episode's merged vector time, in
+	// episode order, when Collect is set — the observable the
+	// barrier-equivalence tests compare across fabrics. Appended by the
+	// episode-completing processor while every other processor is
+	// blocked, so reads after Run are race-free.
+	barrierLog []vc.Time
 
 	// trc is the active Run's trace emitter (nil when not tracing). Set
 	// before the processor goroutines start and cleared after they join,
@@ -258,13 +345,14 @@ func NewSystem(cfg Config) (*System, error) {
 		numPages: segBytes / mem.PageSize,
 	}
 	s.numUnits = s.numPages / cfg.UnitPages
+	s.sparse = cfg.Scale != ScaleDense
 	s.setupPlacement()
 	protocolSetups[cfg.Protocol](s)
 	s.setupRehomer()
 	if cfg.Collect {
 		s.col = instrument.NewCollector(cfg.Procs, segBytes)
 	}
-	s.barrier = newBarrier(cfg.Procs)
+	s.barrier = barrierFactories[cfg.Barrier](s)
 	s.locks = make([]*lock, cfg.Locks)
 	for i := range s.locks {
 		s.locks[i] = newLock(i, i%cfg.Procs)
@@ -296,7 +384,8 @@ func (s *System) Reset() {
 	if s.cfg.Collect {
 		s.col = instrument.NewCollector(s.cfg.Procs, s.segBytes)
 	}
-	s.barrier = newBarrier(s.cfg.Procs)
+	s.barrier = barrierFactories[s.cfg.Barrier](s)
+	s.barrierLog = s.barrierLog[:0]
 	for i := range s.locks {
 		s.locks[i] = newLock(i, i%s.cfg.Procs)
 	}
@@ -375,6 +464,16 @@ func (s *System) unitIsHome(u int) bool {
 
 // Network returns the active interconnect timing model's name.
 func (s *System) Network() string { return s.net.Model().Name() }
+
+// sparseMode reports whether the engine runs the sparse representation
+// (epoch-relative stamps, deviation-driven deltas, lazy replicas).
+func (s *System) sparseMode() bool { return s.sparse }
+
+// BarrierLog returns the merged vector time of every completed barrier
+// episode, in order. Recorded only when Config.Collect is set; valid
+// after Run returns. The log is identical across barrier fabrics — the
+// equivalence the tree-barrier tests pin.
+func (s *System) BarrierLog() []vc.Time { return s.barrierLog }
 
 // SegmentBytes returns the rounded shared-segment size.
 func (s *System) SegmentBytes() int { return s.segBytes }

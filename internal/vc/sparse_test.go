@@ -1,0 +1,286 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// stampScenario drives a Tracked register and a plain dense Time shadow
+// through the same random schedule of ticks, merges, and rebases,
+// checking that every observable of the sparse layer matches the dense
+// model at each step.
+func TestTrackedMatchesDenseModel(t *testing.T) {
+	const n = 16
+	rng := rand.New(rand.NewSource(9))
+
+	for trial := 0; trial < 50; trial++ {
+		var arena StampArena
+		tr := NewTracked(n)
+		shadow := New(n)
+		epochSeq := 0
+
+		// Remember a few snapshots to cross-check Covers/Concurrent.
+		type snap struct {
+			s Stamp
+			d Time
+		}
+		var snaps []snap
+
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(4) {
+			case 0: // tick a random proc
+				p := rng.Intn(n)
+				tr.Tick(p)
+				shadow.Tick(p)
+			case 1: // merge a random sparse stamp at the current epoch
+				nd := rng.Intn(4)
+				procs := make([]int32, 0, nd)
+				seqs := make([]int32, 0, nd)
+				for p := 0; p < n && len(procs) < nd; p++ {
+					if rng.Intn(n) < nd {
+						procs = append(procs, int32(p))
+						seqs = append(seqs, tr.Base().Entry(p)+int32(1+rng.Intn(3)))
+					}
+				}
+				s := SparseStamp(tr.Base(), n, procs, seqs)
+				tr.MergeStamp(s)
+				shadow.Merge(s.Dense(nil))
+			case 2: // merge a dense stamp
+				d := New(n)
+				for p := range d {
+					d[p] = shadow[p] + int32(rng.Intn(2))
+				}
+				tr.MergeStamp(DenseStamp(d))
+				shadow.Merge(d)
+			case 3: // barrier: rebase both onto the merged time
+				epochSeq++
+				merged := shadow.Clone()
+				tr.Rebase(NewEpoch(epochSeq, merged))
+				shadow.CopyFrom(merged)
+			}
+
+			if !tr.T.Equal(shadow) {
+				t.Fatalf("trial %d step %d: register %v != shadow %v", trial, step, tr.T, shadow)
+			}
+			s := tr.Snapshot(&arena)
+			var sum int64
+			for p := 0; p < n; p++ {
+				if got, want := s.Entry(p), shadow[p]; got != want {
+					t.Fatalf("trial %d step %d: Entry(%d) = %d, want %d", trial, step, p, got, want)
+				}
+				sum += int64(shadow[p])
+			}
+			if s.Sum() != sum {
+				t.Fatalf("trial %d step %d: Sum = %d, want %d", trial, step, s.Sum(), sum)
+			}
+			if d := s.Dense(nil); !d.Equal(shadow) {
+				t.Fatalf("trial %d step %d: Dense %v != shadow %v", trial, step, d, shadow)
+			}
+			// Deviations must advance past the base (the invariant every
+			// fast path relies on).
+			if s.IsSparse() {
+				procs, seqs := s.Deviations()
+				for i, p := range procs {
+					if seqs[i] <= s.Base().Entry(int(p)) {
+						t.Fatalf("trial %d step %d: deviation %d not past base", trial, step, p)
+					}
+				}
+			}
+
+			// Cross-check ordering against earlier snapshots.
+			d := shadow.Clone()
+			for _, old := range snaps {
+				if got, want := s.Covers(old.s), d.Covers(old.d); got != want {
+					t.Fatalf("trial %d step %d: Covers = %v, dense says %v\n s=%v\n u=%v",
+						trial, step, got, want, d, old.d)
+				}
+				if got, want := old.s.Covers(s), old.d.Covers(d); got != want {
+					t.Fatalf("trial %d step %d: reverse Covers = %v, dense says %v", trial, step, got, want)
+				}
+				if got, want := s.Concurrent(old.s), d.Concurrent(old.d); got != want {
+					t.Fatalf("trial %d step %d: Concurrent = %v, dense says %v", trial, step, got, want)
+				}
+			}
+			if len(snaps) < 8 && rng.Intn(10) == 0 {
+				snaps = append(snaps, snap{s: s, d: d})
+			}
+		}
+	}
+}
+
+func TestStampKnowsAndEntryOffList(t *testing.T) {
+	base := NewEpoch(1, Time{3, 1, 4, 1})
+	s := SparseStamp(base, 4, []int32{0, 2}, []int32{5, 6})
+	wants := []int32{5, 1, 6, 1}
+	for p, w := range wants {
+		if got := s.Entry(p); got != w {
+			t.Fatalf("Entry(%d) = %d, want %d", p, got, w)
+		}
+		if !s.Knows(p, w) || s.Knows(p, w+1) {
+			t.Fatalf("Knows(%d) wrong around %d", p, w)
+		}
+	}
+	if s.Sum() != 5+1+6+1 {
+		t.Fatalf("Sum = %d, want 13", s.Sum())
+	}
+}
+
+// Snapshots taken before later carves and a Tracked mutation must keep
+// their values: the arena never reallocates a block, and Snapshot copies
+// the register's entries out.
+func TestStampArenaStability(t *testing.T) {
+	var arena StampArena
+	tr := NewTracked(8)
+	tr.Rebase(NewEpoch(1, Time{1, 1, 1, 1, 1, 1, 1, 1}))
+
+	var stamps []Stamp
+	var wants []Time
+	for i := 0; i < 3000; i++ {
+		tr.Tick(i % 8)
+		stamps = append(stamps, tr.Snapshot(&arena))
+		wants = append(wants, tr.T.Clone())
+	}
+	for i, s := range stamps {
+		if d := s.Dense(nil); !d.Equal(wants[i]) {
+			t.Fatalf("stamp %d corrupted: %v, want %v", i, d, wants[i])
+		}
+	}
+
+	arena.Reset()
+	if got := arena.Carve(4); cap(got) < 4 || len(got) != 0 {
+		t.Fatalf("post-Reset carve: len=%d cap=%d", len(got), cap(got))
+	}
+}
+
+// A deviation set that fragments toward the vector length must flip the
+// snapshot to the dense layout (and still read identically).
+func TestSnapshotDenseFallback(t *testing.T) {
+	var arena StampArena
+	const n = 64
+	tr := NewTracked(n)
+	for p := 0; p < n/2; p++ {
+		tr.Tick(p)
+	}
+	s := tr.Snapshot(&arena)
+	if s.IsSparse() {
+		t.Fatalf("snapshot with %d/%d deviations should be dense", n/2, n)
+	}
+	if !s.Dense(nil).Equal(tr.T) {
+		t.Fatal("dense-fallback snapshot does not match register")
+	}
+}
+
+// TestAllocBudgetSparseOps pins the sparse-clock hot paths at zero
+// steady-state allocations at n=1024, mirroring the n=8 dense budget in
+// alloc_test.go: epoch-local merges and covers touch only deviations,
+// and snapshots carve from a pre-grown arena.
+func TestAllocBudgetSparseOps(t *testing.T) {
+	const n = 1024
+	base := NewEpoch(3, func() Time {
+		v := New(n)
+		for i := range v {
+			v[i] = 5
+		}
+		return v
+	}())
+	tr := NewTracked(n)
+	tr.Rebase(base)
+	tr.Tick(7)
+	s := SparseStamp(base, n, []int32{7, 100, 900}, []int32{9, 8, 7})
+	u := SparseStamp(base, n, []int32{100}, []int32{6})
+	var arena StampArena
+	// Warm the arena and the deviation set so the measured loop carves
+	// and notes without growing anything.
+	tr.MergeStamp(s)
+	for i := 0; i < 4; i++ {
+		_ = tr.Snapshot(&arena)
+	}
+	arena.Reset()
+
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"MergeStamp", func() { tr.MergeStamp(s) }},
+		{"StampCovers", func() { _ = s.Covers(u) }},
+		{"StampEntry", func() { _ = s.Entry(500) }},
+		{"Snapshot", func() { arena.Reset(); _ = tr.Snapshot(&arena) }},
+		{"Tick", func() { tr.Tick(7) }},
+	}
+	for _, c := range cases {
+		if got := testing.AllocsPerRun(100, c.op); got != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", c.name, got)
+		}
+	}
+}
+
+// Benchmarks at n=1024, dense and sparse side by side: the dense ops are
+// the reference engine mode's cost, the sparse ops what the default mode
+// pays between barriers.
+func benchTimes(n int) (a, b Time) {
+	a, b = New(n), New(n)
+	for i := range a {
+		a[i] = int32(i % 7)
+		b[i] = int32((i + 3) % 7)
+	}
+	return a, b
+}
+
+func BenchmarkMergeDense1024(b *testing.B) {
+	x, y := benchTimes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Merge(y)
+	}
+}
+
+func BenchmarkMergeStampSparse1024(b *testing.B) {
+	base := NewEpoch(1, New(1024))
+	tr := NewTracked(1024)
+	tr.Rebase(base)
+	s := SparseStamp(base, 1024, []int32{3, 500, 900}, []int32{2, 2, 2})
+	tr.MergeStamp(s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.MergeStamp(s)
+	}
+}
+
+func BenchmarkCoversDense1024(b *testing.B) {
+	x, y := benchTimes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Covers(y)
+	}
+}
+
+func BenchmarkCoversSparse1024(b *testing.B) {
+	base := NewEpoch(2, New(1024))
+	s := SparseStamp(base, 1024, []int32{3, 500}, []int32{4, 4})
+	u := SparseStamp(base, 1024, []int32{500}, []int32{3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Covers(u)
+	}
+}
+
+func BenchmarkCopyFromDense1024(b *testing.B) {
+	x, y := benchTimes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.CopyFrom(y)
+	}
+}
+
+func BenchmarkSnapshotSparse1024(b *testing.B) {
+	tr := NewTracked(1024)
+	tr.Rebase(NewEpoch(1, New(1024)))
+	tr.Tick(7)
+	tr.Tick(400)
+	var arena StampArena
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		_ = tr.Snapshot(&arena)
+	}
+}
