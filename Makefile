@@ -33,10 +33,14 @@ bench-check:
 # normalized slowdown — a lost optimization, not scheduler jitter.
 # It also gates the committed scaling sweep: BENCH_scaling.json must
 # claim a >=5x sparse/tree win at 256 procs and a live re-run of the
-# best cell must reproduce >=2x.
+# best cell must reproduce >=2x. Finally -check-speedup re-runs the
+# derived -networks sweep and fails unless it beats the committed
+# all-engine-runs BENCH_before.json wall time by >=3x — the gate on
+# the replay-derivation optimization itself.
 perf-check:
 	$(GO) run ./cmd/dsmbench -check-baseline BENCH_after.json
 	$(GO) run ./cmd/dsmbench -check-scaling BENCH_scaling.json
+	$(GO) run ./cmd/dsmbench -check-speedup BENCH_before.json
 
 # scaling regenerates the committed 8->1024-proc scaling curves
 # (storm/large, {homeless,home} x {ideal,bus} x {dense/central,
@@ -59,10 +63,11 @@ profile:
 	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space prof/dsmbench prof/mem.prof
 
 # alloc-check runs only the allocation-budget tests: steady-state
-# allocs/op in the lrc interval path, mem diff path, vc operations, and
-# the homeless jacobi inner loop must stay under the pinned budgets.
+# allocs/op in the lrc interval path, mem diff path, vc operations,
+# the homeless jacobi inner loop, and the MemSink capture path (plain
+# and capture-enabled engine runs) must stay under the pinned budgets.
 alloc-check:
-	$(GO) test ./internal/lrc/ ./internal/mem/ ./internal/vc/ ./internal/simnet/ ./internal/tmk/ -run 'Alloc|Budget' -v
+	$(GO) test ./internal/lrc/ ./internal/mem/ ./internal/vc/ ./internal/simnet/ ./internal/tmk/ ./internal/trace/ -run 'Alloc|Budget' -v
 
 # trace-smoke captures one traced run and checks that a same-model
 # replay reproduces its totals bit-identically (dsmtrace exits 1 if

@@ -35,6 +35,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -86,6 +87,10 @@ func main() {
 	micro := flag.Bool("micro", false, "print the §5.1 platform calibration (text only)")
 	protocols := flag.Bool("protocols", false, "compare coherence protocols per application (4 KB units)")
 	networks := flag.Bool("networks", false, "network sensitivity: every application across every registered interconnect model")
+	realNetworks := flag.Bool("real-networks", false,
+		"force every -networks cell through the engine (disable replay-derived cells)")
+	checkSpeedup := flag.String("check-speedup", "",
+		"run the replay-derived -networks sweep and fail unless it beats the committed engine-only FILE (BENCH_before.json) by the speedup floor")
 	placements := flag.Bool("placements", false, "home placement: every application across every placement policy for the home and adaptive protocols, on ideal and bus")
 	baseline := flag.Bool("baseline", false, "perf-trajectory seed: every application's small dataset under the default configuration")
 	checkBaseline := flag.String("check-baseline", "",
@@ -94,6 +99,8 @@ func main() {
 		"scaling sweep: jacobi/large wall-clock curves at 8–1024 procs, dense/central vs sparse/tree, per protocol × network")
 	checkScaling := flag.String("check-scaling", "",
 		"validate the committed scaling FILE's ≥5× claim and re-run its best 256-proc cell; exit non-zero if the sparse win is gone")
+	derivedScaling := flag.Bool("derived-scaling", false,
+		"with -scaling: derive network-axis cells by trace replay instead of engine runs (derived points' wall clocks measure the replay, not the engine)")
 	protocol := flag.String("protocol", tmk.DefaultProtocol,
 		"coherence protocol for tables/figures: "+strings.Join(tmk.ProtocolNames(), " or "))
 	network := flag.String("network", netmodel.Default,
@@ -106,6 +113,16 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to FILE at exit")
 	flag.Parse()
+
+	// The sweeps are batch jobs with a small live heap (one cell per
+	// worker) and heavy short-lived allocation (twins, diffs, page
+	// materialization — ~0.5 GB churn per -networks sweep), so the
+	// default GOGC=100 spends a sizable slice of wall clock collecting
+	// a heap that is mostly garbage. Trade headroom for wall time
+	// unless the operator chose a setting.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -122,6 +139,14 @@ func main() {
 		code := runCheckScaling(*checkScaling)
 		stopProf()
 		os.Exit(code)
+	}
+	if *checkSpeedup != "" {
+		code := runCheckSpeedup(*checkSpeedup)
+		stopProf()
+		os.Exit(code)
+	}
+	if *realNetworks {
+		harness.SetNetworkDerivation(false)
 	}
 	if !*all && *table == 0 && *figure == 0 && !*micro && !*protocols && !*networks && !*placements && !*baseline && !*scaling {
 		flag.Usage()
@@ -251,6 +276,9 @@ func main() {
 	if *scaling {
 		// Deliberately not part of -all: the dense 1024-proc cells take
 		// tens of seconds each by design — that cost is the datum.
+		if *derivedScaling {
+			harness.SetScalingDerivation(true)
+		}
 		e, err := scalingExperiment()
 		check(err)
 		curves, err := harness.RunScaling(e, nil, nil, nil, nil)
@@ -375,6 +403,62 @@ func hostCalibration() float64 {
 		}
 	}
 	return best
+}
+
+// speedupFloor is the minimum host-normalized wall-clock speedup the
+// replay-derived -networks sweep must show over the committed
+// engine-only artifact (BENCH_before.json): the derivation replaces
+// five of six engine executions per base cell, so well over 3x is
+// expected for the replay-safe majority of the suite even with the
+// schedule-sensitive apps (TSP, Water) still running every cell.
+const speedupFloor = 3.0
+
+// runCheckSpeedup runs the -networks sweep with derivation on and
+// compares its host-normalized wall clock against the committed
+// engine-only artifact's perf section, returning the process exit
+// code: 0 when the speedup is at least speedupFloor.
+func runCheckSpeedup(path string) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmbench: -check-speedup:", err)
+		return 1
+	}
+	var before document
+	if err := json.Unmarshal(raw, &before); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmbench: -check-speedup: parsing %s: %v\n", path, err)
+		return 1
+	}
+	if before.Perf == nil || before.Perf.NetworksNorm <= 0 {
+		fmt.Fprintf(os.Stderr, "dsmbench: -check-speedup: %s has no networks perf section (regenerate with 'dsmbench -real-networks -networks -json')\n", path)
+		return 1
+	}
+	// Best of two trials: a single sweep on a small CI host carries
+	// ±10% scheduler and GC noise, and the committed before-number is
+	// itself a best-of-N — compare like with like.
+	wall := 0.0
+	for trial := 0; trial < 2; trial++ {
+		start := time.Now()
+		if _, err := harness.RunNetworkComparison(harness.Table1(), harness.Procs, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			return 1
+		}
+		if w := time.Since(start).Seconds(); trial == 0 || w < wall {
+			wall = w
+		}
+	}
+	calib := hostCalibration()
+	norm := wall / calib
+	speedup := before.Perf.NetworksNorm / norm
+	verdict := "ok"
+	if speedup < speedupFloor {
+		verdict = "TOO SLOW"
+	}
+	fmt.Printf("derived networks sweep: %.2fs wall (calib %.3fs, norm %.1f) vs engine-only norm %.1f — %.1fx speedup (floor %.1fx)  %s\n",
+		wall, calib, norm, before.Perf.NetworksNorm, speedup, speedupFloor, verdict)
+	if speedup < speedupFloor {
+		return 1
+	}
+	return 0
 }
 
 // runCheckBaseline re-runs the baseline suite and diffs it against the

@@ -9,6 +9,8 @@
 //
 //	DSMD_ADDR                 listen address       (default :8080)
 //	DSMD_CACHE_ENTRIES        result-cache LRU cap (default 1024)
+//	DSMD_TRACE_ENTRIES        stored-capture LRU cap behind derived
+//	                          serving (default 64)
 //	DSMD_MAX_CONCURRENT_RUNS  engine run pool      (default GOMAXPROCS)
 //	DSMD_DEBUG_ADDR           debug listener (pprof + flight recorder);
 //	                          off when empty — the debug surface binds
@@ -65,6 +67,10 @@ func main() {
 	if err != nil {
 		fatal(logger, err)
 	}
+	traceEntries, err := getenvInt("DSMD_TRACE_ENTRIES", expsvc.DefaultTraceEntries)
+	if err != nil {
+		fatal(logger, err)
+	}
 	maxRuns, err := getenvInt("DSMD_MAX_CONCURRENT_RUNS", 0) // 0 = GOMAXPROCS
 	if err != nil {
 		fatal(logger, err)
@@ -81,6 +87,7 @@ func main() {
 	}
 	svc := expsvc.New(expsvc.Config{
 		CacheEntries:      cacheEntries,
+		TraceEntries:      traceEntries,
 		MaxConcurrentRuns: maxRuns,
 		Logger:            logger,
 		Flight:            flight,

@@ -14,11 +14,13 @@
 //	dsmtrace -json trace.jsonl                # machine-readable summary
 //	dsmtrace -replay trace.jsonl              # re-price through the capture's own model
 //	dsmtrace -replay -network bus trace.jsonl # sweep the capture onto another interconnect
+//	dsmtrace -replay -network all trace.jsonl # one pass, every registered model, side by side
 //
 // Same-model replay must reproduce the recorded message/byte/queue
 // totals bit-identically — dsmtrace exits non-zero if it does not, so
 // a plain `dsmtrace -replay capture.jsonl` doubles as an integrity
-// check of the trace.
+// check of the trace (`-network all` includes the capture's own model,
+// so it carries the same check).
 package main
 
 import (
@@ -36,7 +38,7 @@ import (
 
 func main() {
 	replay := flag.Bool("replay", false, "re-price the capture through a network model instead of summarizing")
-	network := flag.String("network", "", "replay network model (empty = each run's own model; see dsmrun -list)")
+	network := flag.String("network", "", "replay network model (empty = each run's own model, \"all\" = every registered model in one pass; see dsmrun -list)")
 	topN := flag.Int("top", 10, "number of hottest units to list")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
 	flag.Parse()
@@ -56,6 +58,10 @@ func main() {
 	}
 
 	if *replay {
+		if *network == "all" {
+			runReplayAll(in, *jsonOut)
+			return
+		}
 		runReplay(in, *network, *jsonOut)
 		return
 	}
@@ -97,6 +103,59 @@ func runReplay(in io.Reader, network string, jsonOut bool) {
 	// trace does not reproduce the run it claims to record.
 	for _, r := range runs {
 		if r.Network == r.Meta.Network && !r.Matches() {
+			fmt.Fprintf(os.Stderr, "dsmtrace: run %d: same-model replay diverged from recorded totals\n", r.ID)
+			os.Exit(1)
+		}
+	}
+}
+
+// runReplayAll re-prices every captured run through every registered
+// network model in one streaming pass and prints a comparison table:
+// one row per model, the capture's own model marked and checked against
+// the recorded totals bit-identically.
+func runReplayAll(in io.Reader, jsonOut bool) {
+	runs, err := trace.ReplayAll(in, nil)
+	if err != nil {
+		fail(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(runs); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, r := range runs {
+			name := r.Meta.App
+			if r.Meta.Dataset != "" {
+				name += "/" + r.Meta.Dataset
+			}
+			if name == "" {
+				name = "(unlabeled)"
+			}
+			fmt.Printf("=== run %d: %s  [%s, captured on %s, %d procs] ===\n",
+				r.ID, name, r.Meta.Protocol, r.Meta.Network, r.Meta.Procs)
+			fmt.Printf("  %-10s %10s %12s %12s  %s\n", "network", "msgs", "bytes", "queue(s)", "verdict")
+			fmt.Printf("  %-10s %10d %12d %12.6f  %s\n",
+				"(recorded)", r.Recorded.Msgs, r.Recorded.Bytes, r.Recorded.Queue.Seconds(), "")
+			for i, n := range r.Networks {
+				t := r.Replayed[i]
+				verdict := "re-priced"
+				if n == r.Meta.Network {
+					if t == r.Recorded {
+						verdict = "bit-identical"
+					} else {
+						verdict = "MISMATCH"
+					}
+				}
+				fmt.Printf("  %-10s %10d %12d %12.6f  %s\n",
+					n, t.Msgs, t.Bytes, t.Queue.Seconds(), verdict)
+			}
+			fmt.Println()
+		}
+	}
+	for _, r := range runs {
+		if !r.Matches() {
 			fmt.Fprintf(os.Stderr, "dsmtrace: run %d: same-model replay diverged from recorded totals\n", r.ID)
 			os.Exit(1)
 		}

@@ -21,6 +21,16 @@ type Entry struct {
 	// Paper is the paper dataset this one stands in for; empty for
 	// sweep sizes that have no paper counterpart.
 	Paper string
+	// ScheduleSensitive marks applications whose message stream depends
+	// on goroutine scheduling — in this engine, programs that contend
+	// for locks: grant order follows wall-clock request arrival, so
+	// lock caching and (for TSP) branch-and-bound pruning vary between
+	// otherwise identical runs. Their captured traces describe one
+	// schedule, not the app, so replay-derivation of sweep cells is
+	// unsound for them and the harness falls back to real execution.
+	// The barrier-only applications are invariant: barrier streams
+	// permute only in release order, which never changes totals.
+	ScheduleSensitive bool
 	// Make builds the workload for the given processor count.
 	Make func(procs int) Workload
 }
@@ -91,6 +101,24 @@ func Apps() []string {
 		}
 	}
 	return out
+}
+
+// ReplaySafe reports whether the application's message stream is
+// network- and schedule-invariant, making replay-derived sweep cells
+// sound for it (see Entry.ScheduleSensitive). Unknown apps report
+// false — derivation must never be assumed for an unclassified
+// workload.
+func ReplaySafe(app string) bool {
+	found := false
+	for _, e := range Entries() {
+		if strings.EqualFold(e.App, app) {
+			if e.ScheduleSensitive {
+				return false
+			}
+			found = true
+		}
+	}
+	return found
 }
 
 // Lookup resolves an application (case-insensitive) and dataset to a

@@ -91,7 +91,11 @@ func (a *App) Body(p *tmk.Proc) {
 
 		// Solve by local DFS against the global bound.
 		bound := p.ReadI64(a.best.At(0))
-		got := a.dfs(p, path[:], depth, cost, bound)
+		visited := uint32(0)
+		for d := 0; d < depth; d++ {
+			visited |= 1 << uint(path[d])
+		}
+		got := a.dfs(p, visited, int(path[depth-1]), depth, cost, bound)
 		if got < bound {
 			p.Lock(lkBest)
 			if got < p.ReadI64(a.best.At(0)) {

@@ -9,6 +9,11 @@ func init() {
 	reg := func(dataset, paper string, cfg Config) {
 		apps.Register(apps.Entry{
 			App: "TSP", Dataset: dataset, Paper: paper,
+			// The branch-and-bound frontier prunes against a
+			// lock-guarded global bound: which subtrees are explored —
+			// and therefore the wire traffic itself — depends on lock
+			// grant interleaving. Not replay-derivable.
+			ScheduleSensitive: true,
 			Make: func(procs int) apps.Workload {
 				c := cfg
 				c.Procs = procs

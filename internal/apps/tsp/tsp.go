@@ -56,6 +56,7 @@ type Config struct {
 type App struct {
 	cfg   Config
 	dist  [][]int64
+	distf []int64  // dist flattened row-major (the DFS hot path)
 	pool  apps.Arr // tour records
 	queue apps.Arr // [0] head, [1] tail, [2..] tour indices (FIFO of work)
 	best  apps.Arr // [0] best cost so far
@@ -73,6 +74,10 @@ func New(cfg Config) *App {
 	}
 	a := &App{cfg: cfg}
 	a.dist = distances(cfg.Cities)
+	a.distf = make([]int64, cfg.Cities*cfg.Cities)
+	for i, row := range a.dist {
+		copy(a.distf[i*cfg.Cities:], row)
+	}
 	// Generous pool bound: number of prefixes of depth <= ForkDepth.
 	capacity := 1
 	count := 1
@@ -125,36 +130,33 @@ func (a *App) Prepare(sys *tmk.System) {
 
 func (a *App) tour(i, f int) mem.Addr { return a.pool.At(i*tourWords + f) }
 
-// dfs exhaustively extends path (length depth, cost so far cost) and
-// returns the best complete-tour cost found below the given bound.
-func (a *App) dfs(p *tmk.Proc, path []int64, depth int, cost, bound int64) int64 {
+// dfs exhaustively extends the prefix summarized by the visited bitmask
+// (length depth, ending at city last, cost so far cost) and returns the
+// best complete-tour cost found below the given bound. Candidate order,
+// pruning, and the per-node Compute charge are exactly the by-the-book
+// path-scan formulation's — the bitmask and flattened distance row only
+// make each node cheaper in host time, never change what is visited —
+// so simulated results are bit-identical.
+func (a *App) dfs(p *tmk.Proc, visited uint32, last, depth int, cost, bound int64) int64 {
 	n := a.cfg.Cities
 	best := bound
-	last := int(path[depth-1])
 	if depth == n {
-		total := cost + a.dist[last][0]
+		total := cost + a.distf[last*n]
 		if total < best {
 			return total
 		}
 		return best
 	}
+	row := a.distf[last*n : last*n+n]
 	for c := 1; c < n; c++ {
-		visited := false
-		for d := 0; d < depth; d++ {
-			if int(path[d]) == c {
-				visited = true
-				break
-			}
-		}
-		if visited {
+		if visited&(1<<uint(c)) != 0 {
 			continue
 		}
-		nc := cost + a.dist[last][c]
+		nc := cost + row[c]
 		if nc >= best {
 			continue
 		}
-		path[depth] = int64(c)
-		if got := a.dfs(p, path, depth+1, nc, best); got < best {
+		if got := a.dfs(p, visited|1<<uint(c), c, depth+1, nc, best); got < best {
 			best = got
 		}
 	}

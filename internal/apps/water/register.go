@@ -8,6 +8,11 @@ func init() {
 	reg := func(dataset, paper string, cfg Config) {
 		apps.Register(apps.Entry{
 			App: "Water", Dataset: dataset, Paper: paper,
+			// Per-molecule force locks: whether a re-acquire hits the
+			// lock cache depends on wall-clock grant interleaving, so
+			// message counts wobble (rarely) between runs. Not
+			// replay-derivable.
+			ScheduleSensitive: true,
 			Make: func(procs int) apps.Workload {
 				c := cfg
 				c.Procs = procs

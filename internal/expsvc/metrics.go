@@ -80,12 +80,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("dsmd_cache_hits_total", "Run requests served straight from the result cache.", st.Hits)
 	counter("dsmd_cache_misses_total", "Run requests that executed the engine or joined a flight.", st.Misses)
 	counter("dsmd_runs_coalesced_total", "Run requests that joined another caller's in-flight execution.", st.Coalesced)
+	counter("dsmd_cache_derived_total", "Run requests answered by re-pricing a stored capture (no engine execution).", st.Derived)
 	counter("dsmd_runs_total", "Engine executions completed.", st.Runs)
 	counter("dsmd_run_errors_total", "Engine executions that failed (including canceled).", st.RunErrors)
 	counter("dsmd_cache_evictions_total", "Result-cache LRU evictions.", st.CacheEvictions)
 
 	gauge("dsmd_cache_entries", "Result-cache entries currently held.", float64(st.CacheEntries))
 	gauge("dsmd_cache_capacity", "Result-cache capacity.", float64(st.CacheCapacity))
+	gauge("dsmd_trace_entries", "Stored captures currently held for derived serving.", float64(st.TraceEntries))
+	gauge("dsmd_trace_capacity", "Stored-capture capacity.", float64(st.TraceCapacity))
 	gauge("dsmd_in_flight_runs", "Engine executions currently holding a run slot.", float64(st.InFlightRuns))
 	gauge("dsmd_max_concurrent_runs", "Engine execution concurrency bound.", float64(st.MaxConcurrentRuns))
 	gauge("dsmd_uptime_seconds", "Seconds since the service started.", st.UptimeSeconds)

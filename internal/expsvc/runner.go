@@ -36,13 +36,31 @@ func TracedRunner(tw *trace.Writer) Runner {
 }
 
 func engineRun(ctx context.Context, r *Resolved, tw *trace.Writer) ([]byte, error) {
+	body, _, err := engineRunCapture(ctx, r, tw, false)
+	return body, err
+}
+
+// engineRunCapture is engineRun optionally attaching a compact
+// in-memory capture to the (single-trial) execution, so the server can
+// store the run's stream beside its result and later answer
+// same-spec-other-network misses by replay.
+func engineRunCapture(ctx context.Context, r *Resolved, tw *trace.Writer, capture bool) ([]byte, *trace.MemSink, error) {
 	w := r.Entry.Make(r.Procs())
 	cfg := r.EngineConfig()
 	cfg.Trace = tw
+	var ms *trace.MemSink
+	if capture {
+		ms = trace.NewMemSink()
+		cfg.Sink = ms
+	}
 	ts, err := apps.RunTrialsContext(ctx, w, cfg, r.Trials())
 	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", r.Entry.App, r.Entry.Dataset, err)
+		return nil, nil, fmt.Errorf("%s/%s: %w", r.Entry.App, r.Entry.Dataset, err)
 	}
 	rep := harness.TrialsReport(r.Entry.App, r.Entry.Dataset, r.Entry.Paper, cfg, ts)
-	return json.Marshal(rep)
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	return body, ms, nil
 }

@@ -19,6 +19,10 @@ type Config struct {
 	// CacheEntries bounds the result cache (<= 0 selects
 	// DefaultCacheEntries).
 	CacheEntries int
+	// TraceEntries bounds the stored-capture LRU behind derived serving
+	// (<= 0 selects DefaultTraceEntries). Captures are only stored when
+	// the engine-backed runner is in use (Runner unset).
+	TraceEntries int
 	// MaxConcurrentRuns bounds simultaneous engine executions (<= 0
 	// selects GOMAXPROCS). Each execution already runs one goroutine
 	// per simulated processor, so admitting every request at once would
@@ -61,12 +65,19 @@ type Server struct {
 	log      *slog.Logger
 	started  time.Time
 	flight   *trace.Ring
-	runDur   *histogram // engine wall time per execution, seconds
-	queueDur *histogram // mean simulated queue delay per run, seconds
+	flightTW *trace.Writer // shared flight-recorder writer (nil when off)
+	runDur   *histogram    // engine wall time per execution, seconds
+	queueDur *histogram    // mean simulated queue delay per run, seconds
+
+	// traces is the stored-capture LRU behind derived serving; nil when
+	// a substitute Runner is installed (the server then has no engine
+	// stream to capture or replay).
+	traces *traceStore
 
 	hits      atomic.Uint64 // /v1/run requests served straight from cache
 	misses    atomic.Uint64 // /v1/run requests that had to execute or join a flight
 	coalesced atomic.Uint64 // subset of misses that joined another caller's flight
+	derived   atomic.Uint64 // subset of misses answered by replaying a stored capture
 	runs      atomic.Uint64 // engine executions completed
 	runErrors atomic.Uint64 // engine executions that failed (incl. canceled)
 	inFlight  atomic.Int64  // engine executions currently holding a run slot
@@ -76,12 +87,18 @@ type Server struct {
 // New builds the service.
 func New(cfg Config) *Server {
 	var flight *trace.Ring
+	var flightTW *trace.Writer
+	var traces *traceStore
 	if cfg.Runner == nil {
 		cfg.Runner = EngineRunner
 		if cfg.Flight != nil {
 			flight = cfg.Flight
-			cfg.Runner = TracedRunner(trace.NewWriter(flight))
+			flightTW = trace.NewWriter(flight)
+			cfg.Runner = TracedRunner(flightTW)
 		}
+		// Only the engine-backed server stores captures: a substitute
+		// runner's bodies describe no stream the service could replay.
+		traces = newTraceStore(cfg.TraceEntries)
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
@@ -94,6 +111,8 @@ func New(cfg Config) *Server {
 		log:      cfg.Logger,
 		started:  time.Now(),
 		flight:   flight,
+		flightTW: flightTW,
+		traces:   traces,
 		runDur:   newHistogram(runDurationBounds),
 		queueDur: newHistogram(queueDelayBounds),
 	}
@@ -179,8 +198,10 @@ const (
 	// of the answered cell.
 	HeaderCell = "Dsm-Cell"
 	// HeaderCache reports how the request was satisfied: "hit" (served
-	// from cache), "miss" (this request executed the engine), or
-	// "coalesced" (shared a concurrent identical request's execution).
+	// from cache), "miss" (this request executed the engine),
+	// "coalesced" (shared a concurrent identical request's execution),
+	// or "derived" (re-priced from a stored capture of the same spec on
+	// another network, without executing the engine).
 	HeaderCache = "Dsm-Cache"
 )
 
@@ -217,12 +238,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.misses.Add(1)
 
+	// wasDerived is written by the flight leader's closure before the
+	// flight's done channel closes, so reading it after Do returns is
+	// ordered; joiners never run the closure and report "coalesced".
+	wasDerived := false
 	body, err, joined := s.coalesce.Do(r.Context(), hash, func(ctx context.Context) ([]byte, error) {
 		// A flight for this hash may have completed between the cache
 		// check and Do; re-check so the engine never re-runs a cell that
 		// was cached in the gap.
 		if body, ok := s.cache.Get(hash); ok {
 			return body, nil
+		}
+		// An eligible miss may be answerable from a stored capture of
+		// the same spec on another network — no engine, no run slot.
+		if s.traces != nil && res.Derivable() {
+			if body, ok := s.deriveBody(res); ok {
+				s.derived.Add(1)
+				s.cache.Add(hash, body)
+				log.Info("cell derived from stored capture", "network", res.Canonical().Network)
+				wasDerived = true
+				return body, nil
+			}
 		}
 		return s.execute(ctx, res, hash, log)
 	}, func() { s.coalesced.Add(1) })
@@ -238,6 +274,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	disposition := "miss"
+	if wasDerived {
+		disposition = "derived"
+	}
 	if joined {
 		disposition = "coalesced"
 	}
@@ -258,7 +297,19 @@ func (s *Server) execute(ctx context.Context, res *Resolved, hash string, log *s
 		defer s.inFlight.Add(-1)
 
 		start := time.Now()
-		body, err := s.run(ctx, res)
+		var body []byte
+		var err error
+		if s.traces != nil && res.Derivable() {
+			// Capture the eligible execution's stream so later misses
+			// for the same spec on other networks can be derived.
+			var ms *trace.MemSink
+			body, ms, err = engineRunCapture(ctx, res, s.flightTW, true)
+			if err == nil && ms != nil {
+				s.traces.Add(res.TraceKey(), ms, body)
+			}
+		} else {
+			body, err = s.run(ctx, res)
+		}
 		elapsed := time.Since(start)
 		if err != nil {
 			s.runErrors.Add(1)
@@ -310,6 +361,9 @@ type StatsJSON struct {
 	Hits              uint64  `json:"hits"`
 	Misses            uint64  `json:"misses"`
 	Coalesced         uint64  `json:"coalesced"`
+	Derived           uint64  `json:"derived"`
+	TraceEntries      int     `json:"trace_entries"`
+	TraceCapacity     int     `json:"trace_capacity"`
 	Runs              uint64  `json:"runs"`
 	RunErrors         uint64  `json:"run_errors"`
 	InFlightRuns      int64   `json:"in_flight_runs"`
@@ -328,11 +382,16 @@ func (s *Server) Stats() StatsJSON {
 		Hits:              s.hits.Load(),
 		Misses:            s.misses.Load(),
 		Coalesced:         s.coalesced.Load(),
+		Derived:           s.derived.Load(),
 		Runs:              s.runs.Load(),
 		RunErrors:         s.runErrors.Load(),
 		InFlightRuns:      s.inFlight.Load(),
 		MaxConcurrentRuns: s.pool.Workers(),
 		TotalRunSeconds:   time.Duration(s.runNanos.Load()).Seconds(),
+	}
+	if s.traces != nil {
+		st.TraceEntries = s.traces.Len()
+		st.TraceCapacity = s.traces.Capacity()
 	}
 	if st.Runs > 0 {
 		st.MeanRunSeconds = st.TotalRunSeconds / float64(st.Runs)

@@ -281,8 +281,10 @@ func Resolve(s Spec) (*Resolved, error) {
 // Hash is the spec's content address: the hex SHA-256 of the canonical
 // serialization. Equal hash ⇔ equal resolved spec ⇔ (determinism) equal
 // result — the property that lets the result cache skip TTLs entirely.
-func (r *Resolved) Hash() string {
-	b, err := json.Marshal(r.c)
+func (r *Resolved) Hash() string { return hashCanonical(r.c) }
+
+func hashCanonical(c canonical) string {
+	b, err := json.Marshal(c)
 	if err != nil {
 		// canonical is a flat struct of marshalable fields; this cannot
 		// fail at run time.

@@ -1,0 +1,360 @@
+package harness
+
+// Replay-derived sweep cells: the network-sensitivity grid re-prices
+// one application under every interconnect model, but for replay-safe
+// applications (apps.ReplaySafe) the message stream itself is network-
+// invariant — only the pricing changes. So the harness executes ONE
+// traced engine run per (protocol, configuration) base cell on the
+// canonical network and derives every other interconnect's cell by
+// re-pricing the captured stream (trace.MemSink.Derive), falling back
+// to real execution per cell whenever a soundness check refuses.
+//
+// Soundness:
+//   - Static protocols (homeless, home): the stream is invariant, and
+//     Derive self-verifies — its base-model half must reproduce the
+//     recorded totals and every reconstructed synchronization join
+//     time bit-identically, or it errors and the cell runs for real.
+//   - Adaptive: the per-unit policy consults the network (mean queue
+//     delay per message) at each barrier episode, so the stream is
+//     only conditionally invariant. A target cell is derived from the
+//     homeless twin's capture when the contention gate stays closed at
+//     every episode under target pricing (the policy never leaves its
+//     initial homeless mode), or from a real adaptive capture on the
+//     canonical contended base when the per-episode gate verdicts
+//     under target pricing match the base run's (the policy would have
+//     made identical switch decisions). Anything else runs for real.
+//   - Schedule-sensitive applications (lock contenders: TSP, Water)
+//     never derive — their stream describes one schedule, not the app.
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/tmk"
+	"repro/internal/trace"
+)
+
+// deriveBaseNetwork is the canonical network the traced base cells run
+// on: the contention-free model is the cheapest to execute and its
+// capture derives every other model equally well.
+const deriveBaseNetwork = "ideal"
+
+// deriveContendedBase is the network the adaptive protocol's real
+// traced base runs on when some target opens the contention gate.
+const deriveContendedBase = "bus"
+
+var netDerivation atomic.Bool
+
+func init() { netDerivation.Store(true) }
+
+// SetNetworkDerivation toggles replay-derivation of network-sweep
+// cells and returns the previous setting. Derivation is on by default;
+// equivalence tests and the CLI's escape hatch turn it off to force
+// every cell through the engine.
+func SetNetworkDerivation(on bool) (prev bool) { return netDerivation.Swap(on) }
+
+// NetworkDerivation reports whether network sweeps derive cells by
+// replay (see SetNetworkDerivation).
+func NetworkDerivation() bool { return netDerivation.Load() }
+
+// scalingDerivation gates replay-derivation of RunScaling's network
+// axis. Off by default: the scaling sweep's headline datum is the host
+// wall clock of simulating each cell, and a derived cell's wall
+// measures the replay, not the engine — the mode-versus-mode wall
+// comparisons the scaling gate pins only mean something when every
+// point pays the engine's price.
+var scalingDerivation atomic.Bool
+
+// SetScalingDerivation toggles replay-derivation of the scaling
+// sweep's network axis and returns the previous setting.
+func SetScalingDerivation(on bool) (prev bool) { return scalingDerivation.Swap(on) }
+
+// ScalingDerivation reports whether RunScaling derives network-axis
+// cells by replay (see SetScalingDerivation).
+func ScalingDerivation() bool { return scalingDerivation.Load() }
+
+// runCellSink runs one cell with compact trace capture attached and
+// collection off, returning the cell and its capture. The capture is
+// the derivation base for the cell's siblings on other networks.
+func runCellSink(e Experiment, c Config, procs int) (Cell, *trace.MemSink, error) {
+	ms := trace.NewMemSink()
+	w := e.Make(procs)
+	res, err := apps.Run(w, tmk.Config{
+		Procs:        procs,
+		UnitPages:    c.Unit,
+		Dynamic:      c.Dynamic,
+		Protocol:     c.Protocol,
+		Network:      c.Network,
+		Placement:    c.Placement,
+		Scale:        c.Scale,
+		Barrier:      c.Barrier,
+		BarrierRadix: c.BarrierRadix,
+		Sink:         ms,
+	})
+	if err != nil {
+		return Cell{}, nil, fmt.Errorf("%s %s [%s]: %w", e.App, e.Dataset, c.Label, err)
+	}
+	return Cell{
+		Time: res.Time, Queue: res.QueueDelay,
+		Msgs: res.Messages, Bytes: res.Bytes,
+		SwitchedUnits: res.SwitchedUnits,
+		Rehomes:       res.Rehomes,
+		RehomeBytes:   res.RehomeBytes,
+		HandoffBytes:  res.HandoffBytes,
+	}, ms, nil
+}
+
+// derivedFrom assembles a derived cell: re-priced time and totals from
+// the derivation, protocol/placement accounting copied from the base
+// run (those are stream facts — unit switches, home moves — identical
+// by the same invariance that makes the derivation sound).
+func derivedFrom(base Cell, d *trace.Derived) Cell {
+	return Cell{
+		Time: d.Time, Queue: d.Queue,
+		Msgs: int(d.Msgs), Bytes: int(d.Bytes),
+		SwitchedUnits: base.SwitchedUnits,
+		Rehomes:       base.Rehomes,
+		RehomeBytes:   base.RehomeBytes,
+		HandoffBytes:  base.HandoffBytes,
+		Derived:       true,
+	}
+}
+
+// capture pairs one traced base run with a per-network derivation
+// memo: the homeless column and the adaptive quiet check ask for the
+// same (capture, network) derivations, and each walk over a large
+// capture is worth not repeating.
+type capture struct {
+	ms    *trace.MemSink
+	cell  Cell
+	memo  map[string]*trace.Derived
+	fails map[string]bool
+}
+
+func newCapture(ms *trace.MemSink, cell Cell) *capture {
+	return &capture{ms: ms, cell: cell,
+		memo: map[string]*trace.Derived{}, fails: map[string]bool{}}
+}
+
+func (c *capture) derive(network string) (*trace.Derived, bool) {
+	if d, ok := c.memo[network]; ok {
+		return d, true
+	}
+	if c.fails[network] {
+		return nil, false
+	}
+	d, err := c.ms.Derive(network)
+	if err != nil {
+		c.fails[network] = true
+		return nil, false
+	}
+	c.memo[network] = d
+	return d, true
+}
+
+// deriveStatic prices one target network from a static-protocol base
+// capture. ok=false means the derivation refused (Derive's base-half
+// integrity check failed) and the caller must run the cell for real.
+func deriveStatic(cp *capture, network string) (Cell, bool) {
+	if network == cp.ms.Meta().Network {
+		return cp.cell, true // the capture itself is this cell
+	}
+	d, ok := cp.derive(network)
+	if !ok {
+		return Cell{}, false
+	}
+	return derivedFrom(cp.cell, d), true
+}
+
+// adaptiveQuiet derives an adaptive cell from its homeless twin's
+// capture: with the contention gate closed at every barrier episode
+// under target pricing, the adaptive protocol never leaves its initial
+// homeless mode and the two protocols run the same stream.
+func adaptiveQuiet(cp *capture, network string) (Cell, bool) {
+	d, ok := cp.derive(network)
+	if !ok {
+		return Cell{}, false
+	}
+	for _, open := range d.Gate {
+		if open {
+			return Cell{}, false
+		}
+	}
+	return derivedFrom(cp.cell, d), true
+}
+
+// adaptiveContended derives an adaptive cell from a real adaptive
+// capture on the contended base network: if the gate verdict sequence
+// under target pricing matches the base run's, the policy would have
+// made the same per-episode switch decisions, so the recorded stream
+// is the target's stream too.
+func adaptiveContended(cp *capture, network string) (Cell, bool) {
+	if network == cp.ms.Meta().Network {
+		return cp.cell, true
+	}
+	d, ok := cp.derive(network)
+	if !ok || len(d.Gate) != len(d.BaseGate) {
+		return Cell{}, false
+	}
+	for i := range d.Gate {
+		if d.Gate[i] != d.BaseGate[i] {
+			return Cell{}, false
+		}
+	}
+	return derivedFrom(cp.cell, d), true
+}
+
+// deriveScalingGroup produces one scaling-sweep (protocol, mode,
+// procs) row across the network axis from a single traced engine run:
+// the base cell executes on the canonical network and every requested
+// network is derived from its capture, with per-network fallback to a
+// real run. The returned walls record the host cost actually paid per
+// point — the traced engine run's wall on the base network's point
+// (or, when the base network was not requested, folded into the first
+// point), the replay's wall on derived points.
+func deriveScalingGroup(e Experiment, c Config, networks []string, procs int) ([]Cell, []time.Duration, error) {
+	// Same settled-runtime discipline as the real scaling cells: the
+	// sweep's datum is wall clock, so don't bill earlier cells' garbage.
+	runtime.GC()
+	debug.FreeOSMemory()
+
+	b := c
+	b.Network = deriveBaseNetwork
+	start := time.Now()
+	baseCell, ms, err := runCellSink(e, b, procs)
+	if err != nil {
+		return nil, nil, err
+	}
+	baseWall := time.Since(start)
+	cp := newCapture(ms, baseCell)
+
+	cells := make([]Cell, len(networks))
+	walls := make([]time.Duration, len(networks))
+	baseCharged := false
+	for ni, network := range networks {
+		start := time.Now()
+		cell, ok := deriveStatic(cp, network)
+		if !ok {
+			rc := c
+			rc.Network = network
+			if cell, err = runCell(e, rc, procs, false); err != nil {
+				return nil, nil, fmt.Errorf("scaling network %s: %w", network, err)
+			}
+		}
+		cells[ni], walls[ni] = cell, time.Since(start)
+		if network == deriveBaseNetwork {
+			walls[ni] += baseWall
+			baseCharged = true
+		}
+	}
+	if !baseCharged && len(walls) > 0 {
+		walls[0] += baseWall
+	}
+	return cells, walls, nil
+}
+
+// deriveNetworkCells computes one experiment's full networks ×
+// configs grid — the body of a replay-safe app's single sweep task —
+// returning cells in the same (network-major) order the per-cell path
+// produces. Base runs execute the engine; every other cell is derived,
+// with per-cell fallback to real execution.
+func deriveNetworkCells(e Experiment, procs int, networks []string, configs []Config) ([]Cell, error) {
+	m := len(configs)
+	out := make([]Cell, len(networks)*m)
+	real := func(c Config, network string) (Cell, error) {
+		c.Network = network
+		cell, err := runCell(e, c, procs, false)
+		if err != nil {
+			return Cell{}, fmt.Errorf("network %s: %w", network, err)
+		}
+		return cell, nil
+	}
+
+	// Static columns: one traced base on the canonical network each.
+	caps := make([]*capture, m)
+	for ci, c := range configs {
+		if c.Protocol == "adaptive" {
+			continue
+		}
+		b := c
+		b.Network = deriveBaseNetwork
+		cell, ms, err := runCellSink(e, b, procs)
+		if err != nil {
+			return nil, err
+		}
+		caps[ci] = newCapture(ms, cell)
+		for ni, network := range networks {
+			cell, ok := deriveStatic(caps[ci], network)
+			if !ok {
+				if cell, err = real(c, network); err != nil {
+					return nil, err
+				}
+			}
+			out[ni*m+ci] = cell
+		}
+	}
+
+	// Adaptive columns: quiet targets from the homeless twin's capture
+	// (sharing the twin column's memoized derivations when the grid has
+	// one), contended targets from one real adaptive run on the
+	// contended base. The gate verdicts come from central-barrier
+	// episodes only, so tree-fabric adaptive columns run for real.
+	for ci, c := range configs {
+		if c.Protocol != "adaptive" {
+			continue
+		}
+		var twin *capture
+		if c.Barrier != "tree" {
+			for tj, t := range configs {
+				if t.Protocol == "homeless" && caps[tj] != nil &&
+					t.Unit == c.Unit && t.Dynamic == c.Dynamic &&
+					t.Placement == c.Placement && t.Scale == c.Scale &&
+					t.Barrier == c.Barrier && t.BarrierRadix == c.BarrierRadix {
+					twin = caps[tj]
+					break
+				}
+			}
+			if twin == nil {
+				b := c
+				b.Protocol, b.Network = "homeless", deriveBaseNetwork
+				cell, ms, err := runCellSink(e, b, procs)
+				if err != nil {
+					return nil, err
+				}
+				twin = newCapture(ms, cell)
+			}
+		}
+		var bus *capture
+		for ni, network := range networks {
+			var cell Cell
+			ok := false
+			if twin != nil {
+				cell, ok = adaptiveQuiet(twin, network)
+			}
+			if !ok && twin != nil {
+				if bus == nil {
+					b := c
+					b.Network = deriveContendedBase
+					bc, ms, err := runCellSink(e, b, procs)
+					if err != nil {
+						return nil, err
+					}
+					bus = newCapture(ms, bc)
+				}
+				cell, ok = adaptiveContended(bus, network)
+			}
+			if !ok {
+				var err error
+				if cell, err = real(c, network); err != nil {
+					return nil, err
+				}
+			}
+			out[ni*m+ci] = cell
+		}
+	}
+	return out, nil
+}

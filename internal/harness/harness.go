@@ -113,6 +113,13 @@ type Cell struct {
 	RehomeBytes  int
 	HandoffBytes int
 	Stats        *instrument.Stats
+	// Derived marks a cell whose totals were priced by replaying
+	// another cell's captured trace through this cell's network model
+	// instead of executing the engine (see derive.go). Message and byte
+	// totals are exact; Time and Queue re-create the recorded pricing
+	// order, which on contended models can differ from a fresh run by
+	// the same sub-percent wobble two real runs show.
+	Derived bool
 }
 
 // Run executes one experiment under one configuration with verification.
@@ -512,8 +519,11 @@ func networkCellConfigs() []Config {
 
 // RunNetworkComparison runs each experiment under every named network
 // model (nil/empty = all registered models, sorted) at the cells of
-// networkCellConfigs. Every cell is verified against the sequential
-// reference.
+// networkCellConfigs. For replay-safe applications only the base cells
+// execute the engine — the other interconnects' cells are derived by
+// re-pricing the captured streams (see derive.go); schedule-sensitive
+// applications run every cell for real. SetNetworkDerivation(false)
+// forces every cell through the engine.
 func RunNetworkComparison(es []Experiment, procs int, networks []string) ([]NetworkComparison, error) {
 	if len(networks) == 0 {
 		networks = netmodel.Names()
@@ -525,11 +535,26 @@ func RunNetworkComparison(es []Experiment, procs int, networks []string) ([]Netw
 				network, strings.Join(netmodel.Names(), ", "))
 		}
 	}
-	// Flatten the experiments × networks × configurations grid onto
-	// the sweep pool, then reassemble rows in grid order.
+	// Flatten the grid onto the sweep pool — one derivation task per
+	// replay-safe experiment (it yields the whole networks × configs
+	// block), per-cell tasks for the rest — then reassemble rows in
+	// grid order.
 	configs := networkCellConfigs()
+	derive := make([]bool, len(es))
 	var tasks []sweep.Task
-	for _, e := range es {
+	for ei, e := range es {
+		if netDerivation.Load() && apps.ReplaySafe(e.App) {
+			derive[ei] = true
+			e := e
+			tasks = append(tasks, sweep.Task{
+				Key: fmt.Sprintf("derived|%s|%s|p%d|%s",
+					e.App, e.Dataset, procs, strings.Join(networks, ",")),
+				Do: func(context.Context) (any, error) {
+					return deriveNetworkCells(e, procs, networks, configs)
+				},
+			})
+			continue
+		}
 		for _, network := range networks {
 			for _, c := range configs {
 				c.Network = network
@@ -539,21 +564,35 @@ func RunNetworkComparison(es []Experiment, procs int, networks []string) ([]Netw
 			}
 		}
 	}
-	cells, err := sweepPool.Run(context.Background(), tasks)
+	results, err := sweepPool.Run(context.Background(), tasks)
 	if err != nil {
 		return nil, err
 	}
 	var out []NetworkComparison
 	next := 0
-	for _, e := range es {
+	for ei, e := range es {
+		var cells []Cell
+		if derive[ei] {
+			cells = results[next].([]Cell)
+			next++
+		} else {
+			cells = make([]Cell, 0, len(networks)*len(configs))
+			for range networks {
+				for range configs {
+					cells = append(cells, results[next].(Cell))
+					next++
+				}
+			}
+		}
 		nc := NetworkComparison{App: e.App, Dataset: e.Dataset}
+		idx := 0
 		for _, network := range networks {
 			row := NetworkRow{Network: network}
 			for _, c := range configs {
 				row.Cells = append(row.Cells, NetworkCell{
-					Protocol: c.Protocol, Config: c.Label, Cell: cells[next].(Cell),
+					Protocol: c.Protocol, Config: c.Label, Cell: cells[idx],
 				})
-				next++
+				idx++
 			}
 			nc.Rows = append(nc.Rows, row)
 		}
@@ -912,17 +951,55 @@ func RunScaling(e Experiment, protocols, networks []string, sizes []int, modes [
 		cell Cell
 		wall time.Duration
 	}
+	// taskRef locates one (proto, network, mode, size) point in the
+	// task results: derived rows bundle a whole network axis into one
+	// task (inner selects the network), real cells stand alone.
+	type taskRef struct{ task, inner int }
+	refs := make([]taskRef, len(protocols)*len(networks)*len(modes)*len(sizes))
+	idx := func(pi, ni, mi, si int) int {
+		return ((pi*len(networks)+ni)*len(modes)+mi)*len(sizes) + si
+	}
+	deriving := ScalingDerivation() && apps.ReplaySafe(e.App)
 	var tasks []sweep.Task
-	for _, proto := range protocols {
-		for _, network := range networks {
-			for _, mode := range modes {
-				for _, procs := range sizes {
-					c := Config{
-						Label: "4K", Unit: 1,
-						Protocol: proto, Network: network,
-						Scale: mode.Scale, Barrier: mode.Barrier, BarrierRadix: mode.Radix,
+	for pi, proto := range protocols {
+		for mi, mode := range modes {
+			for si, procs := range sizes {
+				c := Config{
+					Label: "4K", Unit: 1,
+					Protocol: proto,
+					Scale:    mode.Scale, Barrier: mode.Barrier, BarrierRadix: mode.Radix,
+				}
+				if deriving && proto != "adaptive" {
+					// One traced engine run covers this row's whole
+					// network axis; replay prices the rest.
+					proto, mode, procs, c := proto, mode, procs, c
+					ti := len(tasks)
+					tasks = append(tasks, sweep.Task{
+						Key: fmt.Sprintf("scaling-derived|%s|%s|p%d|%s|%s|%s",
+							e.App, e.Dataset, procs, proto, mode.Name, strings.Join(networks, ",")),
+						Do: func(context.Context) (any, error) {
+							cells, walls, err := deriveScalingGroup(e, c, networks, procs)
+							if err != nil {
+								return nil, fmt.Errorf("scaling %s/%s n=%d: %w",
+									proto, mode.Name, procs, err)
+							}
+							row := make([]timed, len(cells))
+							for i := range cells {
+								row[i] = timed{cell: cells[i], wall: walls[i]}
+							}
+							return row, nil
+						},
+					})
+					for ni := range networks {
+						refs[idx(pi, ni, mi, si)] = taskRef{task: ti, inner: ni}
 					}
+					continue
+				}
+				for ni, network := range networks {
+					c := c
+					c.Network = network
 					proto, network, mode, procs := proto, network, mode, procs
+					ti := len(tasks)
 					tasks = append(tasks, sweep.Task{
 						Key: cellKey(e.App, e.Dataset, c, procs, false),
 						Do: func(context.Context) (any, error) {
@@ -943,6 +1020,7 @@ func RunScaling(e Experiment, protocols, networks []string, sizes []int, modes [
 							return timed{cell: cell, wall: time.Since(start)}, nil
 						},
 					})
+					refs[idx(pi, ni, mi, si)] = taskRef{task: ti, inner: -1}
 				}
 			}
 		}
@@ -952,17 +1030,21 @@ func RunScaling(e Experiment, protocols, networks []string, sizes []int, modes [
 		return nil, err
 	}
 	var out []ScalingCurve
-	next := 0
-	for _, proto := range protocols {
-		for _, network := range networks {
-			for _, mode := range modes {
+	for pi, proto := range protocols {
+		for ni, network := range networks {
+			for mi, mode := range modes {
 				curve := ScalingCurve{
 					App: e.App, Dataset: e.Dataset,
 					Protocol: proto, Network: network, Mode: mode,
 				}
-				for _, procs := range sizes {
-					r := results[next].(timed)
-					next++
+				for si, procs := range sizes {
+					ref := refs[idx(pi, ni, mi, si)]
+					var r timed
+					if ref.inner >= 0 {
+						r = results[ref.task].([]timed)[ref.inner]
+					} else {
+						r = results[ref.task].(timed)
+					}
 					curve.Points = append(curve.Points, ScalingPoint{
 						Procs: procs, Wall: r.wall, Cell: r.cell,
 					})

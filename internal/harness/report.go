@@ -166,6 +166,9 @@ type NetworkCellJSON struct {
 	// SwitchedUnits counts the units the adaptive protocol switched
 	// engine for (omitted under static protocols).
 	SwitchedUnits int `json:"switched_units,omitempty"`
+	// Derived marks a cell priced by trace replay instead of an engine
+	// run (see Cell.Derived).
+	Derived bool `json:"derived,omitempty"`
 }
 
 // NetworkRowJSON is one network model's cells of a comparison.
@@ -241,6 +244,7 @@ func NetworkComparisonReport(nc NetworkComparison) NetworkComparisonJSON {
 				Messages:      c.Cell.Msgs,
 				Bytes:         c.Cell.Bytes,
 				SwitchedUnits: c.Cell.SwitchedUnits,
+				Derived:       c.Cell.Derived,
 			})
 		}
 		out.Rows = append(out.Rows, rj)
@@ -268,16 +272,21 @@ type Table1RowJSON struct {
 // TrialsJSON is a multi-trial run of one workload under one
 // configuration: per-trial results plus the min/mean/max aggregate.
 type TrialsJSON struct {
-	App              string       `json:"app"`
-	Dataset          string       `json:"dataset"`
-	Paper            string       `json:"paper,omitempty"`
-	Config           string       `json:"config"`
-	Protocol         string       `json:"protocol"`
-	Network          string       `json:"network"`
-	Placement        string       `json:"placement"`
-	Procs            int          `json:"procs"`
-	UnitPages        int          `json:"unit_pages"`
-	Dynamic          bool         `json:"dynamic"`
+	App       string `json:"app"`
+	Dataset   string `json:"dataset"`
+	Paper     string `json:"paper,omitempty"`
+	Config    string `json:"config"`
+	Protocol  string `json:"protocol"`
+	Network   string `json:"network"`
+	Placement string `json:"placement"`
+	Procs     int    `json:"procs"`
+	UnitPages int    `json:"unit_pages"`
+	Dynamic   bool   `json:"dynamic"`
+	// Derived marks a report whose totals were re-priced from another
+	// network's stored capture by trace replay (expsvc derived serving)
+	// instead of an engine execution. Message and byte totals are exact;
+	// time and queue re-create the recorded pricing order.
+	Derived          bool         `json:"derived,omitempty"`
 	Trials           []ResultJSON `json:"trials"`
 	MinTimeSeconds   float64      `json:"min_time_seconds"`
 	MeanTimeSeconds  float64      `json:"mean_time_seconds"`

@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Twin is the pristine copy of a page taken on the first write in an
 // interval, used later to encode the diff (the record of modifications).
@@ -113,22 +116,11 @@ func EncodeDiffInto(s *DiffScratch, twin Twin, page []byte) Diff {
 }
 
 func wordAt(b []byte, w int) uint64 {
-	off := w << WordShift
-	return uint64(b[off]) | uint64(b[off+1])<<8 | uint64(b[off+2])<<16 |
-		uint64(b[off+3])<<24 | uint64(b[off+4])<<32 | uint64(b[off+5])<<40 |
-		uint64(b[off+6])<<48 | uint64(b[off+7])<<56
+	return binary.LittleEndian.Uint64(b[w<<WordShift:])
 }
 
 func putWordAt(b []byte, w int, v uint64) {
-	off := w << WordShift
-	b[off] = byte(v)
-	b[off+1] = byte(v >> 8)
-	b[off+2] = byte(v >> 16)
-	b[off+3] = byte(v >> 24)
-	b[off+4] = byte(v >> 32)
-	b[off+5] = byte(v >> 40)
-	b[off+6] = byte(v >> 48)
-	b[off+7] = byte(v >> 56)
+	binary.LittleEndian.PutUint64(b[w<<WordShift:], v)
 }
 
 // Empty reports whether the diff records no modifications.

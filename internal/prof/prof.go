@@ -1,0 +1,51 @@
+// Package prof wires the standard runtime/pprof collectors into the
+// CLIs: -cpuprofile starts CPU sampling for the whole process lifetime,
+// -memprofile writes an allocation profile at exit. One shared helper so
+// dsmbench and dsmrun expose identical, boringly standard flags — the
+// before/after numbers behind any performance claim in this repo must be
+// reproducible with stock `go tool pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (empty = off) and returns a
+// stop function that ends CPU sampling and writes the allocation profile
+// to memPath (empty = off). Callers must invoke stop on every exit path
+// that should produce profiles (a plain defer in main covers os.Exit-free
+// paths; CLIs that os.Exit early call it explicitly first).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: write heap profile:", err)
+			}
+		}
+	}, nil
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps"
 	_ "repro/internal/apps/all"
 	"repro/internal/tmk"
+	"repro/internal/trace"
 )
 
 // trialMallocs runs one trial on an already-warm system and returns
@@ -59,5 +60,47 @@ func TestAllocBudgetSteadyStateRun(t *testing.T) {
 	const budget = 700
 	if best > budget {
 		t.Errorf("steady-state homeless jacobi trial: %d mallocs, budget %d", best, budget)
+	}
+}
+
+// TestAllocBudgetCaptureRun pins the same steady-state budget with
+// MemSink capture on — the configuration every derived-sweep base cell
+// runs under. A reused sink's Reset keeps its column capacity, so
+// capture must add locking, not allocation: the budget is the plain
+// run's 700 plus slack for the forced pricing-lock path, nowhere near
+// the ~100k events a trial captures.
+func TestAllocBudgetCaptureRun(t *testing.T) {
+	e, ok := apps.Lookup("jacobi", "small")
+	if !ok {
+		t.Fatal("jacobi/small is not registered")
+	}
+	w := e.Make(8)
+	ms := trace.NewMemSink()
+	sys, err := apps.NewSystem(w, tmk.Config{Procs: 8, UnitPages: 1, Protocol: "homeless", Sink: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trial := func() uint64 {
+		ms.Reset()
+		return trialMallocs(sys, w.Body)
+	}
+	trial() // cold: sizes engine scratch and sink columns
+	trial() // settle free lists
+
+	best := trial()
+	for i := 0; i < 2; i++ {
+		if m := trial(); m < best {
+			best = m
+		}
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Ended() || ms.Len() == 0 {
+		t.Fatalf("capture incomplete: ended %v, %d events", ms.Ended(), ms.Len())
+	}
+	const budget = 800
+	if best > budget {
+		t.Errorf("steady-state captured jacobi trial: %d mallocs, budget %d", best, budget)
 	}
 }

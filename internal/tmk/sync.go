@@ -441,6 +441,9 @@ func (p *Proc) Lock(l int) {
 	// Control legs are priced payload-free: the 16 header bytes fold
 	// into the fixed leg cost (SendControl), as in the pre-netmodel
 	// engine's arithmetic.
+	if trc := p.sys.trc; trc != nil {
+		trc.LockRequest(p.id, lk.id, p.clock.Now())
+	}
 	_, t := net.SendControl(simnet.LockRequest, p.id, lk.manager, 16, p.clock.Now())
 	reqArrival := p.clock.Now() + t.Total
 	if lk.holder != lk.manager || lk.held {

@@ -120,6 +120,12 @@ type Config struct {
 	// Tracing forces the network's send paths through the pricing lock,
 	// so leave it nil on performance-measurement runs.
 	Trace *trace.Writer
+	// Sink, when non-nil, captures every Run into an in-memory event
+	// buffer (or any other trace.Sink) instead of a JSONL stream — the
+	// cheap capture path behind replay-derived sweep cells. The sink's
+	// Begin/RunEnd bracket each Run. May be combined with Trace: both
+	// then observe the same stream (the run is teed).
+	Sink trace.Sink
 }
 
 func (c *Config) fill() error {
@@ -309,10 +315,11 @@ type System struct {
 	// blocked, so reads after Run are race-free.
 	barrierLog []vc.Time
 
-	// trc is the active Run's trace emitter (nil when not tracing). Set
+	// trc is the active Run's trace sink (nil when not tracing): a
+	// Writer-backed *trace.Run or the Config's in-memory Sink. Set
 	// before the processor goroutines start and cleared after they join,
 	// so processor-side reads are race-free; hot paths pay one nil check.
-	trc *trace.Run
+	trc trace.Sink
 }
 
 // NewSystem builds a DSM instance. The shared segment starts zeroed and
@@ -600,17 +607,30 @@ func (s *System) Run(body func(p *Proc)) *Result {
 	if s.ran {
 		s.Reset()
 	}
-	if s.cfg.Trace != nil {
+	if s.cfg.Trace != nil || s.cfg.Sink != nil {
 		cost := s.cost
-		s.trc = s.cfg.Trace.BeginRun(trace.RunMeta{
-			Protocol:  s.cfg.Protocol,
-			Network:   s.net.Model().Name(),
-			Placement: s.cfg.Placement,
-			Procs:     s.cfg.Procs,
-			UnitPages: s.cfg.UnitPages,
-			Dynamic:   s.cfg.Dynamic,
-			Cost:      &cost,
-		})
+		meta := trace.RunMeta{
+			Protocol:     s.cfg.Protocol,
+			Network:      s.net.Model().Name(),
+			Placement:    s.cfg.Placement,
+			Procs:        s.cfg.Procs,
+			UnitPages:    s.cfg.UnitPages,
+			Dynamic:      s.cfg.Dynamic,
+			Barrier:      s.cfg.Barrier,
+			BarrierRadix: s.cfg.BarrierRadix,
+			Cost:         &cost,
+		}
+		switch {
+		case s.cfg.Trace != nil && s.cfg.Sink != nil:
+			run := s.cfg.Trace.BeginRun(meta)
+			s.cfg.Sink.Begin(meta)
+			s.trc = trace.Tee(run, s.cfg.Sink)
+		case s.cfg.Trace != nil:
+			s.trc = s.cfg.Trace.BeginRun(meta)
+		default:
+			s.cfg.Sink.Begin(meta)
+			s.trc = s.cfg.Sink
+		}
 		s.net.SetTraceSink(s.trc)
 	}
 	s.running = true
@@ -650,7 +670,7 @@ func (s *System) Run(body func(p *Proc)) *Result {
 		res.Stats = s.col.Finalize(s.net.Snapshot())
 	}
 	if s.trc != nil {
-		s.trc.End(res.Time, int64(res.Messages), int64(res.Bytes), res.QueueDelay)
+		s.trc.RunEnd(res.Time, int64(res.Messages), int64(res.Bytes), res.QueueDelay, res.ProcTimes)
 		s.net.SetTraceSink(nil)
 		s.trc = nil
 	}

@@ -1,0 +1,526 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Derived is the outcome of re-pricing a captured run's event stream
+// through another interconnect: the totals the engine would have
+// produced on that network without re-executing the application.
+//
+// Soundness rests on network invariance of the message sequence: the
+// engine's wire behavior is a function of the program's sharing
+// pattern, not of message prices, for every app whose control flow does
+// not read the virtual clock (branch-and-bound TSP does, via
+// lock-order-dependent pruning — see the replay-safety classification
+// in internal/apps). For invariant apps the derived message and byte
+// totals are exact; Time and Queue re-create one valid pricing order
+// (the recorded one), so on contended models they can drift from a real
+// target-network run by sub-percent pricing-order effects (the same
+// departers-race that makes two real runs differ). Derive additionally
+// self-checks: the base-model half of the walk must reproduce the
+// recorded totals and every reconstructed barrier release, tree wave
+// and lock grant time bit-identically, or it returns an error and the
+// caller falls back to a real run.
+type Derived struct {
+	// Network is the model the derivation priced through.
+	Network string
+	// Time is the derived simulated completion time: every processor's
+	// recorded final clock shifted by its accumulated pricing offset.
+	Time sim.Duration
+	Totals
+	// Gate and BaseGate record, per completed barrier episode, whether
+	// the adaptive protocol's contention gate (mean queue delay per
+	// message ≥ MessageLeg/16) was open at that episode's completion
+	// point under the target and base pricing respectively. The harness
+	// uses them to decide when an adaptive cell may be derived: if the
+	// verdict sequence matches the base run's, the adaptive policy would
+	// have made identical switch decisions on the target network.
+	Gate     []bool
+	BaseGate []bool
+}
+
+// derivation is the walk state for one Derive call.
+type derivation struct {
+	ms     *MemSink
+	n      int
+	cost   sim.CostModel
+	base   netmodel.Model
+	target netmodel.Model
+	tree   bool
+	radix  int
+
+	// delta[p]: target-minus-base offset of processor p's virtual clock
+	// at the current stream position.
+	delta []sim.Duration
+
+	// Base/target running totals. Message and byte counts are shared —
+	// re-pricing never changes what was sent.
+	msgs         int64
+	bytes        int64
+	baseQ, targQ sim.Duration
+
+	// Pending same-clock exchange fan-out per processor: the engine
+	// prices a fault's per-peer exchanges all at one clock and then
+	// advances by the slowest, so the offset update is max-target minus
+	// max-base over the group, applied lazily at the next event that
+	// touches the processor's clock.
+	pendOpen           []bool
+	pendAt             []sim.Duration
+	pendBase, pendTarg []sim.Duration
+
+	// Central-barrier episode reconstruction.
+	arriveEp, releaseEp []int
+	eps                 map[int]*centralEpisode
+	gate, baseGate      []bool
+
+	// Tree-barrier episode reconstruction (episodes are serialized by
+	// construction, so plain arrays suffice).
+	nkids              []int
+	cmplBase, cmplTarg []sim.Duration
+	grantBase, grantTg []sim.Duration
+	waveLegs           int
+
+	// Lock grant reconstruction.
+	pendLock           []int32
+	reqBase, reqTarg   []sim.Duration
+	lastRelB, lastRelT map[int]sim.Duration
+}
+
+type centralEpisode struct {
+	arrived, released  int
+	basePost, targPost sim.Duration
+	baseRel, targRel   sim.Duration
+}
+
+// Derive re-prices the captured run through the named interconnect and
+// reconstructs its totals there. The capture must be complete (RunEnd
+// seen). An error means the stream could not be soundly re-priced —
+// base-model reconstruction failed to reproduce the recorded run
+// bit-identically — and the caller must fall back to a real engine run.
+func (ms *MemSink) Derive(network string) (*Derived, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if !ms.ended {
+		return nil, fmt.Errorf("trace: derive on an unfinished capture")
+	}
+	meta := ms.meta
+	if meta.Procs <= 0 {
+		return nil, fmt.Errorf("trace: derive needs procs in run meta (got %d)", meta.Procs)
+	}
+	cost := sim.DefaultCostModel()
+	if meta.Cost != nil {
+		cost = *meta.Cost
+	}
+	base, err := netmodel.New(meta.Network, cost)
+	if err != nil {
+		return nil, err
+	}
+	target, err := netmodel.New(network, cost)
+	if err != nil {
+		return nil, err
+	}
+	n := meta.Procs
+	d := &derivation{
+		ms: ms, n: n, cost: cost, base: base, target: target,
+		tree:  meta.Barrier == "tree",
+		radix: meta.BarrierRadix,
+
+		delta:    make([]sim.Duration, n),
+		pendOpen: make([]bool, n),
+		pendAt:   make([]sim.Duration, n),
+		pendBase: make([]sim.Duration, n),
+		pendTarg: make([]sim.Duration, n),
+
+		arriveEp:  make([]int, n),
+		releaseEp: make([]int, n),
+		eps:       make(map[int]*centralEpisode),
+
+		pendLock: make([]int32, n),
+		reqBase:  make([]sim.Duration, n),
+		reqTarg:  make([]sim.Duration, n),
+		lastRelB: make(map[int]sim.Duration),
+		lastRelT: make(map[int]sim.Duration),
+	}
+	for i := range d.pendLock {
+		d.pendLock[i] = -1
+	}
+	if d.tree {
+		if d.radix < 2 {
+			return nil, fmt.Errorf("trace: tree-barrier capture without radix in run meta")
+		}
+		d.nkids = make([]int, n)
+		for i := 0; i < n; i++ {
+			lo, hi := d.radix*i+1, d.radix*i+1+d.radix
+			if lo > n {
+				lo = n
+			}
+			if hi > n {
+				hi = n
+			}
+			d.nkids[i] = hi - lo
+		}
+		d.cmplBase = make([]sim.Duration, n)
+		d.cmplTarg = make([]sim.Duration, n)
+		d.grantBase = make([]sim.Duration, n)
+		d.grantTg = make([]sim.Duration, n)
+	}
+	if err := d.walk(); err != nil {
+		return nil, err
+	}
+	for p := 0; p < n; p++ {
+		d.flush(p)
+	}
+
+	// Base-model integrity: the walk's base half must have rebuilt the
+	// recorded run bit-identically, or the stream is not derivable.
+	if d.msgs != ms.msgs || d.bytes != ms.bytes || d.baseQ != ms.queue {
+		return nil, fmt.Errorf("trace: base replay mismatch (msgs %d/%d bytes %d/%d queue %d/%d)",
+			d.msgs, ms.msgs, d.bytes, ms.bytes, d.baseQ, ms.queue)
+	}
+	if len(ms.clocks) != n {
+		return nil, fmt.Errorf("trace: capture has %d final clocks, want %d", len(ms.clocks), n)
+	}
+	var baseTime, targTime sim.Duration
+	for p := 0; p < n; p++ {
+		baseTime = sim.MaxClock(baseTime, ms.clocks[p])
+		targTime = sim.MaxClock(targTime, ms.clocks[p]+d.delta[p])
+	}
+	if baseTime != ms.time {
+		return nil, fmt.Errorf("trace: final clocks disagree with recorded time (%d vs %d)", baseTime, ms.time)
+	}
+	return &Derived{
+		Network:  target.Name(),
+		Time:     targTime,
+		Totals:   Totals{Msgs: d.msgs, Bytes: d.bytes, Queue: d.targQ},
+		Gate:     d.gate,
+		BaseGate: d.baseGate,
+	}, nil
+}
+
+// flush applies a processor's pending exchange-group offset.
+func (d *derivation) flush(p int) {
+	if d.pendOpen[p] {
+		d.delta[p] += d.pendTarg[p] - d.pendBase[p]
+		d.pendOpen[p] = false
+	}
+}
+
+func (d *derivation) walk() error {
+	ms := d.ms
+	for i := range ms.op {
+		src, dst := int(ms.a[i]), int(ms.b[i])
+		nb, rb := int(ms.nb[i]), int(ms.rb[i])
+		at := sim.Duration(ms.at[i])
+		switch ms.op[i] {
+		case opExchange:
+			if src < 0 || src >= d.n {
+				return fmt.Errorf("trace: exchange src %d out of range", src)
+			}
+			if !d.pendOpen[src] || d.pendAt[src] != at {
+				d.flush(src)
+				d.pendOpen[src] = true
+				d.pendAt[src] = at
+				d.pendBase[src], d.pendTarg[src] = 0, 0
+			}
+			bt := d.base.Exchange(src, dst, nb, rb, at)
+			tt := d.target.Exchange(src, dst, nb, rb, at+d.delta[src])
+			if c := bt.Total(); c > d.pendBase[src] {
+				d.pendBase[src] = c
+			}
+			if c := tt.Total(); c > d.pendTarg[src] {
+				d.pendTarg[src] = c
+			}
+			d.msgs += 2
+			d.bytes += int64(nb) + int64(rb)
+			d.baseQ += bt.Request.Queue + bt.Reply.Queue
+			d.targQ += tt.Request.Queue + tt.Reply.Queue
+
+		case opLeg:
+			if err := d.leg(simnet.MsgKind(ms.kind[i]), src, dst, nb, at); err != nil {
+				return err
+			}
+
+		case opControl:
+			if err := d.control(simnet.MsgKind(ms.kind[i]), src, dst, nb, at); err != nil {
+				return err
+			}
+
+		case opBarrierEnter:
+			if d.tree {
+				p := src
+				d.flush(p)
+				d.cmplBase[p] = sim.MaxClock(d.cmplBase[p], at)
+				d.cmplTarg[p] = sim.MaxClock(d.cmplTarg[p], at+d.delta[p])
+			}
+
+		case opLockRequest:
+			d.pendLock[src] = ms.b[i]
+
+		case opLockRelease:
+			p, l := src, dst
+			d.flush(p)
+			d.lastRelB[l] = at
+			d.lastRelT[l] = at + d.delta[p]
+		}
+	}
+	return nil
+}
+
+// priceLeg prices one leg through both models and accumulates totals.
+func (d *derivation) priceLeg(src, dst, bytes int, baseAt, targAt sim.Duration, ctl bool) (bt, tt netmodel.Timing) {
+	wire := bytes
+	if ctl {
+		// Control legs are priced payload-free; their wire bytes still
+		// count toward the byte totals (simnet.SendControl).
+		bytes = 0
+	}
+	bt = d.base.Leg(src, dst, bytes, baseAt)
+	tt = d.target.Leg(src, dst, bytes, targAt)
+	d.msgs++
+	d.bytes += int64(wire)
+	d.baseQ += bt.Queue
+	d.targQ += tt.Queue
+	return bt, tt
+}
+
+func (d *derivation) leg(kind simnet.MsgKind, src, dst, bytes int, at sim.Duration) error {
+	switch kind {
+	case simnet.BarrierArrive:
+		if d.tree {
+			return d.treeArrive(src, dst, bytes, at)
+		}
+		return d.centralArrive(src, dst, bytes, at)
+	case simnet.BarrierRelease:
+		if d.tree {
+			return d.treeWave(src, dst, bytes, at)
+		}
+		return d.centralRelease(src, dst, bytes, at)
+	case simnet.LockGrant:
+		return d.lockGrant(src, dst, bytes, at)
+	case simnet.HomeFlush:
+		// Fire-and-forget release flush: the sender prices at its clock
+		// and advances by the leg's cost.
+		if src < 0 || src >= d.n {
+			return fmt.Errorf("trace: %v leg src %d out of range", kind, src)
+		}
+		d.flush(src)
+		bt, tt := d.priceLeg(src, dst, bytes, at, at+d.delta[src], false)
+		d.delta[src] += tt.Total - bt.Total
+		return nil
+	default:
+		return fmt.Errorf("trace: cannot derive leg kind %v", kind)
+	}
+}
+
+func (d *derivation) control(kind simnet.MsgKind, src, dst, bytes int, at sim.Duration) error {
+	switch kind {
+	case simnet.LockRequest:
+		if src < 0 || src >= d.n {
+			return fmt.Errorf("trace: lock request src %d out of range", src)
+		}
+		d.flush(src)
+		bt, tt := d.priceLeg(src, dst, bytes, at, at+d.delta[src], true)
+		// The requester blocks: the request's arrival feeds the grant
+		// time, the requester's own clock resumes at the grant.
+		d.reqBase[src] = at + bt.Total
+		d.reqTarg[src] = at + d.delta[src] + tt.Total
+		return nil
+	case simnet.LockForward:
+		// The manager forwards to the holder at the request's arrival;
+		// find the requester whose pending arrival matches.
+		req := -1
+		for p := 0; p < d.n; p++ {
+			if d.pendLock[p] >= 0 && d.reqBase[p] == at {
+				if req >= 0 {
+					return fmt.Errorf("trace: ambiguous lock forward at %d", at)
+				}
+				req = p
+			}
+		}
+		if req < 0 {
+			return fmt.Errorf("trace: lock forward at %d matches no pending request", at)
+		}
+		bt, tt := d.priceLeg(src, dst, bytes, at, d.reqTarg[req], true)
+		d.reqBase[req] += bt.Total
+		d.reqTarg[req] += tt.Total
+		return nil
+	default:
+		return fmt.Errorf("trace: cannot derive control kind %v", kind)
+	}
+}
+
+func (d *derivation) lockGrant(src, dst, bytes int, at sim.Duration) error {
+	p := dst
+	if p < 0 || p >= d.n {
+		return fmt.Errorf("trace: lock grant dst %d out of range", p)
+	}
+	l := int(d.pendLock[p])
+	if l < 0 {
+		return fmt.Errorf("trace: lock grant to %d without a pending request", p)
+	}
+	grantB := sim.Meet(d.reqBase[p], d.lastRelB[l]) + d.cost.LockService
+	grantT := sim.Meet(d.reqTarg[p], d.lastRelT[l]) + d.cost.LockService
+	if grantB != at {
+		return fmt.Errorf("trace: reconstructed lock grant %d != recorded %d", grantB, at)
+	}
+	bt, tt := d.priceLeg(src, p, bytes, at, grantT, false)
+	d.flush(p)
+	d.delta[p] = (grantT + tt.Total) - (at + bt.Total)
+	d.pendLock[p] = -1
+	return nil
+}
+
+func (d *derivation) centralArrive(src, dst, bytes int, at sim.Duration) error {
+	p := src
+	if p < 0 || p >= d.n {
+		return fmt.Errorf("trace: barrier arrive src %d out of range", p)
+	}
+	d.flush(p)
+	bt, tt := d.priceLeg(p, dst, bytes, at, at+d.delta[p], false)
+	d.arriveEp[p]++
+	ep := d.arriveEp[p]
+	st := d.eps[ep]
+	if st == nil {
+		st = &centralEpisode{}
+		d.eps[ep] = st
+	}
+	st.basePost = sim.MaxClock(st.basePost, at+bt.Total)
+	st.targPost = sim.MaxClock(st.targPost, at+d.delta[p]+tt.Total)
+	st.arrived++
+	if st.arrived == d.n {
+		fixed := d.cost.BarrierManager + sim.Duration(d.n)*d.cost.RequestService
+		st.baseRel = st.basePost + fixed
+		st.targRel = st.targPost + fixed
+		// The adaptive policy's contention gate is evaluated exactly
+		// here: after the last arrival is priced, before any release.
+		gate := d.cost.MessageLeg / 16
+		d.baseGate = append(d.baseGate, d.msgs > 0 && d.baseQ >= gate*sim.Duration(d.msgs))
+		d.gate = append(d.gate, d.msgs > 0 && d.targQ >= gate*sim.Duration(d.msgs))
+	}
+	return nil
+}
+
+func (d *derivation) centralRelease(src, dst, bytes int, at sim.Duration) error {
+	p := dst
+	if p < 0 || p >= d.n {
+		return fmt.Errorf("trace: barrier release dst %d out of range", p)
+	}
+	d.releaseEp[p]++
+	st := d.eps[d.releaseEp[p]]
+	if st == nil || st.arrived != d.n {
+		return fmt.Errorf("trace: barrier release for incomplete episode %d", d.releaseEp[p])
+	}
+	if st.baseRel != at {
+		return fmt.Errorf("trace: reconstructed barrier release %d != recorded %d", st.baseRel, at)
+	}
+	bt, tt := d.priceLeg(src, p, bytes, at, st.targRel, false)
+	d.flush(p)
+	d.delta[p] = (st.targRel + tt.Total) - (at + bt.Total)
+	st.released++
+	if st.released == d.n {
+		delete(d.eps, d.releaseEp[p])
+	}
+	return nil
+}
+
+func (d *derivation) treeArrive(src, dst, bytes int, at sim.Duration) error {
+	node := src
+	if node <= 0 || node >= d.n {
+		return fmt.Errorf("trace: tree arrive src %d out of range", node)
+	}
+	doneB := d.cmplBase[node] + sim.Duration(d.nkids[node])*d.cost.RequestService
+	doneT := d.cmplTarg[node] + sim.Duration(d.nkids[node])*d.cost.RequestService
+	if doneB != at {
+		return fmt.Errorf("trace: reconstructed tree arrival %d != recorded %d", doneB, at)
+	}
+	bt, tt := d.priceLeg(node, dst, bytes, at, doneT, false)
+	d.cmplBase[dst] = sim.MaxClock(d.cmplBase[dst], doneB+bt.Total)
+	d.cmplTarg[dst] = sim.MaxClock(d.cmplTarg[dst], doneT+tt.Total)
+	return nil
+}
+
+func (d *derivation) treeWave(src, dst, bytes int, at sim.Duration) error {
+	node, c := src, dst
+	if node < 0 || node >= d.n || c <= 0 || c >= d.n {
+		return fmt.Errorf("trace: tree wave edge %d->%d out of range", node, c)
+	}
+	if d.waveLegs == 0 {
+		// First wave edge: the root's subtree just completed; rebuild
+		// the episode's release origin.
+		rootB := d.cmplBase[0] + sim.Duration(d.nkids[0])*d.cost.RequestService
+		rootT := d.cmplTarg[0] + sim.Duration(d.nkids[0])*d.cost.RequestService
+		d.grantBase[0] = rootB + d.cost.BarrierManager
+		d.grantTg[0] = rootT + d.cost.BarrierManager
+		d.flush(0)
+		d.delta[0] = d.grantTg[0] - d.grantBase[0]
+	}
+	if d.grantBase[node] != at {
+		return fmt.Errorf("trace: reconstructed tree wave %d != recorded %d", d.grantBase[node], at)
+	}
+	bt, tt := d.priceLeg(node, c, bytes, at, d.grantTg[node], false)
+	d.grantBase[c] = d.grantBase[node] + bt.Total
+	d.grantTg[c] = d.grantTg[node] + tt.Total
+	d.flush(c)
+	d.delta[c] = d.grantTg[c] - d.grantBase[c]
+	d.waveLegs++
+	if d.waveLegs == d.n-1 {
+		d.waveLegs = 0
+		for i := 0; i < d.n; i++ {
+			d.cmplBase[i], d.cmplTarg[i] = 0, 0
+		}
+	}
+	return nil
+}
+
+// ReplayEvents re-prices the buffer's message events through the named
+// interconnect and returns the wire totals, without touching clocks —
+// the in-memory equivalent of Replay over a JSONL capture. Same-model
+// replay (network == the capture's own) reproduces the recorded totals
+// bit-identically.
+func ReplayEvents(ms *MemSink, network string) (Totals, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if !ms.ended {
+		return Totals{}, fmt.Errorf("trace: replay on an unfinished capture")
+	}
+	cost := sim.DefaultCostModel()
+	if ms.meta.Cost != nil {
+		cost = *ms.meta.Cost
+	}
+	if network == "" {
+		network = ms.meta.Network
+	}
+	model, err := netmodel.New(network, cost)
+	if err != nil {
+		return Totals{}, err
+	}
+	var t Totals
+	for i := range ms.op {
+		src, dst := int(ms.a[i]), int(ms.b[i])
+		nb, rb := int(ms.nb[i]), int(ms.rb[i])
+		at := sim.Duration(ms.at[i])
+		switch ms.op[i] {
+		case opLeg:
+			lt := model.Leg(src, dst, nb, at)
+			t.Msgs++
+			t.Bytes += int64(nb)
+			t.Queue += lt.Queue
+		case opControl:
+			lt := model.Leg(src, dst, 0, at)
+			t.Msgs++
+			t.Bytes += int64(nb)
+			t.Queue += lt.Queue
+		case opExchange:
+			xt := model.Exchange(src, dst, nb, rb, at)
+			t.Msgs += 2
+			t.Bytes += int64(nb) + int64(rb)
+			t.Queue += xt.Request.Queue + xt.Reply.Queue
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Event opcodes in a MemSink's buffer. One byte discriminates; the
+// generic integer columns are interpreted per opcode (see push sites).
+const (
+	opLeg uint8 = iota
+	opControl
+	opExchange
+	opBarrierEnter
+	opBarrierLeave
+	opLockRequest
+	opLockAcquire
+	opLockRelease
+	opFaultBegin
+	opFaultEnd
+	opSwitch
+	opRehome
+)
+
+// MemSink is the in-memory capture buffer: a struct-of-arrays event log
+// that costs one column append per field inside simnet's pricing lock —
+// no encoding, no per-event allocation once the arrays have grown to
+// the run's working size. Reset keeps the capacity, so a reused sink
+// captures subsequent runs allocation-free (pinned by the alloc-budget
+// suite). JSONL stays the interchange format: EmitJSONL replays the
+// buffer into a Writer bit-identically to a live capture.
+//
+// The buffer is what replay-derivation consumes: Derive re-prices the
+// recorded pricing-operation sequence through another interconnect and
+// reconstructs the run's totals there without re-executing the
+// application (see derive.go).
+type MemSink struct {
+	mu sync.Mutex
+
+	meta   RunMeta
+	began  bool
+	ended  bool
+	time   sim.Duration
+	msgs   int64
+	bytes  int64
+	queue  sim.Duration
+	clocks []sim.Duration
+
+	// Struct-of-arrays event columns, one entry per event. a/b/c are
+	// generic integer operands: src/dst for messages, proc/episode/lock
+	// /page/unit for lifecycle events, from/to for rehomes.
+	op    []uint8
+	kind  []uint8 // simnet.MsgKind (request kind on exchanges)
+	rkind []uint8 // reply kind (exchanges only)
+	a     []int32
+	b     []int32
+	c     []int32
+	nb    []int32 // payload bytes (request bytes on exchanges)
+	rb    []int32 // reply payload bytes (exchanges only)
+	at    []int64 // sender's virtual clock at send / lifecycle clock
+	q     []int64 // recorded queue delay (request leg on exchanges)
+	rq    []int64 // recorded reply-leg queue delay (exchanges only)
+
+	// Interned strings (protocol names on switch events).
+	names   []string
+	nameIdx map[string]int32
+}
+
+// NewMemSink returns an empty capture buffer.
+func NewMemSink() *MemSink {
+	return &MemSink{nameIdx: make(map[string]int32)}
+}
+
+// Reset clears the buffer for the next run, keeping every column's
+// capacity so steady-state reuse allocates nothing.
+func (ms *MemSink) Reset() {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.meta = RunMeta{}
+	ms.began, ms.ended = false, false
+	ms.time, ms.msgs, ms.bytes, ms.queue = 0, 0, 0, 0
+	ms.clocks = ms.clocks[:0]
+	ms.op = ms.op[:0]
+	ms.kind, ms.rkind = ms.kind[:0], ms.rkind[:0]
+	ms.a, ms.b, ms.c = ms.a[:0], ms.b[:0], ms.c[:0]
+	ms.nb, ms.rb = ms.nb[:0], ms.rb[:0]
+	ms.at, ms.q, ms.rq = ms.at[:0], ms.q[:0], ms.rq[:0]
+	ms.names = ms.names[:0]
+	for k := range ms.nameIdx {
+		delete(ms.nameIdx, k)
+	}
+}
+
+// Len returns the number of captured events.
+func (ms *MemSink) Len() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return len(ms.op)
+}
+
+// Meta returns the run identity recorded by Begin.
+func (ms *MemSink) Meta() RunMeta {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.meta
+}
+
+// Ended reports whether RunEnd closed the capture (a complete run).
+func (ms *MemSink) Ended() bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.ended
+}
+
+// Recorded returns the run's recorded simulated time and wire totals.
+func (ms *MemSink) Recorded() (time sim.Duration, t Totals) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.time, Totals{Msgs: ms.msgs, Bytes: ms.bytes, Queue: ms.queue}
+}
+
+func (ms *MemSink) intern(s string) int32 {
+	if i, ok := ms.nameIdx[s]; ok {
+		return i
+	}
+	i := int32(len(ms.names))
+	ms.names = append(ms.names, s)
+	ms.nameIdx[s] = i
+	return i
+}
+
+func (ms *MemSink) push(op, kind, rkind uint8, a, b, c, nb, rb int32, at, q, rq int64) {
+	ms.op = append(ms.op, op)
+	ms.kind = append(ms.kind, kind)
+	ms.rkind = append(ms.rkind, rkind)
+	ms.a = append(ms.a, a)
+	ms.b = append(ms.b, b)
+	ms.c = append(ms.c, c)
+	ms.nb = append(ms.nb, nb)
+	ms.rb = append(ms.rb, rb)
+	ms.at = append(ms.at, at)
+	ms.q = append(ms.q, q)
+	ms.rq = append(ms.rq, rq)
+}
+
+// Begin implements Sink.
+func (ms *MemSink) Begin(meta RunMeta) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.meta = meta
+	ms.began = true
+}
+
+// TraceLeg implements simnet.TraceSink.
+func (ms *MemSink) TraceLeg(kind simnet.MsgKind, src, dst, bytes int, at, queue sim.Duration) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.push(opLeg, uint8(kind), 0, int32(src), int32(dst), 0, int32(bytes), 0, int64(at), int64(queue), 0)
+}
+
+// TraceControl implements simnet.TraceSink.
+func (ms *MemSink) TraceControl(kind simnet.MsgKind, src, dst, bytes int, at, queue sim.Duration) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.push(opControl, uint8(kind), 0, int32(src), int32(dst), 0, int32(bytes), 0, int64(at), int64(queue), 0)
+}
+
+// TraceExchange implements simnet.TraceSink.
+func (ms *MemSink) TraceExchange(reqKind, repKind simnet.MsgKind, src, dst, reqBytes, repBytes int, at sim.Duration, t netmodel.ExchangeTiming) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.push(opExchange, uint8(reqKind), uint8(repKind), int32(src), int32(dst), 0,
+		int32(reqBytes), int32(repBytes), int64(at), int64(t.Request.Queue), int64(t.Reply.Queue))
+}
+
+// BarrierEnter implements Sink.
+func (ms *MemSink) BarrierEnter(p int, at sim.Duration) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.push(opBarrierEnter, 0, 0, int32(p), 0, 0, 0, 0, int64(at), 0, 0)
+}
+
+// BarrierLeave implements Sink.
+func (ms *MemSink) BarrierLeave(p, episode int, at sim.Duration) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.push(opBarrierLeave, 0, 0, int32(p), int32(episode), 0, 0, 0, int64(at), 0, 0)
+}
+
+// LockRequest implements Sink.
+func (ms *MemSink) LockRequest(p, l int, at sim.Duration) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.push(opLockRequest, 0, 0, int32(p), int32(l), 0, 0, 0, int64(at), 0, 0)
+}
+
+// LockAcquire implements Sink.
+func (ms *MemSink) LockAcquire(p, l int, at sim.Duration) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.push(opLockAcquire, 0, 0, int32(p), int32(l), 0, 0, 0, int64(at), 0, 0)
+}
+
+// LockRelease implements Sink.
+func (ms *MemSink) LockRelease(p, l int, at sim.Duration) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.push(opLockRelease, 0, 0, int32(p), int32(l), 0, 0, 0, int64(at), 0, 0)
+}
+
+// FaultBegin implements Sink.
+func (ms *MemSink) FaultBegin(p, page, unit int, at sim.Duration) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.push(opFaultBegin, 0, 0, int32(p), int32(unit), int32(page), 0, 0, int64(at), 0, 0)
+}
+
+// FaultEnd implements Sink.
+func (ms *MemSink) FaultEnd(p, page int, at sim.Duration) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.push(opFaultEnd, 0, 0, int32(p), 0, int32(page), 0, 0, int64(at), 0, 0)
+}
+
+// ProtocolSwitch implements Sink.
+func (ms *MemSink) ProtocolSwitch(u int, from, to string, phase int) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	fi, ti := ms.intern(from), ms.intern(to)
+	ms.push(opSwitch, 0, 0, int32(u), int32(phase), 0, fi, ti, 0, 0, 0)
+}
+
+// Rehome implements Sink.
+func (ms *MemSink) Rehome(u, from, to, bytes int, transfer bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	var tr int32
+	if transfer {
+		tr = 1
+	}
+	ms.push(opRehome, 0, 0, int32(u), int32(from), int32(to), int32(bytes), tr, 0, 0, 0)
+}
+
+// RunEnd implements Sink: closes the capture with the recorded totals
+// and every processor's final virtual clock.
+func (ms *MemSink) RunEnd(time sim.Duration, msgs, bytes int64, queue sim.Duration, clocks []sim.Duration) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.time, ms.msgs, ms.bytes, ms.queue = time, msgs, bytes, queue
+	ms.clocks = append(ms.clocks[:0], clocks...)
+	ms.ended = true
+}
+
+// EmitJSONL replays the buffer into a Writer as one run, reproducing
+// exactly the event stream a live *Run capture of the same execution
+// would have written — MemSink is the fast capture path, JSONL the
+// interchange format, and this is the bridge between them.
+func (ms *MemSink) EmitJSONL(w *Writer) error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if !ms.ended {
+		return fmt.Errorf("trace: EmitJSONL on an unfinished capture")
+	}
+	r := w.BeginRun(ms.meta)
+	for i := range ms.op {
+		a, b, c := int(ms.a[i]), int(ms.b[i]), int(ms.c[i])
+		nb, rb := int(ms.nb[i]), int(ms.rb[i])
+		at, q, rq := sim.Duration(ms.at[i]), sim.Duration(ms.q[i]), sim.Duration(ms.rq[i])
+		switch ms.op[i] {
+		case opLeg:
+			r.TraceLeg(simnet.MsgKind(ms.kind[i]), a, b, nb, at, q)
+		case opControl:
+			r.TraceControl(simnet.MsgKind(ms.kind[i]), a, b, nb, at, q)
+		case opExchange:
+			r.TraceExchange(simnet.MsgKind(ms.kind[i]), simnet.MsgKind(ms.rkind[i]), a, b, nb, rb, at,
+				netmodel.ExchangeTiming{Request: netmodel.Timing{Queue: q}, Reply: netmodel.Timing{Queue: rq}})
+		case opBarrierEnter:
+			r.BarrierEnter(a, at)
+		case opBarrierLeave:
+			r.BarrierLeave(a, b, at)
+		case opLockRequest:
+			r.LockRequest(a, b, at)
+		case opLockAcquire:
+			r.LockAcquire(a, b, at)
+		case opLockRelease:
+			r.LockRelease(a, b, at)
+		case opFaultBegin:
+			r.FaultBegin(a, c, b, at)
+		case opFaultEnd:
+			r.FaultEnd(a, c, at)
+		case opSwitch:
+			r.ProtocolSwitch(a, ms.names[nb], ms.names[rb], b)
+		case opRehome:
+			r.Rehome(a, b, c, nb, rb != 0)
+		}
+	}
+	r.End(ms.time, ms.msgs, ms.bytes, ms.queue)
+	return w.Err()
+}

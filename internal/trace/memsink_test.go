@@ -1,0 +1,81 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/apps"
+	_ "repro/internal/apps/all"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tmk"
+	"repro/internal/trace"
+)
+
+// TestMemSinkEmitJSONLParity pins the bridge between the two capture
+// paths: one engine run observed by a live JSONL writer and a MemSink
+// simultaneously (the tee), then the MemSink emitted as JSONL, must
+// produce byte-identical streams. MemSink is the fast capture path;
+// this is the proof it loses nothing the interchange format carries.
+func TestMemSinkEmitJSONLParity(t *testing.T) {
+	e, ok := apps.Lookup("jacobi", "small")
+	if !ok {
+		t.Fatal("jacobi/small is not registered")
+	}
+	var live bytes.Buffer
+	tw := trace.NewWriter(&live)
+	ms := trace.NewMemSink()
+	cfg := tmk.Config{Procs: 4, Protocol: "homeless", Network: "bus", Trace: tw, Sink: ms}
+	if _, err := apps.RunTrials(e.Make(4), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Ended() {
+		t.Fatal("MemSink capture not closed by RunEnd")
+	}
+
+	var emitted bytes.Buffer
+	ew := trace.NewWriter(&emitted)
+	if err := ms.EmitJSONL(ew); err != nil {
+		t.Fatal(err)
+	}
+	if err := ew.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), emitted.Bytes()) {
+		t.Fatalf("EmitJSONL stream differs from the live capture:\nlive    %d bytes\nemitted %d bytes",
+			live.Len(), emitted.Len())
+	}
+}
+
+// TestMemSinkAllocBudget pins the capture path's cost model: once a
+// reused MemSink's columns have grown to the run's working size, Reset
+// plus a full re-capture of the same event mix performs zero heap
+// allocations. This is what makes Sink-captured engine runs cheap
+// enough for the derived-sweep base cells.
+func TestMemSinkAllocBudget(t *testing.T) {
+	ms := trace.NewMemSink()
+	fill := func() {
+		ms.Reset()
+		ms.Begin(trace.RunMeta{Protocol: "homeless", Network: "bus", Procs: 4})
+		for i := 0; i < 4096; i++ {
+			p := i % 4
+			ms.BarrierEnter(p, sim.Duration(i))
+			ms.TraceLeg(simnet.DiffRequest, p, (p+1)%4, 128, sim.Duration(i), 3)
+			ms.TraceControl(simnet.BarrierArrive, p, 0, 16, sim.Duration(i), 0)
+			ms.TraceExchange(simnet.DiffRequest, simnet.DiffReply, p, (p+2)%4, 32, 4096,
+				sim.Duration(i), netmodel.ExchangeTiming{})
+			ms.FaultBegin(p, i%64, i%16, sim.Duration(i))
+			ms.FaultEnd(p, i%64, sim.Duration(i))
+			ms.BarrierLeave(p, i, sim.Duration(i))
+		}
+		ms.RunEnd(sim.Duration(1<<20), 4096, 1<<22, 512, []sim.Duration{1, 2, 3, 4})
+	}
+	fill() // size the columns
+	if allocs := testing.AllocsPerRun(5, fill); allocs > 0 {
+		t.Errorf("steady-state MemSink re-capture: %v allocs/run, want 0", allocs)
+	}
+}

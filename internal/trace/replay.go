@@ -143,3 +143,138 @@ func (st *replayState) add(msgs, bytes int64, queue sim.Duration) {
 	st.out.Replayed.Bytes += bytes
 	st.out.Replayed.Queue += queue
 }
+
+// RunReplaySweep is the outcome of re-pricing one captured run through
+// several network models in a single streaming pass: each model prices
+// the identical event sequence, so the rows are directly comparable —
+// the per-interconnect sensitivity of one recorded execution.
+type RunReplaySweep struct {
+	ID   int64        `json:"run"`
+	Meta RunMeta      `json:"meta"`
+	Time sim.Duration `json:"time"`
+	// Recorded are the totals the capture's run_end line reported.
+	Recorded Totals `json:"recorded"`
+	// Networks and Replayed are parallel: Replayed[i] is the totals of
+	// re-pricing the run's message events through Networks[i].
+	Networks []string `json:"networks"`
+	Replayed []Totals `json:"replayed"`
+}
+
+// Matches reports whether the replay through the capture's own model
+// (if among the sweep's networks) reproduced the recorded totals
+// bit-identically. Sweeps that exclude the capture's model trivially
+// match.
+func (r *RunReplaySweep) Matches() bool {
+	for i, n := range r.Networks {
+		if n == r.Meta.Network && r.Replayed[i] != r.Recorded {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplayAll streams a captured trace back through every named network
+// model at once — one pass over the events, one fresh model instance
+// per run per network — and returns one sweep per captured run, in
+// run_start order. A nil or empty network list sweeps every registered
+// model. Truncated captures (run_start without run_end) are an error,
+// as in Replay.
+func ReplayAll(r io.Reader, networks []string) ([]*RunReplaySweep, error) {
+	if len(networks) == 0 {
+		networks = netmodel.Names()
+	}
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	type sweepState struct {
+		out    *RunReplaySweep
+		models []netmodel.Model
+		ended  bool
+	}
+	var order []*RunReplaySweep
+	runs := make(map[int64]*sweepState)
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ev.E == EvRunStart {
+			if _, dup := runs[ev.R]; dup {
+				return nil, fmt.Errorf("trace: duplicate run_start for run %d", ev.R)
+			}
+			meta := RunMeta{
+				App: ev.App, Dataset: ev.Dataset,
+				Protocol: ev.Protocol, Network: ev.Network, Placement: ev.Placement,
+				Procs: ev.Procs, UnitPages: ev.UnitPages, Dynamic: ev.Dynamic,
+				Cost: ev.Cost,
+			}
+			cost := sim.DefaultCostModel()
+			if meta.Cost != nil {
+				cost = *meta.Cost
+			}
+			st := &sweepState{
+				out: &RunReplaySweep{
+					ID: ev.R, Meta: meta,
+					Networks: append([]string(nil), networks...),
+					Replayed: make([]Totals, len(networks)),
+				},
+			}
+			for _, name := range networks {
+				model, err := netmodel.New(name, cost)
+				if err != nil {
+					return nil, err
+				}
+				st.models = append(st.models, model)
+			}
+			runs[ev.R] = st
+			order = append(order, st.out)
+			continue
+		}
+		st, ok := runs[ev.R]
+		if !ok {
+			return nil, fmt.Errorf("trace: event %q for unknown run %d", ev.E, ev.R)
+		}
+		if st.ended {
+			return nil, fmt.Errorf("trace: event %q after run_end of run %d", ev.E, ev.R)
+		}
+		switch ev.E {
+		case EvLeg:
+			for i, m := range st.models {
+				t := m.Leg(ev.S, ev.D, ev.B, ev.At)
+				st.out.Replayed[i].Msgs++
+				st.out.Replayed[i].Bytes += int64(ev.B)
+				st.out.Replayed[i].Queue += t.Queue
+			}
+		case EvControl:
+			for i, m := range st.models {
+				t := m.Leg(ev.S, ev.D, 0, ev.At)
+				st.out.Replayed[i].Msgs++
+				st.out.Replayed[i].Bytes += int64(ev.B)
+				st.out.Replayed[i].Queue += t.Queue
+			}
+		case EvExchange:
+			for i, m := range st.models {
+				t := m.Exchange(ev.S, ev.D, ev.B, ev.RB, ev.At)
+				st.out.Replayed[i].Msgs += 2
+				st.out.Replayed[i].Bytes += int64(ev.B) + int64(ev.RB)
+				st.out.Replayed[i].Queue += t.Request.Queue + t.Reply.Queue
+			}
+		case EvRunEnd:
+			st.out.Time = ev.Time
+			st.out.Recorded = Totals{Msgs: ev.Msgs, Bytes: ev.Bytes, Queue: ev.Queue}
+			st.ended = true
+		default:
+			// Lifecycle events carry no wire traffic; replay skips them.
+		}
+	}
+	for _, out := range order {
+		if !runs[out.ID].ended {
+			return nil, fmt.Errorf("trace: run %d has no run_end (truncated capture)", out.ID)
+		}
+	}
+	return order, nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/apps"
 	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/netmodel"
 	"repro/internal/simnet"
 	"repro/internal/tmk"
 	"repro/internal/trace"
@@ -118,5 +119,36 @@ func TestReplayRejectsTruncatedCapture(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "truncated") {
 		t.Fatalf("error should call out the truncation, got: %v", err)
+	}
+}
+
+// TestReplayAllMatchesPerModelReplay: the single-pass multi-model sweep
+// must produce, per network, exactly the totals a dedicated Replay pass
+// through that model produces — including the bit-identity check on the
+// capture's own model.
+func TestReplayAllMatchesPerModelReplay(t *testing.T) {
+	buf := capture(t, "jacobi", "small", tmk.Config{Procs: 8, UnitPages: 1, Network: "bus"})
+	sweeps, err := trace.ReplayAll(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 1 {
+		t.Fatalf("sweeps = %d, want 1", len(sweeps))
+	}
+	s := sweeps[0]
+	if len(s.Networks) != len(netmodel.Names()) {
+		t.Fatalf("sweep covered %d networks, want all %d", len(s.Networks), len(netmodel.Names()))
+	}
+	if !s.Matches() {
+		t.Fatalf("same-model row diverged from recorded totals: %+v", s)
+	}
+	for i, network := range s.Networks {
+		runs, err := trace.Replay(bytes.NewReader(buf.Bytes()), network)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := s.Replayed[i], runs[0].Replayed; got != want {
+			t.Errorf("%s: sweep totals %+v != dedicated replay %+v", network, got, want)
+		}
 	}
 }

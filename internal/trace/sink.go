@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Sink receives one engine run's full event stream — the simnet pricing
+// operations (under the network's pricing lock, in exact pricing order)
+// plus the engine lifecycle events. Two implementations exist: *Run
+// writes JSONL (the interchange format) and *MemSink keeps a compact
+// in-memory buffer for replay-derivation without encode/decode.
+//
+// Begin opens the run and RunEnd closes it with the recorded totals and
+// every processor's final virtual clock (Result.ProcTimes); everything
+// between follows the same contract as the corresponding *Run methods.
+type Sink interface {
+	simnet.TraceSink
+
+	Begin(meta RunMeta)
+	BarrierEnter(p int, at sim.Duration)
+	BarrierLeave(p, episode int, at sim.Duration)
+	LockRequest(p, l int, at sim.Duration)
+	LockAcquire(p, l int, at sim.Duration)
+	LockRelease(p, l int, at sim.Duration)
+	FaultBegin(p, page, unit int, at sim.Duration)
+	FaultEnd(p, page int, at sim.Duration)
+	ProtocolSwitch(u int, from, to string, phase int)
+	Rehome(u, from, to, bytes int, transfer bool)
+	RunEnd(time sim.Duration, msgs, bytes int64, queue sim.Duration, clocks []sim.Duration)
+}
+
+var (
+	_ Sink = (*Run)(nil)
+	_ Sink = (*MemSink)(nil)
+)

@@ -63,8 +63,13 @@ const (
 	// barrier episode.
 	EvBarrierEnter = "barrier_enter"
 	EvBarrierLeave = "barrier_leave"
-	// EvLockAcquire marks a processor being granted lock L; EvLockRelease
-	// marks it releasing.
+	// EvLockRequest marks a processor asking for lock L (clock at the
+	// request, before the request message); EvLockAcquire marks it being
+	// granted the lock; EvLockRelease marks it releasing. The request
+	// event is what ties the payload-free LockRequest/LockForward control
+	// legs and the LockGrant leg back to a lock id — derivation needs
+	// that to rebuild grant times under a different interconnect.
+	EvLockRequest = "lock_req"
 	EvLockAcquire = "lock_acq"
 	EvLockRelease = "lock_rel"
 	// EvFaultBegin marks a read/access fault on a page (clock at trap);
@@ -121,6 +126,8 @@ type Event struct {
 	Procs     int            `json:"procs,omitempty"`
 	UnitPages int            `json:"unit_pages,omitempty"`
 	Dynamic   bool           `json:"dynamic,omitempty"`
+	Barrier   string         `json:"barrier,omitempty"`
+	BarrRadix int            `json:"barrier_radix,omitempty"`
 	Cost      *sim.CostModel `json:"cost,omitempty"`
 
 	// Recorded totals (run_end).
@@ -140,6 +147,11 @@ type RunMeta struct {
 	Procs     int
 	UnitPages int
 	Dynamic   bool
+	// Barrier is the run's barrier fabric ("central" or "tree") and
+	// BarrierRadix the tree's fan-in; derivation reconstructs barrier
+	// release times from them. Empty means central.
+	Barrier      string
+	BarrierRadix int
 	// Cost is the run's communication cost calibration; Replay rebuilds
 	// the pricing model from it. Nil means sim.DefaultCostModel.
 	Cost *sim.CostModel
@@ -227,6 +239,7 @@ func (w *Writer) BeginRun(meta RunMeta) *Run {
 		App: meta.App, Dataset: meta.Dataset,
 		Protocol: meta.Protocol, Network: meta.Network, Placement: meta.Placement,
 		Procs: meta.Procs, UnitPages: meta.UnitPages, Dynamic: meta.Dynamic,
+		Barrier: meta.Barrier, BarrRadix: meta.BarrierRadix,
 		Cost: meta.Cost,
 	})
 	return &Run{w: w, id: id}
@@ -278,6 +291,12 @@ func (r *Run) BarrierLeave(p, episode int, at sim.Duration) {
 	r.w.emit(&Event{E: EvBarrierLeave, R: r.id, P: p, N: episode, At: at})
 }
 
+// LockRequest records processor p asking for lock l at its pre-request
+// virtual clock (cached re-acquires are message-free and emit nothing).
+func (r *Run) LockRequest(p, l int, at sim.Duration) {
+	r.w.emit(&Event{E: EvLockRequest, R: r.id, P: p, L: l, At: at})
+}
+
 // LockAcquire records processor p being granted lock l.
 func (r *Run) LockAcquire(p, l int, at sim.Duration) {
 	r.w.emit(&Event{E: EvLockAcquire, R: r.id, P: p, L: l, At: at})
@@ -313,4 +332,16 @@ func (r *Run) Rehome(u, from, to, bytes int, transfer bool) {
 // End closes the run with its recorded totals.
 func (r *Run) End(time sim.Duration, msgs, bytes int64, queue sim.Duration) {
 	r.w.emit(&Event{E: EvRunEnd, R: r.id, Time: time, Msgs: msgs, Bytes: bytes, Queue: queue})
+}
+
+// Begin implements Sink. A Run's identity was already written by
+// BeginRun, so this is a no-op — it exists so the engine can drive a
+// Writer-backed Run and a MemSink through the same interface.
+func (r *Run) Begin(RunMeta) {}
+
+// RunEnd implements Sink: closes the run with its recorded totals. The
+// per-processor final clocks are not part of the JSONL schema (the
+// run_end time already is their max); only in-memory sinks keep them.
+func (r *Run) RunEnd(time sim.Duration, msgs, bytes int64, queue sim.Duration, _ []sim.Duration) {
+	r.End(time, msgs, bytes, queue)
 }
